@@ -1,0 +1,66 @@
+"""Experiment C1 — "natural candidates can be constructed in linear time".
+
+Section 4 claims the two natural candidates are constructible in linear
+time.  This benchmark measures construction cost against query size for
+a fixed view depth; the reported series should grow linearly in |P|
+(constant per-node cost), in sharp contrast to the equivalence tests
+that follow it in the solver.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.candidates import natural_candidates
+from repro.patterns.random import PatternConfig, random_pattern
+from repro.reporting import format_series
+
+SIZES = [4, 8, 16, 32, 64]
+
+
+def _query_of_depth(depth: int):
+    config = PatternConfig(
+        depth=depth, branch_prob=0.6, max_branch_size=2, wildcard_prob=0.2
+    )
+    return random_pattern(config, seed=depth)
+
+
+@pytest.mark.parametrize("depth", SIZES)
+def test_c1_candidate_construction(benchmark, depth):
+    query = _query_of_depth(depth)
+    candidates = benchmark(natural_candidates, query, depth // 2)
+    assert 1 <= len(candidates) <= 2
+
+
+def test_c1_linear_shape(benchmark, report):
+    points = []
+
+    def compute():
+        _measure(points)
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+    _finish(points, report)
+
+
+def _measure(points):
+    for depth in SIZES:
+        query = _query_of_depth(depth)
+        k = depth // 2
+        start = time.perf_counter()
+        repeats = 200
+        for _ in range(repeats):
+            natural_candidates(query, k)
+        elapsed = (time.perf_counter() - start) / repeats
+        points.append((query.size(), elapsed * 1e6))
+
+
+def _finish(points, report):
+    report(
+        format_series("C1: candidate construction (|P| -> µs/op)", points)
+    )
+    # Linear shape check: cost per node roughly constant (within 8x of
+    # the smallest ratio, generous for interpreter noise).
+    ratios = [cost / size for size, cost in points]
+    assert max(ratios) <= 8 * min(ratios), ratios

@@ -1,0 +1,95 @@
+"""Experiment C7 — the coNP mechanism: canonical-model counts.
+
+The complete containment test enumerates ``bound^(descendant edges)``
+canonical models where ``bound = star_length(container) + 2``.  This
+benchmark measures containment latency against both parameters and
+reports the model counts — the concrete shape of [14]'s coNP bound as
+inherited by the rewriting problem.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.canonical import count_canonical_models, star_length
+from repro.core.containment import (
+    STATS,
+    canonical_containment,
+    clear_cache,
+    expansion_bound,
+)
+from repro.patterns.parse import parse_pattern
+from repro.reporting import format_table
+
+
+def _chain_pattern(desc_edges: int):
+    """A pattern with the given number of descendant edges plus a branch
+    (to keep it outside the PTIME fragments)."""
+    return parse_pattern("a" + "//*" * desc_edges + "/e[x]")
+
+
+def _container(star_chain: int):
+    return parse_pattern("a//" + "/".join(["*"] * star_chain) + "/e[x]")
+
+
+@pytest.mark.parametrize("desc_edges", [1, 2, 3])
+def test_c7_scaling_in_descendant_edges(benchmark, desc_edges):
+    contained = _chain_pattern(desc_edges)
+    container = parse_pattern("a//e[x]")
+
+    def run():
+        clear_cache()
+        return canonical_containment(contained, container)
+
+    assert benchmark(run)
+
+
+@pytest.mark.parametrize("star_chain", [1, 2, 3, 4])
+def test_c7_scaling_in_star_length(benchmark, star_chain):
+    contained = parse_pattern("a//b//e[x]")
+    container = _container(star_chain)
+
+    def run():
+        clear_cache()
+        return canonical_containment(contained, container)
+
+    benchmark(run)
+
+
+def test_c7_report(benchmark, report):
+    rows = []
+    benchmark.pedantic(lambda: _compute_rows(rows), rounds=1, iterations=1)
+    _finish(rows, report)
+
+
+def _compute_rows(rows):
+    for desc_edges in (1, 2, 3, 4):
+        contained = _chain_pattern(desc_edges)
+        container = parse_pattern("a//e[x]")
+        bound = expansion_bound(container)
+        clear_cache()
+        STATS.reset()
+        canonical_containment(contained, container)
+        rows.append(
+            [
+                desc_edges,
+                star_length(container),
+                bound,
+                count_canonical_models(contained, bound),
+                STATS.canonical_models_checked,
+            ]
+        )
+
+
+def _finish(rows, report):
+    report(
+        format_table(
+            ["# desc edges", "star(Q)", "bound", "models (bound^m)", "checked"],
+            rows,
+            title="C7: canonical-model counts — the coNP mechanism",
+        )
+    )
+    # Exponential growth shape: models = bound ** (descendant edges).
+    for desc_edges, _star, bound, models, checked in rows:
+        assert models == bound ** desc_edges
+        assert checked == models  # containment holds, so none short-circuits

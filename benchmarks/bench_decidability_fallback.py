@@ -1,0 +1,110 @@
+"""Experiment C6 — the Prop 3.4 search vs. the candidate-based solver.
+
+The decidability procedure enumerates candidate rewritings (doubly
+exponential in the worst case); the paper's Section 4/5 machinery
+replaces it with ≤ 2 containment tests.  This benchmark runs both on
+the same instances and reports candidates-enumerated vs tests-performed,
+plus the growth of the enumeration space with the extra-node budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.containment import clear_cache
+from repro.core.decide import enumerate_candidates, exhaustive_search
+from repro.core.rewrite import RewriteSolver
+from repro.patterns.parse import parse_pattern
+from repro.reporting import format_series, format_table
+
+INSTANCES = [
+    ("a/b/c", "a/b"),
+    ("a//*/e", "a/*"),
+    ("a/b[x]/c", "a/b"),
+    ("a//e/d", "a/*"),
+]
+
+
+@pytest.mark.parametrize("query,view", INSTANCES, ids=[q for q, _ in INSTANCES])
+def test_c6_candidate_solver(benchmark, query, view):
+    q, v = parse_pattern(query), parse_pattern(view)
+    solver = RewriteSolver(use_fallback=False)
+
+    def run():
+        clear_cache()
+        return solver.solve(q, v)
+
+    result = benchmark(run)
+    assert result.status.value in ("found", "no-rewriting")
+
+
+@pytest.mark.parametrize("query,view", INSTANCES, ids=[q for q, _ in INSTANCES])
+def test_c6_exhaustive_search(benchmark, query, view):
+    q, v = parse_pattern(query), parse_pattern(view)
+
+    def run():
+        clear_cache()
+        return exhaustive_search(q, v, max_extra_nodes=1)
+
+    outcome = benchmark(run)
+    assert outcome.tried >= 0
+
+
+def test_c6_report(benchmark, report):
+    rows = []
+    benchmark.pedantic(lambda: _compute_rows(rows), rounds=1, iterations=1)
+    _finish(rows, report)
+
+
+def _compute_rows(rows):
+    solver = RewriteSolver(use_fallback=False)
+    for query, view in INSTANCES:
+        q, v = parse_pattern(query), parse_pattern(view)
+        clear_cache()
+        decision = solver.solve(q, v)
+        outcome = exhaustive_search(q, v, max_extra_nodes=2)
+        rows.append(
+            [
+                query,
+                view,
+                decision.equivalence_tests,
+                outcome.tried,
+                decision.status.value,
+            ]
+        )
+
+
+def _finish(rows, report):
+    report(
+        format_table(
+            ["query", "view", "solver eq-tests", "search candidates", "outcome"],
+            rows,
+            title="C6: candidate solver (≤2 tests) vs Prop 3.4 enumeration",
+        )
+    )
+    assert len(rows) == len(INSTANCES)
+
+
+def test_c6_enumeration_growth(benchmark, report):
+    q, v = parse_pattern("a/b[x]/c[y]/d"), parse_pattern("a/b")
+    points = []
+    benchmark.pedantic(lambda: _compute_points(q, v, points), rounds=1, iterations=1)
+    _finish_points(points, report)
+
+
+def _compute_points(q, v, points):
+    for extra in range(0, 4):
+        count = sum(1 for _ in enumerate_candidates(q, v, max_extra_nodes=extra))
+        points.append((extra, count))
+
+
+def _finish_points(points, report):
+    report(
+        format_series(
+            "C6b: candidate space size vs extra-node budget (exponential)",
+            points,
+        )
+    )
+    counts = [count for _, count in points]
+    assert counts == sorted(counts)
+    assert counts[-1] > 10 * counts[0]

@@ -1,0 +1,83 @@
+"""Experiment X1 — the §6 open-problem extensions (beyond the paper).
+
+Measures the bounded procedures this reproduction adds for the paper's
+open problems: union containment (problem 5's decision core), maximal
+contained rewritings (problem 3) and the view advisor (problem 4).
+These are extensions, not reproductions — the benchmark documents their
+cost so downstream users can judge them.
+"""
+
+from __future__ import annotations
+
+from repro.core.contained import (
+    contained_rewritings,
+    find_union_rewriting,
+    union_contains,
+)
+from repro.core.containment import clear_cache
+from repro.patterns.parse import parse_pattern
+from repro.reporting import format_table
+from repro.views.advisor import advise_views
+from repro.xmltree.generate import dblp_like
+
+
+def test_x1_union_containment(benchmark):
+    pattern = parse_pattern("a/b[c][d]")
+    union = [parse_pattern("a/b[c]"), parse_pattern("a/b[d]")]
+
+    def run():
+        clear_cache()
+        return union_contains(pattern, union)
+
+    assert benchmark(run)
+
+
+def test_x1_contained_rewritings(benchmark):
+    query, view = parse_pattern("a//e/d"), parse_pattern("a/*")
+
+    def run():
+        clear_cache()
+        return contained_rewritings(query, view)
+
+    results = benchmark(run)
+    assert results
+
+
+def test_x1_union_rewriting(benchmark):
+    query = parse_pattern("a/b/x")
+    views = [("v1", parse_pattern("a/b")), ("v2", parse_pattern("a/c"))]
+
+    def run():
+        clear_cache()
+        return find_union_rewriting(query, views)
+
+    result = benchmark(run)
+    assert result is not None
+
+
+def test_x1_view_advisor(benchmark, report):
+    workload = [
+        parse_pattern("dblp/article[author]/title"),
+        parse_pattern("dblp/article[author]/year"),
+        parse_pattern("dblp/inproceedings/title"),
+        parse_pattern("dblp/article[author]/author/name"),
+    ]
+    sample = dblp_like(entries=30, seed=2)
+
+    def run():
+        clear_cache()
+        return advise_views(workload, max_views=2, sample=sample)
+
+    result = benchmark(run)
+    assert result.uncovered == []
+    rows = [
+        [str(view.pattern), f"{view.cost:.0f}", sorted(view.covered)]
+        for view in result.views
+    ]
+    report(
+        format_table(
+            ["advised view", "stored nodes", "covers queries"],
+            rows,
+            title="X1: view advisor on a 4-query DBLP workload (budget 2)",
+        )
+    )

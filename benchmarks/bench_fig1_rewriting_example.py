@@ -1,0 +1,63 @@
+"""Experiment F1 — Figure 1: the rewriting example.
+
+Reproduces the figure's claims (``R ∘ V ≡ P``; the merged node label is
+glb of the merged labels; the solver rediscovers a rewriting in ≤ 2
+equivalence tests) and times the three constituent operations:
+composition, the equivalence check, and the full solver run.
+"""
+
+from __future__ import annotations
+
+from repro.core.composition import compose
+from repro.core.containment import clear_cache, equivalent
+from repro.core.rewrite import RewriteSolver
+from repro.figures import fig1
+from repro.patterns.serialize import to_xpath
+from repro.reporting import format_table
+
+
+def test_f1_report(benchmark, report):
+    fig = benchmark.pedantic(fig1.verify, rounds=1, iterations=1)
+    assert fig.ok, fig.summary()
+    report(fig.summary())
+
+
+def test_f1_composition(benchmark):
+    patterns = fig1.build()
+    result = benchmark(compose, patterns["R"], patterns["V"])
+    assert not result.is_empty
+
+
+def test_f1_equivalence_check(benchmark):
+    patterns = fig1.build()
+    composition = compose(patterns["R"], patterns["V"])
+
+    def run():
+        clear_cache()
+        return equivalent(composition, patterns["P"])
+
+    assert benchmark(run)
+
+
+def test_f1_solver_end_to_end(benchmark, report):
+    patterns = fig1.build()
+    solver = RewriteSolver()
+
+    def run():
+        clear_cache()
+        return solver.solve(patterns["P"], patterns["V"])
+
+    decision = benchmark(run)
+    assert decision.found
+    report(
+        format_table(
+            ["query", "view", "rewriting", "equivalence tests"],
+            [[
+                to_xpath(patterns["P"]),
+                to_xpath(patterns["V"]),
+                to_xpath(decision.rewriting),
+                decision.equivalence_tests,
+            ]],
+            title="F1: Figure 1 rewriting example",
+        )
+    )

@@ -1,0 +1,51 @@
+"""Experiment F2 — Figure 2: natural candidates and their compositions.
+
+Reproduces the claims of Section 4's worked example (``P≥1`` fails,
+``P≥1_r//`` succeeds; Theorem 4.10 applies) and measures candidate
+construction — the step the paper calls linear-time — against the two
+equivalence tests that decide the instance.
+"""
+
+from __future__ import annotations
+
+from repro.core.candidates import natural_candidates
+from repro.core.composition import compose
+from repro.core.containment import clear_cache, equivalent
+from repro.figures import fig2
+from repro.patterns.serialize import to_xpath
+from repro.reporting import format_table
+
+
+def test_f2_report(benchmark, report):
+    fig = benchmark.pedantic(fig2.verify, rounds=1, iterations=1)
+    assert fig.ok, fig.summary()
+    report(fig.summary())
+
+
+def test_f2_candidate_construction(benchmark):
+    patterns = fig2.build()
+    query, view = patterns["P"], patterns["V"]
+    candidates = benchmark(natural_candidates, query, view.depth)
+    assert len(candidates) == 2
+
+
+def test_f2_candidate_decision(benchmark, report):
+    patterns = fig2.build()
+    query, view = patterns["P"], patterns["V"]
+
+    def decide():
+        clear_cache()
+        outcomes = []
+        for candidate in natural_candidates(query, view.depth):
+            outcomes.append(
+                (candidate, equivalent(compose(candidate, view), query))
+            )
+        return outcomes
+
+    outcomes = benchmark(decide)
+    rows = [
+        [to_xpath(candidate), "rewriting" if ok else "not a rewriting"]
+        for candidate, ok in outcomes
+    ]
+    assert [ok for _, ok in outcomes] == [False, True]
+    report(format_table(["candidate", "verdict"], rows, title="F2: Figure 2"))

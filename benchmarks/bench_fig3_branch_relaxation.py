@@ -1,0 +1,58 @@
+"""Experiment F3 — Figure 3: branch relaxation (Lemma 4.12).
+
+Reproduces the chain ``B ⊑ B_r// ⊑ B' ≡ B`` and measures the containment
+checks over the all-wildcard chain patterns, where descendant-edge
+expansion makes the canonical-model test do real work.
+"""
+
+from __future__ import annotations
+
+from repro.core.containment import clear_cache, contains, equivalent
+from repro.figures import fig3
+from repro.patterns.serialize import to_xpath
+from repro.reporting import format_table
+
+
+def test_f3_report(benchmark, report):
+    fig = benchmark.pedantic(fig3.verify, rounds=1, iterations=1)
+    assert fig.ok, fig.summary()
+    report(fig.summary())
+
+
+def test_f3_relaxation_chain(benchmark, report):
+    patterns = fig3.build()
+    branch, relaxed, fully = patterns["B"], patterns["B_r//"], patterns["B'"]
+
+    def chain():
+        clear_cache()
+        return (
+            contains(branch, relaxed),
+            contains(relaxed, fully),
+            equivalent(fully, branch),
+            equivalent(branch, relaxed),
+        )
+
+    results = benchmark(chain)
+    assert all(results)
+    report(
+        format_table(
+            ["claim", "holds"],
+            [
+                ["B ⊑ B_r//", results[0]],
+                ["B_r// ⊑ B'", results[1]],
+                ["B' ≡ B", results[2]],
+                ["B ≡ B_r//", results[3]],
+            ],
+            title="F3: Figure 3 branch relaxation (Lemma 4.12)",
+        )
+    )
+
+
+def test_f3_equivalence_only(benchmark):
+    patterns = fig3.build()
+
+    def run():
+        clear_cache()
+        return equivalent(patterns["B"], patterns["B_r//"])
+
+    assert benchmark(run)

@@ -1,0 +1,56 @@
+"""Experiment F4 — Figure 4: correlation, extension and output lifting.
+
+Reproduces §4.1.3/§5.3's three-way case analysis on (V, P1/P2/P3) and
+measures the certificate engine on each query: Thm 4.16 directly (P1),
+the §5.3 extension+lift chain (P2) and Corollary 5.7 = Prop 5.6 +
+Thm 4.16 (P3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import RewriteSolver
+from repro.figures import fig4
+from repro.patterns.serialize import to_xpath
+from repro.reporting import format_table
+
+
+def test_f4_report(benchmark, report):
+    fig = benchmark.pedantic(fig4.verify, rounds=1, iterations=1)
+    assert fig.ok, fig.summary()
+    report(fig.summary())
+
+
+@pytest.mark.parametrize("query_name", ["P1", "P2", "P3"])
+def test_f4_certificate_engine(benchmark, query_name):
+    patterns = fig4.build()
+    solver = RewriteSolver()
+    certificate = benchmark(
+        solver.find_certificate, patterns[query_name], patterns["V"]
+    )
+    assert certificate is not None
+
+
+def test_f4_case_table(benchmark, report):
+    patterns = fig4.build()
+    solver = RewriteSolver()
+    rows = []
+
+    def compute():
+        for name in ("P1", "P2", "P3"):
+            certificate = solver.find_certificate(patterns[name], patterns["V"])
+            decision = solver.solve(patterns[name], patterns["V"])
+            rows.append(
+                [name, to_xpath(patterns[name]), certificate, decision.status.value]
+            )
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["query", "pattern", "certificate", "solver outcome"],
+            rows,
+            title="F4: Figure 4 correlation/extension cases "
+            f"(V = {to_xpath(patterns['V'])})",
+        )
+    )

@@ -1,0 +1,109 @@
+"""Experiment C2 — PTIME sub-fragments vs. the coNP full fragment.
+
+The paper's complexity landscape (Section 1, [14], [17]): equivalence —
+and hence the rewriting decision — is PTIME on the three sub-fragments
+and coNP-complete on ``XP{//,[],*}``.  This benchmark measures:
+
+* the [17]-style baseline (homomorphism / word-automaton equivalence) on
+  fragment instances, and
+* the general solver's canonical-model equivalence on full-fragment
+  instances with a growing number of descendant edges — the exponential
+  mechanism (canonical model count = bound^edges) made visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.xu_ozsoyoglu import rewrite_ptime
+from repro.core.canonical import count_canonical_models, star_length
+from repro.core.containment import STATS, clear_cache, equivalent
+from repro.core.rewrite import RewriteSolver
+from repro.patterns.fragments import Fragment
+from repro.patterns.parse import parse_pattern
+from repro.patterns.random import PatternConfig, random_rewrite_instance
+from repro.reporting import format_table
+
+
+def _fragment_instance(fragment: Fragment, seed: int):
+    branch_prob = 0.0 if fragment is Fragment.NO_BRANCH else 0.4
+    config = PatternConfig(depth=3, fragment=fragment, branch_prob=branch_prob)
+    return random_rewrite_instance(config, seed=seed)
+
+
+@pytest.mark.parametrize(
+    "fragment",
+    [Fragment.NO_WILDCARD, Fragment.NO_DESCENDANT, Fragment.NO_BRANCH],
+    ids=lambda f: f.value,
+)
+def test_c2_ptime_baseline(benchmark, fragment):
+    instances = [_fragment_instance(fragment, seed) for seed in range(10)]
+
+    def run():
+        return [rewrite_ptime(q, v).rewriting is not None for q, v in instances]
+
+    results = benchmark(run)
+    assert all(results)
+
+
+@pytest.mark.parametrize("desc_edges", [1, 2, 3, 4])
+def test_c2_conp_engine_scaling(benchmark, desc_edges):
+    # Wildcard-adjacent descendant chains force the canonical engine.
+    left = parse_pattern("a" + "//*" * desc_edges + "/e")
+    right = parse_pattern("a/*" + "//*" * (desc_edges - 1) + "//e")
+
+    def run():
+        clear_cache()
+        return equivalent(left, right)
+
+    assert benchmark(run)
+
+
+def test_c2_report(benchmark, report):
+    rows = []
+    benchmark.pedantic(lambda: _compute_rows(rows), rounds=1, iterations=1)
+    _finish(rows, report)
+
+
+def _compute_rows(rows):
+    for fragment in (
+        Fragment.NO_WILDCARD,
+        Fragment.NO_DESCENDANT,
+        Fragment.NO_BRANCH,
+    ):
+        query, view = _fragment_instance(fragment, seed=1)
+        outcome = rewrite_ptime(query, view)
+        rows.append(
+            [
+                outcome.fragment,
+                "PTIME (hom / word automaton)",
+                outcome.equivalence_tests,
+                "found" if outcome.rewriting is not None else "none",
+            ]
+        )
+    # Full fragment: canonical models blow up exponentially.
+    for desc_edges in (1, 2, 3, 4):
+        pattern = parse_pattern("a" + "//*" * desc_edges + "/e[x]")
+        container = parse_pattern("a/*" + "//*" * (desc_edges - 1) + "//e[x]")
+        clear_cache()
+        STATS.reset()
+        equivalent(pattern, container)
+        rows.append(
+            [
+                f"XP{{//,[],*}} ({desc_edges} desc edges)",
+                "coNP (canonical models)",
+                STATS.canonical_models_checked,
+                f"bound^edges = {count_canonical_models(pattern, star_length(container) + 2)}",
+            ]
+        )
+
+
+def _finish(rows, report):
+    report(
+        format_table(
+            ["fragment", "engine", "tests/models", "outcome"],
+            rows,
+            title="C2: complexity landscape (PTIME sub-fragments vs coNP)",
+        )
+    )
+    assert len(rows) == 7

@@ -1,0 +1,179 @@
+"""Experiment C5 — answering queries from materialized views.
+
+The paper's motivating scenario (Section 2.4 and the caching literature
+it cites): once ``V(t)`` is materialized, answering ``P`` as ``R(V(t))``
+avoids touching the document.  This benchmark compares direct evaluation
+against view-based answering on DBLP-like and XMark-like documents of
+growing size; the speedup should grow with document size because the
+view forest is much smaller than the document.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.embedding import evaluate, evaluate_forest
+from repro.core.rewrite import RewriteSolver
+from repro.patterns.parse import parse_pattern
+from repro.reporting import format_table
+from repro.views.engine import QueryEngine
+from repro.views.store import ViewStore
+from repro.xmltree.generate import dblp_like, xmark_like
+
+QUERY = parse_pattern("dblp/article[author]/title")
+VIEW = parse_pattern("dblp/article[author]")
+SIZES = [50, 200, 800]
+
+
+def _store(entries: int) -> ViewStore:
+    store = ViewStore()
+    store.add_document("bib", dblp_like(entries=entries, seed=11))
+    store.define_view("articles", VIEW)
+    return store
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_c5_direct_evaluation(benchmark, entries):
+    store = _store(entries)
+    doc = store.document("bib")
+    result = benchmark(evaluate, QUERY, doc)
+    assert result
+
+
+@pytest.mark.parametrize("entries", SIZES)
+def test_c5_view_based_evaluation(benchmark, entries):
+    store = _store(entries)
+    engine = QueryEngine(store)
+    decision = engine.rewrite_against(QUERY, "articles")
+    assert decision.found
+    forest = store.view_answers("articles", "bib")
+
+    result = benchmark(evaluate_forest, decision.rewriting, forest)
+    assert result == evaluate(QUERY, store.document("bib"))
+
+
+def test_c5_report(benchmark, report):
+    rows = []
+    benchmark.pedantic(lambda: _compute_rows(rows), rounds=1, iterations=1)
+    _finish(rows, report)
+
+
+def _compute_rows(rows):
+    for entries in SIZES:
+        store = _store(entries)
+        doc = store.document("bib")
+        engine = QueryEngine(store)
+        decision = engine.rewrite_against(QUERY, "articles")
+        forest = store.view_answers("articles", "bib")
+
+        start = time.perf_counter()
+        for _ in range(5):
+            direct = evaluate(QUERY, doc)
+        direct_time = (time.perf_counter() - start) / 5
+
+        start = time.perf_counter()
+        for _ in range(5):
+            via_view = evaluate_forest(decision.rewriting, forest)
+        view_time = (time.perf_counter() - start) / 5
+
+        assert via_view == direct
+        rows.append(
+            [
+                doc.size(),
+                len(forest),
+                f"{direct_time * 1e3:.2f} ms",
+                f"{view_time * 1e3:.2f} ms",
+                f"{direct_time / view_time:.1f}x",
+            ]
+        )
+
+
+def _finish(rows, report):
+    report(
+        format_table(
+            ["|t| nodes", "|V(t)|", "direct P(t)", "view R(V(t))", "speedup"],
+            rows,
+            title="C5: materialized-view answering vs direct evaluation "
+            f"(P = {QUERY!r}, V = {VIEW!r})",
+        )
+    )
+    assert len(rows) == len(SIZES)
+
+
+def _noisy_store(noise_entries: int) -> ViewStore:
+    """A document with a fixed relevant region and growing noise.
+
+    The view prunes the noise outright, so the stored forest is constant
+    while direct evaluation has to scan the whole document — the regime
+    where the paper's caching motivation pays off most.
+    """
+    document = dblp_like(entries=40, seed=13)
+    noise_rng_doc = dblp_like(entries=noise_entries, seed=14)
+    for entry in list(noise_rng_doc.root.children):
+        entry.label = "proceedings"  # never matched by the view
+        document.root.add_child(entry)
+    store = ViewStore()
+    store.add_document("bib", document)
+    store.define_view("articles", VIEW)
+    return store
+
+
+def test_c5_selective_report(benchmark, report):
+    rows = []
+
+    def compute():
+        for noise in (0, 400, 1600):
+            store = _noisy_store(noise)
+            doc = store.document("bib")
+            engine = QueryEngine(store)
+            decision = engine.rewrite_against(QUERY, "articles")
+            forest = store.view_answers("articles", "bib")
+
+            start = time.perf_counter()
+            for _ in range(5):
+                direct = evaluate(QUERY, doc)
+            direct_time = (time.perf_counter() - start) / 5
+
+            start = time.perf_counter()
+            for _ in range(5):
+                via_view = evaluate_forest(decision.rewriting, forest)
+            view_time = (time.perf_counter() - start) / 5
+
+            assert via_view == direct
+            rows.append(
+                [
+                    doc.size(),
+                    len(forest),
+                    f"{direct_time * 1e3:.2f} ms",
+                    f"{view_time * 1e3:.2f} ms",
+                    f"{direct_time / view_time:.1f}x",
+                ]
+            )
+
+    benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["|t| nodes", "|V(t)|", "direct P(t)", "view R(V(t))", "speedup"],
+            rows,
+            title="C5b: fixed relevant region + growing noise "
+            "(speedup grows with document size)",
+        )
+    )
+    speedups = [float(row[4].rstrip("x")) for row in rows]
+    assert speedups[-1] > speedups[0], speedups
+
+
+def test_c5_xmark_scenario(benchmark, report):
+    store = ViewStore()
+    store.add_document("site", xmark_like(items=120, people=60, auctions=60, seed=5))
+    store.define_view("items", parse_pattern("site/regions/*/item"))
+    engine = QueryEngine(store)
+    query = parse_pattern("site/regions/*/item[mailbox]/name")
+    decision = engine.rewrite_against(query, "items")
+    assert decision.found
+    forest = store.view_answers("items", "site")
+
+    result = benchmark(evaluate_forest, decision.rewriting, forest)
+    assert result == evaluate(query, store.document("site"))

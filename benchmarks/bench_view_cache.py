@@ -1,0 +1,78 @@
+"""Experiment C8 — the semantic view cache.
+
+The paper motivates sound-and-complete rewriting by the query-caching
+systems of its related work ([3, 5, 13, 18]) which use incomplete
+matching.  This benchmark drives the rewriting-backed cache with a
+locality-bearing query stream over a DBLP-like document and reports hit
+ratios and lookup latency for several cache capacities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.containment import clear_cache
+from repro.reporting import format_table
+from repro.views.cache import ViewCache
+from repro.workloads.streams import StreamConfig, query_stream
+from repro.xmltree.generate import random_tree
+
+DOCUMENT = random_tree(400, alphabet=("a", "b", "c", "d", "e"), seed=21)
+STREAM = query_stream(
+    StreamConfig(length=60, templates=6, repeat_prob=0.5, specialize_prob=0.3),
+    seed=22,
+)
+
+
+@pytest.mark.parametrize("capacity", [2, 8, 32])
+def test_c8_cache_throughput(benchmark, capacity):
+    def run():
+        clear_cache()
+        cache = ViewCache(DOCUMENT, capacity=capacity)
+        for query in STREAM:
+            cache.query(query)
+        return cache.stats
+
+    stats = benchmark(run)
+    assert stats.lookups == len(STREAM)
+
+
+def test_c8_report(benchmark, report):
+    rows = []
+    benchmark.pedantic(lambda: _compute_rows(rows), rounds=1, iterations=1)
+    _finish(rows, report)
+
+
+def _compute_rows(rows):
+    from repro.core.embedding import evaluate
+    for capacity in (2, 8, 32):
+        clear_cache()
+        cache = ViewCache(DOCUMENT, capacity=capacity)
+        for query in STREAM:
+            answer = cache.query(query)
+            assert answer == evaluate(query, DOCUMENT)
+        stats = cache.stats
+        rows.append(
+            [
+                capacity,
+                stats.hits,
+                stats.misses,
+                f"{stats.hit_ratio:.2f}",
+                stats.evictions,
+                stats.rewrite_attempts,
+            ]
+        )
+
+
+def _finish(rows, report):
+    report(
+        format_table(
+            ["capacity", "hits", "misses", "hit ratio", "evictions", "rewrites"],
+            rows,
+            title=f"C8: semantic view cache over a {len(STREAM)}-query stream "
+            f"(|t| = {DOCUMENT.size()})",
+        )
+    )
+    # Larger caches should never hit less.
+    ratios = [float(row[3]) for row in rows]
+    assert ratios == sorted(ratios) or max(ratios) - min(ratios) < 0.05

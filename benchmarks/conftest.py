@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark prints the paper-style rows it reproduces through the
+``report`` fixture, which bypasses pytest's output capture so the tables
+appear in ``pytest benchmarks/ --benchmark-only`` runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report block even under captured output."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _report

@@ -1,0 +1,73 @@
+"""Explore the containment landscape of ``XP{//,[],*}``.
+
+Run:  python examples/containment_explorer.py
+
+Shows, on curated pattern pairs:
+
+* the homomorphism test (PTIME, sound, incomplete in general),
+* the canonical-model decision procedure (complete, coNP),
+* the word-automaton engine for linear patterns, and
+* concrete counterexample trees when containment fails.
+
+The star of the show is the classic pair ``a//*/e ⊑ a/*//e`` — true
+containment with *no* homomorphism — which is why the full fragment's
+rewriting problem is hard.
+"""
+
+from repro.baselines import linear_containment
+from repro.core.canonical import canonical_models, star_length
+from repro.core.containment import canonical_containment, hom_exists
+from repro.core.oracle import find_counterexample
+from repro.patterns.parse import parse_pattern
+from repro.xmltree.parse import to_sexpr
+
+PAIRS = [
+    ("a/b", "a//b"),
+    ("a//b", "a/b"),
+    ("a//*/e", "a/*//e"),
+    ("a/*//e", "a//*/e"),
+    ("a[b]/*//c", "a//c"),
+    ("a//c", "a[b]/*//c"),
+    ("a[b][c]/d", "a[c]/d"),
+]
+
+
+def main() -> None:
+    print(f"{'P1':<12} {'P2':<12} {'hom':<6} {'canonical':<10} {'linear':<8}")
+    print("-" * 56)
+    for left_text, right_text in PAIRS:
+        left = parse_pattern(left_text)
+        right = parse_pattern(right_text)
+        hom = hom_exists(right, left)
+        decided = canonical_containment(left, right)
+        if left.is_linear() and right.is_linear() and (
+            left.size() == left.depth + 1 and right.size() == right.depth + 1
+        ):
+            linear = str(linear_containment(left, right))
+        else:
+            linear = "n/a"
+        print(f"{left_text:<12} {right_text:<12} {str(hom):<6} "
+              f"{str(decided):<10} {linear:<8}")
+        if hom != decided and decided:
+            print("             ^ containment WITHOUT a homomorphism")
+        if not decided:
+            witness = find_counterexample(left, right, max_size=5)
+            if witness is not None:
+                tree, node = witness
+                print(f"             counterexample tree: {to_sexpr(tree)} "
+                      f"(output {node.label!r} escapes P2)")
+
+    # Peek inside the coNP machinery.
+    pattern = parse_pattern("a//b//c")
+    container = parse_pattern("a/*/*//c")
+    bound = star_length(container) + 2
+    models = list(canonical_models(pattern, bound))
+    print(f"\ncanonical models of {pattern!r} with expansions ≤ {bound}: "
+          f"{len(models)}")
+    for model in models[:4]:
+        print(f"  {to_sexpr(model.tree)}")
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Beyond equivalent rewritings: the paper's §6 open problems, bounded.
+
+Run:  python examples/open_problems.py
+
+Demonstrates the library's bounded take on three extensions the paper
+leaves open:
+
+* problem 3 — *maximally contained rewritings*: when no equivalent
+  rewriting exists, sound-but-partial view answers still may;
+* problem 4 — *view selection*: pick views for a frequent-query
+  workload (greedy, solver-backed);
+* problem 5 — *rewriting using multiple views*: equivalent union
+  rewritings ``∪ Ri(Vi(t)) = P(t)``.
+"""
+
+from repro import compose, contains, evaluate, evaluate_forest, parse_pattern, to_xpath
+from repro.core.contained import contained_rewritings, find_union_rewriting
+from repro.core.rewrite import find_rewriting
+from repro.views.advisor import advise_views
+from repro.xmltree.generate import dblp_like
+from repro.xmltree.parse import parse_sexpr
+
+
+def contained_demo() -> None:
+    print("== open problem 3: maximally contained rewritings")
+    query = parse_pattern("a//e/d")
+    view = parse_pattern("a/*")
+    decision = find_rewriting(query, view)
+    print(f"P = {to_xpath(query)}, V = {to_xpath(view)}")
+    print(f"equivalent rewriting: {decision.status.value} ({decision.rule})")
+    for rewriting in contained_rewritings(query, view):
+        composition = compose(rewriting, view)
+        print(
+            f"maximal contained rewriting R = {to_xpath(rewriting)}; "
+            f"R∘V = {to_xpath(composition)} ⊑ P: "
+            f"{contains(composition, query)}"
+        )
+    print()
+
+
+def union_demo() -> None:
+    print("== open problem 5: rewriting using multiple views")
+    query = parse_pattern("a/b/x")
+    views = [("v1", parse_pattern("a/b")), ("v2", parse_pattern("a/c"))]
+    result = find_union_rewriting(query, views)
+    print(f"P = {to_xpath(query)}, views = "
+          f"{[(n, to_xpath(v)) for n, v in views]}")
+    assert result is not None
+    for name, rewriting in result.parts:
+        print(f"  part: {name} with R = {to_xpath(rewriting)}")
+    doc = parse_sexpr("a(b(x,y),c(x),b(x))")
+    view_patterns = dict(views)
+    answer = set()
+    for name, rewriting in result.parts:
+        forest = evaluate(view_patterns[name], doc)
+        answer |= evaluate_forest(rewriting, forest)
+    direct = evaluate(query, doc)
+    print(f"union answers == P(t): {answer == direct} "
+          f"({len(answer)} nodes)")
+    print()
+
+
+def advisor_demo() -> None:
+    print("== open problem 4: view selection for a workload")
+    workload = [
+        parse_pattern("dblp/article[author]/title"),
+        parse_pattern("dblp/article[author]/year"),
+        parse_pattern("dblp/inproceedings/title"),
+        parse_pattern("dblp/article[author]/author/name"),
+    ]
+    weights = [10.0, 5.0, 3.0, 1.0]
+    sample = dblp_like(entries=40, seed=3)
+    result = advise_views(workload, weights=weights, max_views=2, sample=sample)
+    print(f"sample document: {sample.size()} nodes; budget: 2 views")
+    for index, view in enumerate(result.views):
+        queries = sorted(view.covered)
+        print(f"  view {index}: {to_xpath(view.pattern)} "
+              f"(stores ~{view.cost:.0f} nodes, answers queries {queries})")
+    print(f"uncovered queries: {result.uncovered or 'none'}")
+
+
+def main() -> None:
+    contained_demo()
+    union_demo()
+    advisor_demo()
+
+
+if __name__ == "__main__":
+    main()

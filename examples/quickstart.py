@@ -1,0 +1,59 @@
+"""Quickstart: rewrite an XPath query using a materialized view.
+
+Run:  python examples/quickstart.py
+
+Walks the full pipeline of the paper on the Figure 1/2 instance:
+parse a query ``P`` and a view ``V``, ask the solver for an equivalent
+rewriting ``R`` (``R ∘ V ≡ P``), then check Proposition 2.4 concretely:
+``R(V(t)) = P(t)`` on an actual document.
+"""
+
+from repro import (
+    compose,
+    equivalent,
+    evaluate,
+    evaluate_forest,
+    find_rewriting,
+    parse_pattern,
+    parse_sexpr,
+    to_xpath,
+)
+
+
+def main() -> None:
+    # The paper's Figure 1/2 instance (reconstruction).
+    query = parse_pattern("a[b]//*/e[d]")
+    view = parse_pattern("a[b]/*")
+    print(f"query P = {to_xpath(query)}")
+    print(f"view  V = {to_xpath(view)}")
+
+    # 1. Decide rewriting existence (Sections 4-5 of the paper).
+    result = find_rewriting(query, view)
+    print(f"\nsolver status : {result.status.value}")
+    print(f"decisive rule : {result.rule}")
+    print(f"equivalence tests used: {result.equivalence_tests}")
+    rewriting = result.rewriting
+    print(f"rewriting R   = {to_xpath(rewriting)}")
+
+    # 2. The defining equation R ∘ V ≡ P.
+    composition = compose(rewriting, view)
+    print(f"\nR ∘ V = {to_xpath(composition)}")
+    print(f"R ∘ V ≡ P: {equivalent(composition, query)}")
+
+    # 3. Proposition 2.4 on a concrete document.
+    document = parse_sexpr("a(b,x(y(e(d),q),e(d)),z(e))")
+    print("\ndocument t:")
+    print(document.render())
+
+    direct = evaluate(query, document)
+    materialized = evaluate(view, document)  # V(t), stored once
+    via_view = evaluate_forest(rewriting, materialized)  # R(V(t))
+
+    print(f"\n|V(t)| = {len(materialized)} stored subtrees")
+    print(f"P(t)    = {sorted(node.label for node in direct)}")
+    print(f"R(V(t)) = {sorted(node.label for node in via_view)}")
+    print(f"R(V(t)) == P(t): {via_view == direct}")
+
+
+if __name__ == "__main__":
+    main()

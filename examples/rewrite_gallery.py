@@ -1,0 +1,48 @@
+"""A gallery of rewriting decisions across the paper's case analysis.
+
+Run:  python examples/rewrite_gallery.py
+
+Feeds the solver a spectrum of (query, view) instances — one per
+theorem/corollary of Sections 4–5 plus the degenerate and open cases —
+and prints the decision, the decisive rule and the derivation trace.
+"""
+
+from repro import find_rewriting, parse_pattern, to_xpath
+from repro.core.rewrite import RewriteSolver
+
+GALLERY = [
+    ("natural candidate hit", "a/b[x]/c", "a/b"),
+    ("relaxed candidate hit (Fig 2)", "a[b]//*/e[d]", "a[b]/*"),
+    ("Prop 3.1 depth refutation", "a/b", "a/b/c"),
+    ("Prop 3.1 label refutation", "a/b/c/d", "a/x/y"),
+    ("wildcard k-node refutation", "a/*/c", "a/b"),
+    ("Thm 4.3 (stable sub-query)", "a//e/d", "a/*"),
+    ("Thm 4.4 (child-edge prefix)", "a/*/c", "a/*[x]"),
+    ("Thm 4.9 (// into out(V))", "a//*/*", "a//*[x]"),
+    ("Thm 4.10 (child-edge view)", "a//*/e", "a/*[x]"),
+    ("Thm 4.16 (corresponding //)", "a/*//*[e]/*/e", "a/*//*/*"),
+    ("Cor 5.7 (ignore upper //)", "a//*[e]/*/*/e", "a/*//*/*"),
+    ("§5.3 lift at a Σ-label", "a/*//*[e]/*/c//e", "a/*//*/*"),
+    ("open case (no certificate)", "a//*[e]/*[e]/*//e", "a/*//*/*"),
+]
+
+
+def main() -> None:
+    solver = RewriteSolver(fallback_extra_nodes=1)
+    for title, query_text, view_text in GALLERY:
+        query = parse_pattern(query_text)
+        view = parse_pattern(view_text)
+        result = solver.solve(query, view)
+        rewriting = to_xpath(result.rewriting) if result.rewriting else "-"
+        print(f"== {title}")
+        print(f"   P = {query_text:<24} V = {view_text}")
+        print(f"   -> {result.status.value:<14} rule: {result.rule}")
+        if result.found:
+            print(f"   -> R = {rewriting}")
+        for line in result.trace:
+            print(f"      . {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that editable installs work in offline environments whose
+setuptools lacks wheel support (``python setup.py develop`` or
+``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

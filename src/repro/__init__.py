@@ -1,0 +1,176 @@
+"""repro — a reproduction of *On Rewriting XPath Queries Using Views*
+(Afrati, Chirkova, Gergatsoulis, Kimelfeld, Pavlaki, Sagiv; EDBT 2009).
+
+The library implements, from scratch:
+
+* the XPath fragment ``XP{//,[],*}`` (tree patterns with child edges,
+  descendant edges, branches and wildcards) with parsing, serialization
+  and evaluation over XML trees;
+* containment and equivalence engines (PTIME homomorphism test, complete
+  coNP canonical-model test, weak variants);
+* the paper's rewriting machinery: pattern composition, selection-path
+  toolkit, natural candidates, completeness certificates and the full
+  rewriting solver, plus the decidability fallback of Proposition 3.4;
+* a materialized-view query engine (view store, cache, multi-view
+  planner) built on the rewriting solver;
+* workload generators and the paper-figure reconstructions used by the
+  benchmark suite.
+
+Quickstart
+----------
+>>> from repro import parse_pattern, find_rewriting, compose, equivalent
+>>> P = parse_pattern("a//*/e")
+>>> V = parse_pattern("a/*")
+>>> result = find_rewriting(P, V)
+>>> result.found
+True
+>>> equivalent(compose(result.rewriting, V), P)
+True
+"""
+
+from .errors import (
+    CompositionError,
+    ContainmentBudgetError,
+    DocumentSyntaxError,
+    EmptyPatternError,
+    PatternStructureError,
+    PatternSyntaxError,
+    ReproError,
+    RewriteBudgetError,
+    UnknownViewError,
+    ViewEngineError,
+    WorkloadError,
+)
+from .patterns import (
+    Axis,
+    EMPTY_PATTERN,
+    Fragment,
+    Pattern,
+    PatternBuilder,
+    PatternConfig,
+    PNode,
+    WILDCARD,
+    classify,
+    homomorphism_complete,
+    in_fragment,
+    parse_pattern,
+    pat,
+    random_pattern,
+    random_rewrite_instance,
+    to_grammar,
+    to_xpath,
+)
+from .xmltree import (
+    BOTTOM_LABEL,
+    TNode,
+    XMLTree,
+    build_tree,
+    dblp_like,
+    parse_sexpr,
+    parse_xml,
+    random_tree,
+    to_sexpr,
+    to_xml,
+    tree_from_tuples,
+    xmark_like,
+)
+from .core import (
+    RewriteResult,
+    RewriteSolver,
+    RewriteStatus,
+    canonical_models,
+    compose,
+    contains,
+    equivalent,
+    evaluate,
+    evaluate_forest,
+    find_embedding,
+    find_rewriting,
+    glb,
+    is_in_gnf,
+    is_model,
+    is_stable,
+    minimize,
+    natural_candidates,
+    relax_root,
+    star_length,
+    sub_ge,
+    sub_le,
+    tau,
+    weakly_contains,
+    weakly_equivalent,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "PatternSyntaxError",
+    "PatternStructureError",
+    "EmptyPatternError",
+    "CompositionError",
+    "ContainmentBudgetError",
+    "RewriteBudgetError",
+    "ViewEngineError",
+    "UnknownViewError",
+    "DocumentSyntaxError",
+    "WorkloadError",
+    # patterns
+    "Axis",
+    "EMPTY_PATTERN",
+    "Fragment",
+    "Pattern",
+    "PatternBuilder",
+    "PatternConfig",
+    "PNode",
+    "WILDCARD",
+    "classify",
+    "homomorphism_complete",
+    "in_fragment",
+    "parse_pattern",
+    "pat",
+    "random_pattern",
+    "random_rewrite_instance",
+    "to_grammar",
+    "to_xpath",
+    # xmltree
+    "BOTTOM_LABEL",
+    "TNode",
+    "XMLTree",
+    "build_tree",
+    "dblp_like",
+    "parse_sexpr",
+    "parse_xml",
+    "random_tree",
+    "to_sexpr",
+    "to_xml",
+    "tree_from_tuples",
+    "xmark_like",
+    # core
+    "RewriteResult",
+    "RewriteSolver",
+    "RewriteStatus",
+    "canonical_models",
+    "compose",
+    "contains",
+    "equivalent",
+    "evaluate",
+    "evaluate_forest",
+    "find_embedding",
+    "find_rewriting",
+    "glb",
+    "is_in_gnf",
+    "is_model",
+    "is_stable",
+    "minimize",
+    "natural_candidates",
+    "relax_root",
+    "star_length",
+    "sub_ge",
+    "sub_le",
+    "tau",
+    "weakly_contains",
+    "weakly_equivalent",
+]

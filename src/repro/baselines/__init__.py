@@ -1,0 +1,23 @@
+"""Baseline algorithms the paper compares against or builds upon.
+
+* :mod:`xu_ozsoyoglu` — the [17]-style PTIME rewriting algorithm for the
+  three sub-fragments (benchmark C2's polynomial side).
+* :mod:`linear` — word-automaton containment for ``XP{//,*}``, where the
+  homomorphism test is incomplete.
+* The Prop 3.4 brute-force search lives in :mod:`repro.core.decide` and
+  is re-exported here as the naive baseline.
+"""
+
+from ..core.decide import SearchOutcome, exhaustive_search
+from .linear import linear_containment, linear_equivalent
+from .xu_ozsoyoglu import BaselineResult, ptime_fragment, rewrite_ptime
+
+__all__ = [
+    "BaselineResult",
+    "ptime_fragment",
+    "rewrite_ptime",
+    "linear_containment",
+    "linear_equivalent",
+    "SearchOutcome",
+    "exhaustive_search",
+]

@@ -1,0 +1,119 @@
+"""Containment of *linear* patterns (``XP{//,*}``) via word automata.
+
+For branch-free patterns, an output node is selected by the sequence of
+labels on the root-to-node path alone, so a linear pattern denotes a
+language of *words* over Σ: ``p`` matches ``w0 … wm`` iff positions
+``0 = i0 < i1 < … < in = m`` exist with label compatibility at each
+``ij``, adjacent positions for child edges and strictly increasing
+positions for descendant edges.  Containment ``p ⊑ q`` is then language
+inclusion ``L(p) ⊆ L(q)``.
+
+This matters because the homomorphism test is **incomplete** on
+``XP{//,*}`` (``a//*/e ⊑ a/*//e`` with no homomorphism) even though
+containment is tractable there; this module provides the dedicated
+decision procedure used by the [17]-style baseline rewriter.
+
+Implementation: both patterns compile to small NFAs; inclusion is checked
+by a product search of ``p``'s NFA against the determinized subset
+automaton of ``q``, over the finite alphabet of mentioned labels plus one
+fresh symbol (a standard sufficiency argument: unmentioned labels are
+interchangeable).  The subset construction is worst-case exponential in
+``|q|`` but tiny for realistic patterns.
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternStructureError
+from ..patterns.ast import Axis, Pattern, WILDCARD
+from ..xmltree.node import BOTTOM_LABEL
+
+__all__ = ["linear_containment", "linear_equivalent"]
+
+
+class _WordNFA:
+    """NFA over label-words for one linear pattern.
+
+    States: ``-1`` (initial, nothing consumed), ``2j`` ("matched node j"),
+    ``2j+1`` ("inside the descendant gap before node j+1").  The accepting
+    state is ``2n`` for a pattern with nodes ``0..n``.
+    """
+
+    def __init__(self, pattern: Pattern):
+        if pattern.is_empty:
+            raise PatternStructureError("empty pattern has no word automaton")
+        if not pattern.is_linear():
+            raise PatternStructureError(
+                "word-automaton containment requires linear patterns"
+            )
+        path = pattern.selection_path()
+        if path[-1] is not pattern.output or len(path) != pattern.size():
+            # Defensive: linearity plus output-on-path implies this.
+            raise PatternStructureError("linear pattern must end at its output")
+        self.labels = [node.label for node in path]
+        self.axes = pattern.selection_axes()
+        self.n = len(self.labels) - 1
+        self.accepting = 2 * self.n
+
+    def step(self, state: int, symbol: str) -> list[int]:
+        """All successor states after consuming ``symbol``."""
+        if state == -1:
+            return [0] if self._match(0, symbol) else []
+        if state % 2 == 1:  # inside gap before node j+1
+            j = state // 2
+            result = [state]
+            if self._match(j + 1, symbol):
+                result.append(2 * (j + 1))
+            return result
+        j = state // 2  # at node j
+        if j == self.n:
+            return []
+        axis = self.axes[j]
+        result = []
+        if self._match(j + 1, symbol):
+            result.append(2 * (j + 1))
+        if axis is Axis.DESCENDANT:
+            result.append(2 * j + 1)  # enter the gap
+        return result
+
+    def _match(self, index: int, symbol: str) -> bool:
+        label = self.labels[index]
+        return label == WILDCARD or label == symbol
+
+
+def linear_containment(p: Pattern, q: Pattern) -> bool:
+    """Decide ``p ⊑ q`` for linear patterns by language inclusion.
+
+    Raises :class:`PatternStructureError` if either pattern branches.
+    """
+    if p.is_empty:
+        return True
+    if q.is_empty:
+        return False
+    nfa_p = _WordNFA(p)
+    nfa_q = _WordNFA(q)
+    alphabet = sorted(set(nfa_p.labels) | set(nfa_q.labels) - {WILDCARD})
+    alphabet = [l for l in alphabet if l != WILDCARD] + [BOTTOM_LABEL]
+
+    # Search for a word accepted by p but not by q.
+    start = (-1, frozenset({-1}))
+    seen = {start}
+    stack = [start]
+    while stack:
+        p_state, q_subset = stack.pop()
+        for symbol in alphabet:
+            for p_next in nfa_p.step(p_state, symbol):
+                q_next = frozenset(
+                    succ for qs in q_subset for succ in nfa_q.step(qs, symbol)
+                )
+                if p_next == nfa_p.accepting and nfa_q.accepting not in q_next:
+                    return False  # counterexample word exists
+                state = (p_next, q_next)
+                if state not in seen:
+                    seen.add(state)
+                    stack.append(state)
+    return True
+
+
+def linear_equivalent(p: Pattern, q: Pattern) -> bool:
+    """Equivalence of linear patterns: inclusion both ways."""
+    return linear_containment(p, q) and linear_containment(q, p)

@@ -1,0 +1,117 @@
+"""PTIME rewriting baseline for the three sub-fragments (after [17]).
+
+Xu and Özsoyoglu showed that the rewriting problem is PTIME on each of
+the sub-fragments ``XP{//,[]}``, ``XP{//,*}`` and ``XP{[],*}`` because
+equivalence is tractable there.  This baseline mirrors that algorithm:
+
+* test the natural candidates (``P≥k`` and, where needed, ``P≥k_r//``)
+  with a fragment-appropriate PTIME equivalence procedure —
+  homomorphisms for ``XP{//,[]}`` / ``XP{[],*}``, the word-automaton
+  inclusion of :mod:`repro.baselines.linear` for ``XP{//,*}``;
+* candidate completeness within each fragment follows from the paper's
+  own theorems: Thm 4.3 for wildcard-free queries (the k-node label is in
+  Σ, so ``P≥k`` is stable), Thm 4.4 for descendant-free queries (the
+  selection prefix has only child edges), and Thm 5.4 for branch-free
+  queries (linear patterns are always in GNF/∗).
+
+The baseline exists to reproduce the paper's complexity landscape
+(benchmark C2): it must agree with the general solver on fragment
+instances while running in polynomial time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PatternStructureError
+from ..core.candidates import natural_candidates
+from ..core.composition import compose
+from ..core.containment import hom_exists
+from ..patterns.ast import Pattern
+from ..patterns.fragments import uses_predicate
+from .linear import linear_equivalent
+
+__all__ = ["BaselineResult", "ptime_fragment", "rewrite_ptime"]
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of the PTIME baseline.
+
+    ``rewriting`` is None when no rewriting exists (definitive within the
+    supported fragments).  ``fragment`` names the sub-fragment used;
+    ``equivalence_tests`` counts PTIME equivalence checks.
+    """
+
+    rewriting: Pattern | None
+    fragment: str
+    equivalence_tests: int
+
+
+def ptime_fragment(query: Pattern, view: Pattern) -> str | None:
+    """Which PTIME sub-fragment the instance falls in, if any.
+
+    Returns ``"XP{//,[]}"``, ``"XP{[],*}"``, ``"XP{//,*}"`` or None.
+    Preference order puts the homomorphism-friendly fragments first.
+    """
+    if not query.has_wildcard() and not view.has_wildcard():
+        return "XP{//,[]}"
+    if not query.has_descendant_edge() and not view.has_descendant_edge():
+        return "XP{[],*}"
+    if not uses_predicate(query) and not uses_predicate(view):
+        # Predicate-free means both are paths with the output at the end,
+        # exactly what the word-automaton procedure needs.
+        return "XP{//,*}"
+    return None
+
+
+def _hom_equivalent(p: Pattern, q: Pattern) -> bool:
+    """PTIME equivalence by homomorphisms in both directions."""
+    if p.is_empty or q.is_empty:
+        return p.is_empty and q.is_empty
+    return hom_exists(q, p) and hom_exists(p, q)
+
+
+def rewrite_ptime(query: Pattern, view: Pattern) -> BaselineResult:
+    """Decide rewriting existence for a PTIME sub-fragment instance.
+
+    Raises
+    ------
+    PatternStructureError
+        If the instance does not fit any of the three sub-fragments
+        (use the general solver instead).
+    """
+    fragment = ptime_fragment(query, view)
+    if fragment is None:
+        raise PatternStructureError(
+            "instance is not in a PTIME sub-fragment; use RewriteSolver"
+        )
+    if query.is_empty:
+        return BaselineResult(Pattern.empty(), fragment, 0)
+    if view.is_empty or view.depth > query.depth:
+        return BaselineResult(None, fragment, 0)
+
+    if fragment == "XP{//,*}":
+        equivalence = linear_equivalent
+        candidates = natural_candidates(query, view.depth)
+    elif fragment == "XP{//,[]}":
+        equivalence = _hom_equivalent
+        # Wildcard-free: P≥k is stable (Thm 4.3), so it alone is complete.
+        candidates = natural_candidates(query, view.depth)[:1]
+    else:  # XP{[],*}
+        equivalence = _hom_equivalent
+        # Descendant-free: Thm 4.4 makes P≥k complete, and relaxing would
+        # leave the fragment anyway.
+        candidates = natural_candidates(query, view.depth)[:1]
+
+    tests = 0
+    for candidate in candidates:
+        tests += 1
+        composition = compose(candidate, view)
+        if composition.is_empty:
+            continue
+        if fragment == "XP{//,*}" and uses_predicate(composition):
+            continue  # defensive; compositions of path patterns are paths
+        if equivalence(composition, query):
+            return BaselineResult(candidate, fragment, tests)
+    return BaselineResult(None, fragment, tests)

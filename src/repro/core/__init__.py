@@ -1,0 +1,150 @@
+"""Core algorithms: the paper's contribution.
+
+Sub-modules map to paper sections:
+
+* :mod:`embedding` — Definition 2.1 (embeddings, ``P(t)``, ``P^w(t)``).
+* :mod:`canonical` — canonical models and ``τ`` (Section 2.1).
+* :mod:`containment` — ``⊑``, ``≡``, ``⊑w``, ``≡w`` (Section 2.2, [14]).
+* :mod:`composition` — ``glb`` and ``R ∘ V`` (Section 2.3).
+* :mod:`selection` — ``P≥k``/``P≤k``/``=k⇒`` (Section 3.1).
+* :mod:`transform` — ``Q_r//``, ``l//Q``, ``Q+l``, ``Q^{j→}`` (§4, §5.2, §5.3).
+* :mod:`stability` — Proposition 4.1, GNF/∗ (Definition 5.3).
+* :mod:`candidates` — natural rewriting candidates (Section 4).
+* :mod:`minimize` — non-redundancy (after [10], for Prop 3.4).
+* :mod:`decide` — bounded exhaustive search (Proposition 3.4).
+* :mod:`rewrite` — the full solver (Sections 4–5).
+* :mod:`oracle` — brute-force semantic cross-checks (test infrastructure).
+"""
+
+from .embedding import (
+    Matcher,
+    evaluate,
+    evaluate_forest,
+    find_embedding,
+    is_model,
+    weak_output_images,
+)
+from .canonical import (
+    CanonicalModel,
+    canonical_models,
+    count_canonical_models,
+    star_length,
+    tau,
+)
+from .containment import (
+    STATS,
+    ContainmentStats,
+    canonical_containment,
+    clear_cache,
+    contains,
+    equivalent,
+    expansion_bound,
+    hom_containment,
+    hom_exists,
+    weakly_contains,
+    weakly_equivalent,
+)
+from .composition import compose, glb
+from .selection import (
+    combine,
+    last_descendant_selection_depth,
+    selection_prefix_all_child,
+    sub_ge,
+    sub_gt,
+    sub_le,
+    sub_lt,
+)
+from .transform import extend, label_descendant, lift_output, relax_root
+from .stability import gnf_witnesses, is_in_gnf, is_stable
+from .candidates import is_natural_candidate, natural_candidates
+from .minimize import is_non_redundant, minimize, redundant_branches
+from .decide import SearchOutcome, enumerate_candidates, exhaustive_search
+from .rewrite import RewriteResult, RewriteSolver, RewriteStatus, find_rewriting
+from .oracle import (
+    contains_bounded,
+    enumerate_trees,
+    equivalent_bounded,
+    find_counterexample,
+    oracle_alphabet,
+)
+from .contained import (
+    UnionRewriting,
+    contained_rewritings,
+    find_union_rewriting,
+    union_contains,
+)
+
+__all__ = [
+    # embedding
+    "Matcher",
+    "evaluate",
+    "evaluate_forest",
+    "find_embedding",
+    "is_model",
+    "weak_output_images",
+    # canonical
+    "CanonicalModel",
+    "canonical_models",
+    "count_canonical_models",
+    "star_length",
+    "tau",
+    # containment
+    "STATS",
+    "ContainmentStats",
+    "canonical_containment",
+    "clear_cache",
+    "contains",
+    "equivalent",
+    "expansion_bound",
+    "hom_containment",
+    "hom_exists",
+    "weakly_contains",
+    "weakly_equivalent",
+    # composition
+    "compose",
+    "glb",
+    # selection
+    "combine",
+    "last_descendant_selection_depth",
+    "selection_prefix_all_child",
+    "sub_ge",
+    "sub_gt",
+    "sub_le",
+    "sub_lt",
+    # transform
+    "extend",
+    "label_descendant",
+    "lift_output",
+    "relax_root",
+    # stability
+    "gnf_witnesses",
+    "is_in_gnf",
+    "is_stable",
+    # candidates
+    "is_natural_candidate",
+    "natural_candidates",
+    # minimize
+    "is_non_redundant",
+    "minimize",
+    "redundant_branches",
+    # decide
+    "SearchOutcome",
+    "enumerate_candidates",
+    "exhaustive_search",
+    # rewrite
+    "RewriteResult",
+    "RewriteSolver",
+    "RewriteStatus",
+    "find_rewriting",
+    # oracle
+    "contains_bounded",
+    "enumerate_trees",
+    "equivalent_bounded",
+    "find_counterexample",
+    "oracle_alphabet",
+    # contained / union rewritings (§6 open problems 3 and 5)
+    "UnionRewriting",
+    "contained_rewritings",
+    "find_union_rewriting",
+    "union_contains",
+]

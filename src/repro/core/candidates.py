@@ -1,0 +1,48 @@
+"""Natural rewriting candidates (paper Section 4).
+
+For a query ``P`` of depth ``d`` and a view ``V`` of depth ``k ≤ d``, the
+*natural candidates* are ``P≥k`` and ``P≥k_r//`` — the k-sub-pattern of
+``P`` and its root-edge-relaxed variant.  Both are constructible in time
+linear in ``|P|``, which benchmark C1 measures.
+
+A candidate ``R'`` is a *rewriting* iff ``R' ∘ V ≡ P``; it is a
+*potential rewriting* when the paper's completeness conditions guarantee
+that if ``R'`` fails, no rewriting exists at all.
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternStructureError
+from ..patterns.ast import Pattern
+from .selection import sub_ge
+from .transform import relax_root
+
+__all__ = ["natural_candidates", "is_natural_candidate"]
+
+
+def natural_candidates(query: Pattern, view_depth: int) -> list[Pattern]:
+    """The natural candidates ``[P≥k, P≥k_r//]`` (deduplicated).
+
+    When all edges leaving the k-node are already descendant edges the
+    two candidates coincide and a single pattern is returned.
+
+    Raises
+    ------
+    PatternStructureError
+        If ``view_depth`` exceeds the query depth (no rewriting can exist
+        then, by Proposition 3.1; candidates are undefined).
+    """
+    if view_depth > query.depth:
+        raise PatternStructureError(
+            f"view depth {view_depth} exceeds query depth {query.depth}"
+        )
+    base = sub_ge(query, view_depth)
+    relaxed = relax_root(base)
+    if relaxed == base:
+        return [base]
+    return [base, relaxed]
+
+
+def is_natural_candidate(candidate: Pattern, query: Pattern, view_depth: int) -> bool:
+    """Is ``candidate`` (isomorphic to) one of the natural candidates?"""
+    return any(candidate == c for c in natural_candidates(query, view_depth))

@@ -1,0 +1,165 @@
+"""Canonical models of patterns (paper Section 2.1).
+
+A *canonical model* of a pattern ``P`` is a tree obtained by (1) replacing
+every wildcard with the special label ⊥, and (2) replacing every
+descendant edge with a path of one or more edges whose interior nodes are
+labeled ⊥.  ``τ(P)`` — every descendant edge instantiated with a single
+edge — is the *minimal* canonical model (footnote 1 of the paper).
+
+Canonical models come with a distinguished node: the image of the
+pattern's output node.  Containment testing (Section 2.2, after [14])
+quantifies over canonical models whose expansion lengths are bounded by a
+function of the containing pattern — see :mod:`repro.core.containment`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..xmltree.node import BOTTOM_LABEL, TNode
+from ..xmltree.tree import XMLTree
+
+__all__ = [
+    "CanonicalModel",
+    "tau",
+    "canonical_models",
+    "count_canonical_models",
+    "star_length",
+]
+
+
+@dataclass
+class CanonicalModel:
+    """A canonical model with its distinguished output node.
+
+    Attributes
+    ----------
+    tree:
+        The instantiated document tree.
+    output:
+        The tree node corresponding to the pattern's output node.
+    node_map:
+        Mapping from pattern nodes to their corresponding tree nodes.
+    expansion:
+        The chosen path length for each descendant edge, keyed by
+        ``(id(parent), id(child))`` of the pattern edge.
+    """
+
+    tree: XMLTree
+    output: TNode
+    node_map: dict[PNode, TNode]
+    expansion: dict[tuple[int, int], int]
+
+
+def _instantiate(
+    pattern: Pattern, lengths: dict[tuple[int, int], int]
+) -> CanonicalModel:
+    """Build the canonical model for the given descendant-edge lengths."""
+    node_map: dict[PNode, TNode] = {}
+
+    def rec(pnode: PNode) -> TNode:
+        label = BOTTOM_LABEL if pnode.label == WILDCARD else pnode.label
+        tnode = TNode(label)
+        node_map[pnode] = tnode
+        for axis, pchild in pnode.edges:
+            sub = rec(pchild)
+            if axis is Axis.CHILD:
+                tnode.add_child(sub)
+            else:
+                length = lengths[(id(pnode), id(pchild))]
+                anchor = tnode
+                for _ in range(length - 1):
+                    anchor = anchor.new_child(BOTTOM_LABEL)
+                anchor.add_child(sub)
+        return tnode
+
+    root = rec(pattern.root)  # type: ignore[arg-type]
+    return CanonicalModel(
+        tree=XMLTree(root),
+        output=node_map[pattern.output],  # type: ignore[index]
+        node_map=node_map,
+        expansion=dict(lengths),
+    )
+
+
+def tau(pattern: Pattern) -> CanonicalModel:
+    """The transformation ``τ``: the minimal canonical model.
+
+    Every wildcard becomes ⊥ and every descendant edge is instantiated
+    with a single edge.  Each pattern node has exactly one corresponding
+    tree node (returned in ``node_map``).
+    """
+    pattern._require_nonempty()
+    lengths = {
+        (id(parent), id(child)): 1
+        for parent, axis, child in pattern.edges()
+        if axis is Axis.DESCENDANT
+    }
+    return _instantiate(pattern, lengths)
+
+
+def descendant_edges(pattern: Pattern) -> list[tuple[PNode, PNode]]:
+    """All descendant edges of the pattern as ``(parent, child)`` pairs."""
+    return [
+        (parent, child)
+        for parent, axis, child in pattern.edges()
+        if axis is Axis.DESCENDANT
+    ]
+
+
+def canonical_models(
+    pattern: Pattern, max_length: int
+) -> Iterator[CanonicalModel]:
+    """Enumerate canonical models with expansions in ``1..max_length``.
+
+    The number of models is ``max_length ** (#descendant edges)`` — the
+    exponential heart of the coNP containment test.
+    """
+    pattern._require_nonempty()
+    if max_length < 1:
+        raise ValueError("max_length must be >= 1")
+    edges = descendant_edges(pattern)
+    keys = [(id(parent), id(child)) for parent, child in edges]
+    for combo in itertools.product(range(1, max_length + 1), repeat=len(edges)):
+        yield _instantiate(pattern, dict(zip(keys, combo)))
+
+
+def count_canonical_models(pattern: Pattern, max_length: int) -> int:
+    """Number of canonical models enumerated for the given bound."""
+    if pattern.is_empty:
+        return 0
+    return max_length ** len(descendant_edges(pattern))
+
+
+def star_length(pattern: Pattern) -> int:
+    """The longest chain of wildcard nodes joined by child edges.
+
+    This is the quantity (``w`` in [14]) that bounds the descendant-edge
+    expansion lengths a containment test must consider: a ⊥-path longer
+    than every star chain of the containing pattern can always absorb
+    extra length through one of its descendant edges.
+    """
+    if pattern.is_empty:
+        return 0
+    best = 0
+    chain: dict[int, int] = {}
+
+    def rec(node: PNode) -> None:
+        nonlocal best
+        for _, child in node.edges:
+            rec(child)
+        if node.label == WILDCARD:
+            longest_child = 0
+            for axis, child in node.edges:
+                if axis is Axis.CHILD and child.label == WILDCARD:
+                    longest_child = max(longest_child, chain[id(child)])
+            chain[id(node)] = 1 + longest_child
+            best = max(best, chain[id(node)])
+        else:
+            chain[id(node)] = 0
+
+    rec(pattern.root)  # type: ignore[arg-type]
+    return best

@@ -1,0 +1,60 @@
+"""Pattern composition ``R ∘ V`` (paper Section 2.3).
+
+The greatest lower bound of two labels (``glb``) merges the output node of
+``V`` with the root of ``R``; when the labels are incompatible the result
+is the empty pattern Υ.  Proposition 2.4 — ``R ∘ V (t) = R(V(t))`` for all
+trees — is the semantic justification for view-based rewriting and is
+verified by the test suite using the embedding engine.
+"""
+
+from __future__ import annotations
+
+from ..patterns.ast import Pattern, WILDCARD
+
+__all__ = ["glb", "compose"]
+
+
+def glb(label1: str, label2: str) -> str | None:
+    """Greatest lower bound of two labels (Section 2.3).
+
+    ``glb(l, l) = glb(l, *) = glb(*, l) = l``; two distinct Σ-labels have
+    no lower bound — the paper writes ``3``, we return None.
+    """
+    if label1 == label2:
+        return label1
+    if label1 == WILDCARD:
+        return label2
+    if label2 == WILDCARD:
+        return label1
+    return None
+
+
+def compose(rewriting: Pattern, view: Pattern) -> Pattern:
+    """The composition ``R ∘ V``: merge ``out(V)`` with ``root(R)``.
+
+    Returns the empty pattern Υ when either input is Υ or when the merged
+    labels are incompatible.  The result has the root of ``V`` and the
+    output of ``R`` (the merged node itself when ``root(R) = out(R)``).
+
+    Both inputs are copied; the result shares no nodes with them.
+    """
+    if rewriting.is_empty or view.is_empty:
+        return Pattern.empty()
+
+    merged_label = glb(rewriting.root.label, view.output.label)  # type: ignore[union-attr]
+    if merged_label is None:
+        return Pattern.empty()
+
+    view_copy, view_map = view.copy_with_map()
+    rew_copy, rew_map = rewriting.copy_with_map()
+
+    merged = view_map[view.output]  # type: ignore[index]
+    merged.label = merged_label
+    # The merged node keeps out(V)'s branches and gains root(R)'s edges.
+    merged.edges.extend(rew_copy.root.edges)  # type: ignore[union-attr]
+
+    if rewriting.root is rewriting.output:
+        output = merged
+    else:
+        output = rew_map[rewriting.output]  # type: ignore[index]
+    return Pattern(view_copy.root, output)

@@ -1,0 +1,195 @@
+"""Contained and union rewritings (paper §6, open problems 3 and 5).
+
+The paper's conclusions list two extensions of the equivalent-rewriting
+problem it leaves open:
+
+* **maximally contained rewritings** (problem 3): patterns ``R`` with
+  ``R ∘ V ⊑ P`` — sound but possibly incomplete view-based answers —
+  maximal under containment;
+* **rewriting using multiple views** (problem 5): combining several
+  views to answer ``P``.
+
+This module implements *bounded* versions of both, on top of the
+library's complete containment machinery:
+
+* :func:`union_contains` decides ``P ⊑ Q1 ∪ … ∪ Qn`` by the canonical-
+  model method — for every canonical model of ``P`` with distinguished
+  output ``o``, *some* ``Qi`` must produce ``o``.  The expansion bound is
+  the maximum over the union members, so the standard pumping argument
+  still applies.
+* :func:`contained_rewritings` searches the Prop 3.4 candidate space for
+  rewritings with ``R ∘ V ⊑ P`` and keeps the maximal ones (within the
+  searched space — the general problem is open, and this is documented
+  as a bounded procedure).
+* :func:`find_union_rewriting` combines per-view contained rewritings
+  into an **equivalent union rewriting**: a set ``{(Ri, Vi)}`` with
+  every ``Ri ∘ Vi ⊑ P`` and ``P ⊑ ∪ Ri ∘ Vi``, so that
+  ``∪ Ri(Vi(t)) = P(t)`` for all ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import RewriteBudgetError
+from ..patterns.ast import Pattern
+from .canonical import canonical_models, count_canonical_models, star_length
+from .composition import compose
+from .containment import contains, expansion_bound
+from .decide import enumerate_candidates
+from .embedding import Matcher
+
+__all__ = [
+    "union_contains",
+    "contained_rewritings",
+    "UnionRewriting",
+    "find_union_rewriting",
+]
+
+
+def union_contains(
+    pattern: Pattern,
+    union: Sequence[Pattern],
+    max_models: int | None = None,
+) -> bool:
+    """Decide ``pattern ⊑ Q1 ∪ … ∪ Qn`` (output-wise, over all trees).
+
+    Each canonical model of ``pattern`` (with expansions bounded by the
+    *largest* member bound) must have its distinguished output produced
+    by at least one union member.  With a single member this coincides
+    with :func:`repro.core.containment.contains`.
+    """
+    members = [q for q in union if not q.is_empty]
+    if pattern.is_empty:
+        return True
+    if not members:
+        return False
+    bound = max(expansion_bound(q) for q in members)
+    total = count_canonical_models(pattern, bound)
+    if max_models is not None and total > max_models:
+        raise RewriteBudgetError(
+            f"union containment needs {total} canonical models "
+            f"(budget {max_models})"
+        )
+    for model in canonical_models(pattern, bound):
+        if not any(
+            model.output in Matcher(q, model.tree).output_images()
+            for q in members
+        ):
+            return False
+    return True
+
+
+def contained_rewritings(
+    query: Pattern,
+    view: Pattern,
+    max_extra_nodes: int = 1,
+    max_candidates: int | None = 2000,
+) -> list[Pattern]:
+    """Maximal contained rewritings within the bounded candidate space.
+
+    Returns patterns ``R`` with ``Υ ≠ R ∘ V ⊑ P``, keeping only those
+    maximal under containment of their compositions (a bounded take on
+    the paper's open problem 3; candidates follow the Prop 3.1 shape, so
+    genuinely exotic contained rewritings outside that space are not
+    searched).
+    """
+    if query.is_empty or view.is_empty or view.depth > query.depth:
+        return []
+    found: list[tuple[Pattern, Pattern]] = []  # (R, R ∘ V)
+    try:
+        for candidate in enumerate_candidates(
+            query, view, max_extra_nodes=max_extra_nodes,
+            max_candidates=max_candidates,
+        ):
+            composition = compose(candidate, view)
+            if composition.is_empty:
+                continue
+            if contains(composition, query):
+                found.append((candidate, composition))
+    except RewriteBudgetError:
+        pass
+    # Keep maximal elements under containment of compositions.
+    maximal: list[tuple[Pattern, Pattern]] = []
+    for rewriting, composition in found:
+        dominated = False
+        for _, other in found:
+            if other is composition:
+                continue
+            if contains(composition, other) and not contains(other, composition):
+                dominated = True
+                break
+        if not dominated:
+            maximal.append((rewriting, composition))
+    # Deduplicate by composition equivalence, preferring small rewritings.
+    result: list[Pattern] = []
+    seen: list[Pattern] = []
+    for rewriting, composition in sorted(maximal, key=lambda rc: rc[0].size()):
+        if any(
+            contains(composition, prev) and contains(prev, composition)
+            for prev in seen
+        ):
+            continue
+        seen.append(composition)
+        result.append(rewriting)
+    return result
+
+
+@dataclass
+class UnionRewriting:
+    """An equivalent union rewriting: ``∪ Ri(Vi(t)) = P(t)`` for all t.
+
+    Attributes
+    ----------
+    parts:
+        ``(view name, rewriting)`` pairs; every composition is contained
+        in the query and their union covers it.
+    """
+
+    parts: list[tuple[str, Pattern]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.parts)
+
+
+def find_union_rewriting(
+    query: Pattern,
+    views: Sequence[tuple[str, Pattern]],
+    max_extra_nodes: int = 1,
+    max_candidates: int | None = 2000,
+) -> UnionRewriting | None:
+    """An equivalent union rewriting of ``query`` over several views.
+
+    Collects maximal contained rewritings per view, then checks whether
+    the union of their compositions covers the query (via
+    :func:`union_contains`).  Returns None when the searched space does
+    not cover ``query`` — a bounded procedure, per the open problem.
+
+    A single-view equivalent rewriting appears as a one-part union.
+    """
+    if query.is_empty:
+        return UnionRewriting(parts=[])
+    parts: list[tuple[str, Pattern]] = []
+    compositions: list[Pattern] = []
+    for name, view in views:
+        for rewriting in contained_rewritings(
+            query, view, max_extra_nodes=max_extra_nodes,
+            max_candidates=max_candidates,
+        ):
+            parts.append((name, rewriting))
+            compositions.append(compose(rewriting, view))
+    if not compositions:
+        return None
+    if not union_contains(query, compositions):
+        return None
+    # Greedy minimization: drop parts whose removal keeps coverage.
+    index = 0
+    while index < len(parts):
+        trial = compositions[:index] + compositions[index + 1 :]
+        if trial and union_contains(query, trial):
+            del parts[index]
+            del compositions[index]
+        else:
+            index += 1
+    return UnionRewriting(parts=parts)

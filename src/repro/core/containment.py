@@ -1,0 +1,312 @@
+"""Containment and equivalence of patterns (paper Section 2.2).
+
+``P1 ⊑ P2`` iff ``P1(t) ⊆ P2(t)`` for all trees ``t``; weak containment
+``P1 ⊑w P2`` is the same under weak-embedding semantics.  Following [14]
+(and [10] for the weak case), containment is decided on *canonical
+models*: ``P1 ⊑ P2`` iff for every canonical model of ``P1`` (with
+distinguished output ``o``) there is an embedding of ``P2`` producing
+``o``.  Expansion lengths can be bounded by the star length of ``P2``
+(longest child-edge chain of wildcards) plus a constant: a ⊥-path longer
+than every star chain of ``P2`` can absorb extra length via a descendant
+edge, so longer expansions add no new counterexamples.
+
+Two engines are provided:
+
+* :func:`hom_containment` — the PTIME homomorphism test.  Always *sound*
+  for containment; *complete* exactly on the three sub-fragments
+  ``XP{//,[]}``, ``XP{//,*}``, ``XP{[],*}`` [14].  This is the engine
+  behind the paper's PTIME results ([17], Corollary 4.8 context).
+* :func:`canonical_containment` — the complete coNP procedure on all of
+  ``XP{//,[],*}``; cost is exponential in the number of descendant edges
+  of the contained pattern.
+
+:func:`contains` dispatches automatically and memoizes results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ContainmentBudgetError
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..patterns.fragments import homomorphism_complete
+from .canonical import canonical_models, count_canonical_models, star_length
+from .embedding import Matcher
+
+__all__ = [
+    "ContainmentStats",
+    "STATS",
+    "contains",
+    "equivalent",
+    "weakly_contains",
+    "weakly_equivalent",
+    "hom_containment",
+    "canonical_containment",
+    "hom_exists",
+    "clear_cache",
+    "expansion_bound",
+]
+
+
+@dataclass
+class ContainmentStats:
+    """Counters for containment-engine activity (benchmark instrumentation)."""
+
+    hom_tests: int = 0
+    canonical_tests: int = 0
+    canonical_models_checked: int = 0
+    cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.hom_tests = 0
+        self.canonical_tests = 0
+        self.canonical_models_checked = 0
+        self.cache_hits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hom_tests": self.hom_tests,
+            "canonical_tests": self.canonical_tests,
+            "canonical_models_checked": self.canonical_models_checked,
+            "cache_hits": self.cache_hits,
+        }
+
+
+#: Module-level statistics, reset via ``STATS.reset()``.
+STATS = ContainmentStats()
+
+# Result cache keyed by (key1, key2, weak).
+_CACHE: dict[tuple, bool] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized containment results."""
+    _CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# Homomorphism engine (PTIME)
+# ----------------------------------------------------------------------
+
+def hom_exists(src: Pattern, dst: Pattern, require_root: bool = True) -> bool:
+    """Is there a homomorphism from ``src`` to ``dst``?
+
+    A homomorphism maps nodes of ``src`` to nodes of ``dst`` such that
+
+    * non-wildcard labels are preserved,
+    * child edges map to child edges,
+    * descendant edges map to proper-descendant paths (length ≥ 1, any
+      edge types), and
+    * the output of ``src`` maps to the output of ``dst``; the root maps
+      to the root unless ``require_root`` is False (the *weak* variant).
+
+    Existence implies ``dst ⊑ src``.
+    """
+    if src.is_empty or dst.is_empty:
+        # Υ has no nodes: vacuous homomorphism exists only from Υ.
+        return src.is_empty
+    dst_nodes = list(dst.nodes())
+    dst_children: dict[int, list[PNode]] = {}
+    for parent, axis, child in dst.edges():
+        if axis is Axis.CHILD:
+            dst_children.setdefault(id(parent), []).append(child)
+    # strict_below[v] = all nodes strictly below v (any edge types).
+    strict_below: dict[int, set[int]] = {}
+
+    def below(node: PNode) -> set[int]:
+        result: set[int] = set()
+        for _, child in node.edges:
+            result.add(id(child))
+            result |= below(child)
+        strict_below[id(node)] = result
+        return result
+
+    below(dst.root)  # type: ignore[arg-type]
+
+    def compat(n: PNode, v: PNode) -> bool:
+        # The output of src must land on the output of dst; other nodes
+        # are unconstrained (they may share dst's output).
+        if n is src.output and v is not dst.output:
+            return False
+        return n.label == WILDCARD or n.label == v.label
+
+    sat: dict[int, set[int]] = {}
+
+    def rec(n: PNode) -> None:
+        for _, child in n.edges:
+            rec(child)
+        ok: set[int] = set()
+        for v in dst_nodes:
+            if not compat(n, v):
+                continue
+            good = True
+            for axis, child in n.edges:
+                child_sat = sat[id(child)]
+                if axis is Axis.CHILD:
+                    if not any(
+                        id(u) in child_sat for u in dst_children.get(id(v), [])
+                    ):
+                        good = False
+                        break
+                else:
+                    if not (strict_below[id(v)] & child_sat):
+                        good = False
+                        break
+            if good:
+                ok.add(id(v))
+        sat[id(n)] = ok
+
+    rec(src.root)  # type: ignore[arg-type]
+    if require_root:
+        return id(dst.root) in sat[id(src.root)]
+    return bool(sat[id(src.root)])
+
+
+def hom_containment(p1: Pattern, p2: Pattern) -> bool:
+    """The homomorphism test for ``p1 ⊑ p2``: a homomorphism ``p2 → p1``.
+
+    Sound always; complete iff the patterns jointly fit one of the three
+    sub-fragments (use :func:`repro.patterns.homomorphism_complete`).
+    """
+    STATS.hom_tests += 1
+    if p1.is_empty:
+        return True
+    if p2.is_empty:
+        return False
+    return hom_exists(p2, p1)
+
+
+# ----------------------------------------------------------------------
+# Canonical-model engine (complete, coNP)
+# ----------------------------------------------------------------------
+
+def expansion_bound(container: Pattern) -> int:
+    """Descendant-edge expansion bound sufficient for testing ``· ⊑ container``.
+
+    ``star_length(container) + 2``: one more than the longest all-wildcard
+    child chain (the [14] bound), plus a safety margin of one.  Larger
+    bounds only add redundant models (soundness is unaffected).
+    """
+    return star_length(container) + 2
+
+
+def canonical_containment(
+    p1: Pattern,
+    p2: Pattern,
+    weak: bool = False,
+    max_models: int | None = None,
+) -> bool:
+    """Complete containment test: ``p1 ⊑ p2`` (or ``p1 ⊑w p2``).
+
+    Enumerates the canonical models of ``p1`` with expansions bounded by
+    :func:`expansion_bound` of ``p2`` and requires, for each model with
+    distinguished output ``o``, an embedding of ``p2`` producing ``o``
+    (a weak embedding when ``weak=True``).
+
+    Raises
+    ------
+    ContainmentBudgetError
+        If the model count exceeds ``max_models``.
+    """
+    STATS.canonical_tests += 1
+    if p1.is_empty:
+        return True
+    if p2.is_empty:
+        return False
+    bound = expansion_bound(p2)
+    total = count_canonical_models(p1, bound)
+    if max_models is not None and total > max_models:
+        raise ContainmentBudgetError(
+            f"containment test needs {total} canonical models "
+            f"(budget {max_models})"
+        )
+    for model in canonical_models(p1, bound):
+        STATS.canonical_models_checked += 1
+        images = Matcher(p2, model.tree).output_images(weak=weak)
+        if model.output not in images:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Public dispatching API
+# ----------------------------------------------------------------------
+
+def contains(
+    p1: Pattern,
+    p2: Pattern,
+    max_models: int | None = None,
+    use_cache: bool = True,
+) -> bool:
+    """Decide ``p1 ⊑ p2`` (Definition 2.2).  Complete on ``XP{//,[],*}``.
+
+    Strategy: if the pair fits a homomorphism-complete sub-fragment the
+    PTIME test decides; otherwise the homomorphism test is tried as a
+    sufficient condition before falling back to the canonical-model
+    procedure.
+    """
+    if p1.is_empty:
+        return True
+    if p2.is_empty:
+        return False
+    key = (p1.canonical_key(), p2.canonical_key(), False)
+    if use_cache and key in _CACHE:
+        STATS.cache_hits += 1
+        return _CACHE[key]
+    if homomorphism_complete(p1, p2):
+        result = hom_containment(p1, p2)
+    elif hom_containment(p1, p2):
+        result = True
+    else:
+        result = canonical_containment(p1, p2, weak=False, max_models=max_models)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def weakly_contains(
+    p1: Pattern,
+    p2: Pattern,
+    max_models: int | None = None,
+    use_cache: bool = True,
+) -> bool:
+    """Decide weak containment ``p1 ⊑w p2`` (Definition 2.3).
+
+    Uses the weak-homomorphism test (root preservation dropped) as a
+    sufficient fast path, then the canonical-model procedure with weak
+    embeddings ([10] notes the canonical test adapts to weak semantics).
+    """
+    if p1.is_empty:
+        return True
+    if p2.is_empty:
+        return False
+    key = (p1.canonical_key(), p2.canonical_key(), True)
+    if use_cache and key in _CACHE:
+        STATS.cache_hits += 1
+        return _CACHE[key]
+    # Sound fast path: a root-free homomorphism p2 → p1 composes with any
+    # weak embedding of p1 to give a weak embedding of p2.
+    STATS.hom_tests += 1
+    if hom_exists(p2, p1, require_root=False):
+        result = True
+    else:
+        result = canonical_containment(p1, p2, weak=True, max_models=max_models)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def equivalent(p1: Pattern, p2: Pattern, max_models: int | None = None) -> bool:
+    """Decide ``p1 ≡ p2``: containment in both directions."""
+    return contains(p1, p2, max_models=max_models) and contains(
+        p2, p1, max_models=max_models
+    )
+
+
+def weakly_equivalent(
+    p1: Pattern, p2: Pattern, max_models: int | None = None
+) -> bool:
+    """Decide ``p1 ≡w p2``: weak containment in both directions."""
+    return weakly_contains(p1, p2, max_models=max_models) and weakly_contains(
+        p2, p1, max_models=max_models
+    )

@@ -1,0 +1,229 @@
+"""Bounded exhaustive search for rewritings (paper Proposition 3.4).
+
+The paper shows the rewriting-existence problem is *decidable*: any
+rewriting can be assumed non-redundant, with height at most that of
+``P≥k`` and labels contained in those of ``P≥k``; the finitely many such
+patterns (up to isomorphism) can be enumerated and each tested by one
+equivalence check.  The resulting algorithm is doubly exponential — the
+point of the paper's Section 4/5 conditions is to avoid it.
+
+This module implements that search with strong pruning derived from
+Proposition 3.1:
+
+* ``depth(R) = depth(P) - depth(V)`` exactly (Part 1);
+* the selection-path labels of ``R`` are forced by the k-node labels of
+  ``P`` (Part 3), including the root label via the ``glb`` constraint of
+  the composition;
+* selection-edge axes are free (2^(d-k) skeletons);
+* branch decorations are enumerated by increasing extra-node count, with
+  labels from ``labels(P≥k) ∪ {*}`` and the height bound enforced.
+
+The search is *budgeted*: a completed enumeration up to the requested
+extra-node bound that finds nothing is reported as ``exhausted`` —
+definitive only relative to the bound (the true Prop 3.4 bound is
+astronomically larger).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Iterator
+
+from ..errors import RewriteBudgetError
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from .composition import compose, glb
+from .containment import equivalent
+from .selection import sub_ge
+
+__all__ = ["SearchOutcome", "exhaustive_search", "enumerate_candidates"]
+
+
+@dataclass
+class SearchOutcome:
+    """Result of a bounded exhaustive search.
+
+    Attributes
+    ----------
+    rewriting:
+        A verified rewriting, or None.
+    tried:
+        Number of candidate patterns tested.
+    exhausted:
+        True when the whole bounded space was enumerated without finding
+        a rewriting (definitive only up to the bound).
+    """
+
+    rewriting: Pattern | None
+    tried: int
+    exhausted: bool
+
+
+def _root_label_choices(query: Pattern, view: Pattern, k: int) -> list[str]:
+    """Admissible labels for ``root(R)`` given the glb constraint.
+
+    ``glb(root(R), label(out(V)))`` must equal the label of the k-node of
+    ``P`` (Proposition 3.1 Part 3 applied to ``R ∘ V ≡ P``).
+    """
+    target = query.k_node(k).label
+    view_out = view.output.label  # type: ignore[union-attr]
+    choices = []
+    candidates = {target, WILDCARD, view_out}
+    for label in candidates:
+        if glb(label, view_out) == target:
+            choices.append(label)
+    return sorted(set(choices))
+
+
+@lru_cache(maxsize=None)
+def _tree_shapes(
+    n_nodes: int, labels: tuple[str, ...]
+) -> tuple[tuple, ...]:
+    """All axis-typed unordered tree shapes with exactly ``n_nodes`` nodes.
+
+    A shape is ``(label, ((axis_value, child_shape), ...))`` with the
+    child tuple sorted, so isomorphic shapes coincide.
+    """
+    if n_nodes < 1:
+        return ()
+    shapes = []
+    for label in labels:
+        for forest in _forest_shapes(n_nodes - 1, labels):
+            shapes.append((label, forest))
+    return tuple(shapes)
+
+
+@lru_cache(maxsize=None)
+def _forest_shapes(total: int, labels: tuple[str, ...]) -> tuple[tuple, ...]:
+    """Sorted tuples of ``(axis, shape)`` pairs totalling ``total`` nodes."""
+    if total == 0:
+        return ((),)
+    result: set[tuple] = set()
+    for first_size in range(1, total + 1):
+        for shape in _tree_shapes(first_size, labels):
+            for axis in (0, 1):
+                for rest in _forest_shapes(total - first_size, labels):
+                    result.add(tuple(sorted(rest + ((axis, shape),))))
+    return tuple(sorted(result))
+
+
+def _build_shape(shape: tuple) -> PNode:
+    label, children = shape
+    node = PNode(label)
+    for axis_value, child_shape in children:
+        node.add(Axis(axis_value), _build_shape(child_shape))
+    return node
+
+
+def enumerate_candidates(
+    query: Pattern,
+    view: Pattern,
+    max_extra_nodes: int = 2,
+    max_candidates: int | None = None,
+) -> Iterator[Pattern]:
+    """Enumerate candidate rewritings in order of increasing size.
+
+    Candidates satisfy all Prop 3.1-derived constraints; each still needs
+    the (coNP) equivalence check ``R ∘ V ≡ P``.  Patterns are produced
+    without isomorphic duplicates.
+
+    Raises
+    ------
+    RewriteBudgetError
+        When more than ``max_candidates`` candidates would be produced.
+    """
+    d, k = query.depth, view.depth
+    if k > d:
+        return
+    m = d - k  # forced selection-path length of R
+    root_labels = _root_label_choices(query, view, k)
+    if not root_labels:
+        return
+    query_path = query.selection_path()
+    forced = [query_path[k + j].label for j in range(1, m + 1)]
+    base = sub_ge(query, k)
+    max_height = max(base.height(), 1)
+    branch_labels = tuple(sorted(base.labels() | {WILDCARD}))
+
+    produced = 0
+    seen: set[tuple] = set()
+    for extra in range(0, max_extra_nodes + 1):
+        for candidate in _candidates_with_extra(
+            m, root_labels, forced, branch_labels, extra
+        ):
+            if candidate.height() > max_height:
+                continue
+            key = candidate.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            produced += 1
+            if max_candidates is not None and produced > max_candidates:
+                raise RewriteBudgetError(
+                    f"candidate enumeration exceeded budget {max_candidates}"
+                )
+            yield candidate
+
+
+def _candidates_with_extra(
+    m: int,
+    root_labels: list[str],
+    forced: list[str],
+    branch_labels: tuple[str, ...],
+    extra: int,
+) -> Iterator[Pattern]:
+    """Candidates with exactly ``extra`` branch nodes."""
+    anchors = m + 1
+    for root_label in root_labels:
+        for axes in itertools.product((Axis.CHILD, Axis.DESCENDANT), repeat=m):
+            for split in _compositions(extra, anchors):
+                for forests in itertools.product(
+                    *(_forest_shapes(n, branch_labels) for n in split)
+                ):
+                    root = PNode(root_label)
+                    node = root
+                    path = [root]
+                    for axis, label in zip(axes, forced):
+                        node = node.add(axis, PNode(label))
+                        path.append(node)
+                    for anchor, forest in zip(path, forests):
+                        for axis_value, shape in forest:
+                            anchor.add(Axis(axis_value), _build_shape(shape))
+                    yield Pattern(root, path[-1])
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All ways to write ``total`` as an ordered sum of ``parts`` >= 0."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for rest in _compositions(total - head, parts - 1):
+            yield (head,) + rest
+
+
+def exhaustive_search(
+    query: Pattern,
+    view: Pattern,
+    max_extra_nodes: int = 2,
+    max_candidates: int | None = 20000,
+    max_models: int | None = None,
+) -> SearchOutcome:
+    """Search the bounded candidate space for a verified rewriting.
+
+    Returns the first candidate ``R`` with ``R ∘ V ≡ P`` (candidates are
+    ordered by size, so the result is a smallest rewriting within the
+    bound), or an exhausted outcome.
+    """
+    tried = 0
+    try:
+        for candidate in enumerate_candidates(
+            query, view, max_extra_nodes, max_candidates
+        ):
+            tried += 1
+            if equivalent(compose(candidate, view), query, max_models=max_models):
+                return SearchOutcome(rewriting=candidate, tried=tried, exhausted=False)
+    except RewriteBudgetError:
+        return SearchOutcome(rewriting=None, tried=tried, exhausted=False)
+    return SearchOutcome(rewriting=None, tried=tried, exhausted=True)

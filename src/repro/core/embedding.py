@@ -1,0 +1,361 @@
+"""Embeddings and weak embeddings of patterns into trees (Definition 2.1).
+
+An *embedding* of a pattern ``P`` into a tree ``t`` is a mapping
+``e : N(P) → N(t)`` that is root-, label-, child- and
+descendant-preserving.  A *weak embedding* drops root preservation.
+Applying ``P`` to ``t`` yields ``P(t)``: the set of subtrees of ``t``
+rooted at images of the output node; we represent each such subtree by
+its root :class:`~repro.xmltree.node.TNode` (node identity), which makes
+Proposition 2.4 (``R ∘ V (t) = R(V(t))``) directly testable.
+
+The implementation is the standard O(|P|·|t|) bottom-up dynamic program
+for tree-pattern matching, extended with a forward pass along the
+selection path to compute the achievable output images.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..xmltree.node import TNode
+from ..xmltree.tree import XMLTree
+
+__all__ = [
+    "Matcher",
+    "evaluate",
+    "evaluate_forest",
+    "is_model",
+    "weak_output_images",
+    "find_embedding",
+]
+
+
+def _label_ok(pnode: PNode, tnode: TNode) -> bool:
+    return pnode.label == WILDCARD or pnode.label == tnode.label
+
+
+class Matcher:
+    """Precomputed matching tables for one (pattern, tree) pair.
+
+    ``sat(n, v)`` holds iff the subtree of the pattern rooted at ``n``
+    embeds into ``t`` with ``n ↦ v`` (ignoring everything above ``n``).
+    On top of ``sat``, :meth:`output_images` runs a forward pass along the
+    selection path to find all nodes ``o`` such that some (weak) embedding
+    maps the output node to ``o``.
+    """
+
+    def __init__(self, pattern: Pattern, tree: XMLTree | TNode):
+        self.pattern = pattern
+        self.tree_root = tree.root if isinstance(tree, XMLTree) else tree
+        # sat[pnode id] = set of satisfying tree nodes (hashed by identity).
+        self._sat: dict[int, set[TNode]] = {}
+        self._tree_post: list[TNode] = []
+        self._partial_cache: dict[int, set[TNode]] = {}
+        if not pattern.is_empty:
+            self._tree_post = self._tree_postorder()
+            self._compute_sat()
+
+    # ------------------------------------------------------------------
+    # Core tables
+    # ------------------------------------------------------------------
+    def _postorder(self) -> list[PNode]:
+        order: list[PNode] = []
+
+        def rec(node: PNode) -> None:
+            for _, child in node.edges:
+                rec(child)
+            order.append(node)
+
+        rec(self.pattern.root)  # type: ignore[arg-type]
+        return order
+
+    def _compute_sat(self) -> None:
+        tree_postorder = self._tree_post
+        for pnode in self._postorder():
+            satisfying: set[TNode] = set()
+            # For descendant-edge children we need, per tree node v,
+            # whether S_c intersects the strict subtree below v.
+            below: dict[int, set[TNode]] = {}
+            for axis, pchild in pnode.edges:
+                if axis is Axis.DESCENDANT:
+                    below[id(pchild)] = self._exists_below(
+                        self._sat[id(pchild)], tree_postorder
+                    )
+            for tnode in tree_postorder:
+                if not _label_ok(pnode, tnode):
+                    continue
+                ok = True
+                for axis, pchild in pnode.edges:
+                    child_sat = self._sat[id(pchild)]
+                    if axis is Axis.CHILD:
+                        if not any(u in child_sat for u in tnode.children):
+                            ok = False
+                            break
+                    else:
+                        if tnode not in below[id(pchild)]:
+                            ok = False
+                            break
+                if ok:
+                    satisfying.add(tnode)
+            self._sat[id(pnode)] = satisfying
+
+    def _tree_postorder(self) -> list[TNode]:
+        order: list[TNode] = []
+
+        def rec(node: TNode) -> None:
+            for child in node.children:
+                rec(child)
+            order.append(node)
+
+        rec(self.tree_root)
+        return order
+
+    @staticmethod
+    def _exists_below(
+        target: set[TNode], tree_postorder: list[TNode]
+    ) -> set[TNode]:
+        """Tree nodes whose *strict* subtree intersects ``target``."""
+        result: set[TNode] = set()
+        for node in tree_postorder:
+            if any(child in target or child in result for child in node.children):
+                result.add(node)
+        return result
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sat(self, pnode: PNode, tnode: TNode) -> bool:
+        """Can the pattern subtree at ``pnode`` embed with ``pnode ↦ tnode``?"""
+        return tnode in self._sat.get(id(pnode), set())
+
+    def has_embedding(self) -> bool:
+        """Is ``t`` a model of the pattern (root-preserving embedding)?"""
+        if self.pattern.is_empty:
+            return False
+        return self.tree_root in self._sat[id(self.pattern.root)]
+
+    def has_weak_embedding(self) -> bool:
+        """Does any weak embedding of the pattern into ``t`` exist?"""
+        if self.pattern.is_empty:
+            return False
+        return bool(self._sat[id(self.pattern.root)])
+
+    def output_images(self, weak: bool = False) -> set[TNode]:
+        """All nodes ``o`` reachable as images of the output node.
+
+        ``weak=True`` computes the weak semantics ``P^w(t)``.
+        """
+        if self.pattern.is_empty:
+            return set()
+        path = self.pattern.selection_path()
+        axes = self.pattern.selection_axes()
+        partial = [self._partial_sat(node) for node in path]
+
+        if weak:
+            frontier = set(partial[0])
+        else:
+            frontier = (
+                {self.tree_root} if self.tree_root in partial[0] else set()
+            )
+        for axis, allowed in zip(axes, partial[1:]):
+            if not frontier:
+                break
+            if axis is Axis.CHILD:
+                next_frontier = {
+                    u for v in frontier for u in v.children if u in allowed
+                }
+            else:
+                next_frontier = self._descendants_of(frontier) & allowed
+            frontier = next_frontier
+        return set(frontier)
+
+    def _partial_sat(self, sel_node: PNode) -> set[int]:
+        """Tree nodes where ``sel_node`` may sit: label + branch subtrees.
+
+        Like ``sat`` but ignoring the selection-path child (which the
+        forward pass handles).  Cached per selection node.
+        """
+        cached = self._partial_cache.get(id(sel_node))
+        if cached is not None:
+            return cached
+        on_path = set(map(id, self.pattern.selection_path()))
+        tree_postorder = self._tree_post
+        result: set[TNode] = set()
+        branch_edges = [
+            (axis, child)
+            for axis, child in sel_node.edges
+            if id(child) not in on_path
+        ]
+        below: dict[int, set[TNode]] = {}
+        for axis, pchild in branch_edges:
+            if axis is Axis.DESCENDANT:
+                below[id(pchild)] = self._exists_below(
+                    self._sat[id(pchild)], tree_postorder
+                )
+        for tnode in tree_postorder:
+            if not _label_ok(sel_node, tnode):
+                continue
+            ok = True
+            for axis, pchild in branch_edges:
+                child_sat = self._sat[id(pchild)]
+                if axis is Axis.CHILD:
+                    if not any(u in child_sat for u in tnode.children):
+                        ok = False
+                        break
+                else:
+                    if tnode not in below[id(pchild)]:
+                        ok = False
+                        break
+            if ok:
+                result.add(tnode)
+        self._partial_cache[id(sel_node)] = result
+        return result
+
+    @staticmethod
+    def _descendants_of(frontier: set[TNode]) -> set[TNode]:
+        """All proper descendants of any node in ``frontier``."""
+        result: set[TNode] = set()
+        for v in frontier:
+            result.update(v.iter_descendants())
+        return result
+
+    # ------------------------------------------------------------------
+    # Witness extraction
+    # ------------------------------------------------------------------
+    def witness(self, output: TNode | None = None, weak: bool = False):
+        """An explicit embedding ``{PNode: TNode}`` or None.
+
+        When ``output`` is given, the embedding is required to map the
+        pattern's output node to that tree node.  Otherwise any achievable
+        output is chosen.
+        """
+        if self.pattern.is_empty:
+            return None
+        if output is None:
+            images = self.output_images(weak=weak)
+            if not images:
+                return None
+            output = next(iter(images))
+
+        path = self.pattern.selection_path()
+        axes = self.pattern.selection_axes()
+        partial = [self._partial_sat(node) for node in path]
+
+        # Backward pass: B[i] = selection-node-i images from which the
+        # requested output remains reachable along the selection path.
+        depth = len(axes)
+        backward: list[set[TNode]] = [set() for _ in range(depth + 1)]
+        backward[depth] = {output} if output in partial[depth] else set()
+        for i in range(depth - 1, -1, -1):
+            axis = axes[i]
+            allowed = partial[i]
+            prev: set[TNode] = set()
+            for v in backward[i + 1]:
+                if axis is Axis.CHILD:
+                    if v.parent is not None and v.parent in allowed:
+                        prev.add(v.parent)
+                else:
+                    for anc in v.iter_ancestors():
+                        if anc in allowed:
+                            prev.add(anc)
+            backward[i] = prev
+        if not backward[0]:
+            return None
+        if weak:
+            anchor = next(iter(backward[0]))
+        elif self.tree_root in backward[0]:
+            anchor = self.tree_root
+        else:
+            return None
+
+        # Forward walk along the selection path, then greedy branches.
+        mapping: dict[PNode, TNode] = {}
+        chain = [anchor]
+        for i, axis in enumerate(axes):
+            current = chain[-1]
+            candidates: Iterable[TNode]
+            if axis is Axis.CHILD:
+                candidates = current.children
+            else:
+                candidates = current.iter_descendants()
+            step = next(u for u in candidates if u in backward[i + 1])
+            chain.append(step)
+        on_path = set(map(id, path))
+        for sel_node, image in zip(path, chain):
+            mapping[sel_node] = image
+            for axis, pchild in sel_node.edges:
+                if id(pchild) in on_path:
+                    continue
+                self._extract_branch(axis, pchild, image, mapping)
+        return mapping
+
+    def _extract_branch(
+        self,
+        axis: Axis,
+        pnode: PNode,
+        above: TNode,
+        mapping: dict[PNode, TNode],
+    ) -> None:
+        """Greedy extraction of a branch subtree below ``above``.
+
+        Guaranteed to succeed because ``above`` passed ``_partial_sat``
+        (hence a satisfying placement exists for every branch child).
+        """
+        candidates: Iterable[TNode]
+        if axis is Axis.CHILD:
+            candidates = above.children
+        else:
+            candidates = above.iter_descendants()
+        image = next(u for u in candidates if u in self._sat[id(pnode)])
+        mapping[pnode] = image
+        for child_axis, pchild in pnode.edges:
+            self._extract_branch(child_axis, pchild, image, mapping)
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences
+# ----------------------------------------------------------------------
+
+def evaluate(pattern: Pattern, tree: XMLTree | TNode, weak: bool = False) -> set[TNode]:
+    """Apply ``pattern`` to ``tree``: the paper's ``P(t)`` (or ``P^w(t)``).
+
+    Returns the set of output images as tree nodes (each representing the
+    subtree of ``tree`` rooted there).  The empty pattern yields ∅.
+    """
+    return Matcher(pattern, tree).output_images(weak=weak)
+
+
+def evaluate_forest(
+    pattern: Pattern,
+    forest: Iterable[XMLTree | TNode],
+    weak: bool = False,
+) -> set[TNode]:
+    """Apply a pattern to a set of trees: ``P(T) = ∪_{t∈T} P(t)``."""
+    result: set[TNode] = set()
+    for tree in forest:
+        result |= evaluate(pattern, tree, weak=weak)
+    return result
+
+
+def is_model(tree: XMLTree | TNode, pattern: Pattern) -> bool:
+    """True iff ``tree ∈ Mod(pattern)`` (some embedding exists)."""
+    return Matcher(pattern, tree).has_embedding()
+
+
+def weak_output_images(pattern: Pattern, tree: XMLTree | TNode) -> set[TNode]:
+    """``P^w(t)``: output images under weak embeddings."""
+    return evaluate(pattern, tree, weak=True)
+
+
+def find_embedding(
+    pattern: Pattern,
+    tree: XMLTree | TNode,
+    output: TNode | None = None,
+    weak: bool = False,
+):
+    """A concrete (weak) embedding as ``{PNode: TNode}``, or None.
+
+    When ``output`` is given, the embedding must produce that node.
+    """
+    return Matcher(pattern, tree).witness(output=output, weak=weak)

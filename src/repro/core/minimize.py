@@ -1,0 +1,92 @@
+"""Redundancy elimination for patterns (after [10], used by Prop 3.4).
+
+A branch subtree of a pattern is *redundant* when deleting it yields an
+equivalent pattern.  The paper's decidability argument (Proposition 3.4)
+assumes candidate rewritings are non-redundant; the exhaustive search in
+:mod:`repro.core.decide` uses :func:`minimize` to normalize candidates,
+and the view engine uses it to simplify rewritings before evaluation.
+
+Deleting a subtree always *relaxes* a pattern (``P ⊑ P'`` where ``P'`` is
+``P`` minus a branch), so redundancy of the branch reduces to the single
+containment test ``P' ⊑ P``.
+
+Note: as the paper discusses in its conclusions, non-redundancy does not
+obviously coincide with minimality for ``XP{//,[],*}`` (that question is
+open); :func:`minimize` computes a non-redundant equivalent pattern, not
+necessarily a globally minimum one.
+"""
+
+from __future__ import annotations
+
+from ..patterns.ast import Pattern, PNode
+from .containment import contains
+
+__all__ = ["minimize", "is_non_redundant", "redundant_branches"]
+
+
+def _without_edge(pattern: Pattern, parent: PNode, child: PNode) -> Pattern:
+    """A copy of ``pattern`` with the subtree at ``child`` removed."""
+    copy, mapping = pattern.copy_with_map()
+    new_parent = mapping[parent]
+    new_child = mapping[child]
+    new_parent.edges = [
+        (axis, c) for axis, c in new_parent.edges if c is not new_child
+    ]
+    return Pattern(copy.root, mapping[pattern.output])  # type: ignore[index]
+
+
+def _removable_edges(pattern: Pattern) -> list[tuple[PNode, PNode]]:
+    """Edges whose removal keeps the output node in the pattern."""
+    on_path = set(map(id, pattern.selection_path()))
+    return [
+        (parent, child)
+        for parent, _, child in pattern.edges()
+        if id(child) not in on_path
+    ]
+
+
+def redundant_branches(
+    pattern: Pattern, max_models: int | None = None
+) -> list[tuple[PNode, PNode]]:
+    """All currently redundant branch edges ``(parent, child)``.
+
+    An edge is redundant when removing the subtree below it preserves
+    equivalence.  (Removing one branch can make another non-redundant, so
+    use :func:`minimize` — which re-checks after each removal — to reach
+    a non-redundant form.)
+    """
+    if pattern.is_empty:
+        return []
+    result = []
+    for parent, child in _removable_edges(pattern):
+        relaxed = _without_edge(pattern, parent, child)
+        if contains(relaxed, pattern, max_models=max_models):
+            result.append((parent, child))
+    return result
+
+
+def minimize(pattern: Pattern, max_models: int | None = None) -> Pattern:
+    """A non-redundant pattern equivalent to ``pattern``.
+
+    Repeatedly removes one redundant branch until none remains.  The
+    result is equivalent to the input (each step preserves equivalence by
+    construction).
+    """
+    if pattern.is_empty:
+        return pattern
+    current = pattern
+    changed = True
+    while changed:
+        changed = False
+        for parent, child in _removable_edges(current):
+            relaxed = _without_edge(current, parent, child)
+            if contains(relaxed, current, max_models=max_models):
+                current = relaxed
+                changed = True
+                break
+    return current
+
+
+def is_non_redundant(pattern: Pattern, max_models: int | None = None) -> bool:
+    """True iff no branch of the pattern is redundant."""
+    return not redundant_branches(pattern, max_models=max_models)

@@ -1,0 +1,155 @@
+"""Semantic (model-theoretic) oracles for containment — test infrastructure.
+
+The containment engine in :mod:`repro.core.containment` is the *decision
+procedure*; this module provides independent, brute-force checks used to
+cross-validate it:
+
+* :func:`enumerate_trees` — all unordered labeled trees up to a size
+  bound over a finite alphabet (deduplicated up to isomorphism);
+* :func:`contains_bounded` — exhaustively checks ``P1(t) ⊆ P2(t)`` over
+  all such trees.  A ``False`` answer *refutes* containment outright; a
+  ``True`` answer confirms it only up to the size bound.
+* :func:`find_counterexample` — returns a witness tree on refutation.
+
+These are exponential and intended for small instances (tests, examples
+and the C7 benchmark's sanity layer).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, Sequence
+
+from ..patterns.ast import Pattern
+from ..xmltree.node import BOTTOM_LABEL, TNode
+from ..xmltree.tree import XMLTree
+from .embedding import evaluate
+
+__all__ = [
+    "enumerate_trees",
+    "contains_bounded",
+    "equivalent_bounded",
+    "find_counterexample",
+    "oracle_alphabet",
+]
+
+
+def oracle_alphabet(*patterns: Pattern) -> tuple[str, ...]:
+    """The alphabet to quantify over: pattern labels plus one fresh label.
+
+    Canonical-model reasoning shows one extra label (standing in for "any
+    label not mentioned") suffices to expose wildcard/label distinctions.
+    """
+    labels: set[str] = set()
+    for pattern in patterns:
+        labels |= pattern.labels()
+    return tuple(sorted(labels)) + (BOTTOM_LABEL,)
+
+
+@lru_cache(maxsize=None)
+def _tree_specs(size: int, alphabet: tuple[str, ...]) -> tuple[tuple, ...]:
+    """Canonical specs of all unordered trees with exactly ``size`` nodes.
+
+    A spec is ``(label, (child_spec, ...))`` with children sorted, so each
+    isomorphism class appears exactly once.
+    """
+    if size < 1:
+        return ()
+    specs = []
+    for label in alphabet:
+        for forest in _forest_specs(size - 1, alphabet):
+            specs.append((label, forest))
+    return tuple(specs)
+
+
+@lru_cache(maxsize=None)
+def _forest_specs(total: int, alphabet: tuple[str, ...]) -> tuple[tuple, ...]:
+    """All sorted tuples of tree specs with sizes summing to ``total``."""
+    if total == 0:
+        return ((),)
+    result: set[tuple] = set()
+    for first_size in range(1, total + 1):
+        for tree in _tree_specs(first_size, alphabet):
+            for rest in _forest_specs(total - first_size, alphabet):
+                result.add(tuple(sorted(rest + (tree,))))
+    return tuple(sorted(result))
+
+
+def _build(spec: tuple) -> TNode:
+    label, children = spec
+    node = TNode(label)
+    for child_spec in children:
+        node.add_child(_build(child_spec))
+    return node
+
+
+def enumerate_trees(
+    max_size: int, alphabet: Sequence[str]
+) -> Iterator[XMLTree]:
+    """All unordered labeled trees with 1..max_size nodes over ``alphabet``.
+
+    Each isomorphism class is produced exactly once.  The count grows
+    exponentially; keep ``max_size`` small (≤ 5 for alphabets of 3).
+    """
+    alpha = tuple(alphabet)
+    for size in range(1, max_size + 1):
+        for spec in _tree_specs(size, alpha):
+            yield XMLTree(_build(spec))
+
+
+def contains_bounded(
+    p1: Pattern,
+    p2: Pattern,
+    max_size: int = 4,
+    alphabet: Sequence[str] | None = None,
+    weak: bool = False,
+) -> bool:
+    """Exhaustive bounded check of ``P1 ⊑ P2`` (or ``⊑w``).
+
+    Quantifies over every tree up to ``max_size`` nodes.  ``False`` is a
+    definitive refutation; ``True`` holds only up to the bound.
+    """
+    if p1.is_empty:
+        return True
+    if p2.is_empty:
+        # Refuted as soon as P1 produces anything.
+        return find_counterexample(p1, p2, max_size, alphabet, weak) is None
+    return find_counterexample(p1, p2, max_size, alphabet, weak) is None
+
+
+def find_counterexample(
+    p1: Pattern,
+    p2: Pattern,
+    max_size: int = 4,
+    alphabet: Sequence[str] | None = None,
+    weak: bool = False,
+) -> tuple[XMLTree, TNode] | None:
+    """A tree ``t`` and node ``o ∈ P1(t) \\ P2(t)``, or None.
+
+    Uses :func:`oracle_alphabet` when ``alphabet`` is None.
+    """
+    if p1.is_empty:
+        return None
+    alpha = tuple(alphabet) if alphabet is not None else oracle_alphabet(p1, p2)
+    for tree in enumerate_trees(max_size, alpha):
+        out1 = evaluate(p1, tree, weak=weak)
+        if not out1:
+            continue
+        out2 = evaluate(p2, tree, weak=weak) if not p2.is_empty else set()
+        extra = out1 - out2
+        if extra:
+            return tree, next(iter(extra))
+    return None
+
+
+def equivalent_bounded(
+    p1: Pattern,
+    p2: Pattern,
+    max_size: int = 4,
+    alphabet: Sequence[str] | None = None,
+    weak: bool = False,
+) -> bool:
+    """Bounded equivalence: bounded containment in both directions."""
+    return contains_bounded(p1, p2, max_size, alphabet, weak) and contains_bounded(
+        p2, p1, max_size, alphabet, weak
+    )

@@ -1,0 +1,123 @@
+"""Selection paths and sub-patterns (paper Section 3.1).
+
+For a pattern ``P`` of depth ``d`` and ``0 ≤ k ≤ d``:
+
+* ``P≥k`` (:func:`sub_ge`) — the subtree rooted at the k-node, output
+  unchanged;
+* ``P≤k`` (:func:`sub_le`) — ``P`` with the subtree below the (k+1)-node
+  pruned, output moved to the k-node;
+* ``P>k`` / ``P<k`` (:func:`sub_gt` / :func:`sub_lt`) — strict variants;
+* ``P1 =k⇒ P2`` (:func:`combine`) — a descendant edge from the k-node of
+  ``P1`` to the root of ``P2``, output that of ``P2``.
+
+All functions return fresh patterns (inputs are never mutated).
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternStructureError
+from ..patterns.ast import Axis, Pattern
+
+__all__ = [
+    "sub_ge",
+    "sub_le",
+    "sub_gt",
+    "sub_lt",
+    "combine",
+    "selection_edge_axes",
+    "last_descendant_selection_depth",
+    "selection_prefix_all_child",
+]
+
+
+def _check_range(pattern: Pattern, k: int, low: int, high: int, what: str) -> None:
+    if not low <= k <= high:
+        raise PatternStructureError(
+            f"{what} requires {low} <= k <= {high}, got k={k} "
+            f"(pattern depth {pattern.depth})"
+        )
+
+
+def sub_ge(pattern: Pattern, k: int) -> Pattern:
+    """The k-sub-pattern ``P≥k``: subtree at the k-node, same output."""
+    _check_range(pattern, k, 0, pattern.depth, "P>=k")
+    copy, mapping = pattern.copy_with_map()
+    k_node = mapping[pattern.selection_path()[k]]
+    output = mapping[pattern.output]  # type: ignore[index]
+    return Pattern(k_node, output)
+
+
+def sub_le(pattern: Pattern, k: int) -> Pattern:
+    """The k-upper-pattern ``P≤k``: prune below the (k+1)-node.
+
+    The output node becomes the k-node.  Branches hanging off the k-node
+    are retained — only the selection child is removed.
+    """
+    _check_range(pattern, k, 0, pattern.depth, "P<=k")
+    copy, mapping = pattern.copy_with_map()
+    path = pattern.selection_path()
+    k_node = mapping[path[k]]
+    if k < pattern.depth:
+        next_node = mapping[path[k + 1]]
+        k_node.edges = [
+            (axis, child) for axis, child in k_node.edges if child is not next_node
+        ]
+    return Pattern(copy.root, k_node)
+
+
+def sub_gt(pattern: Pattern, k: int) -> Pattern:
+    """``P>k`` = ``P≥(k+1)`` for ``0 ≤ k < d``."""
+    _check_range(pattern, k, 0, pattern.depth - 1, "P>k")
+    return sub_ge(pattern, k + 1)
+
+
+def sub_lt(pattern: Pattern, k: int) -> Pattern:
+    """``P<k`` = ``P≤(k-1)`` for ``0 < k ≤ d``."""
+    _check_range(pattern, k, 1, pattern.depth, "P<k")
+    return sub_le(pattern, k - 1)
+
+
+def combine(upper: Pattern, k: int, lower: Pattern) -> Pattern:
+    """``upper =k⇒ lower``: descendant edge from upper's k-node to lower.
+
+    The combined pattern keeps upper's root and takes lower's output
+    (Section 3.1).  For example, if a descendant edge enters the k-node of
+    ``P``, then ``P<k =k-1⇒ P≥k`` is ``P`` itself.
+    """
+    if lower.is_empty:
+        raise PatternStructureError("cannot combine with the empty pattern")
+    _check_range(upper, k, 0, upper.depth, "combine")
+    upper_copy, upper_map = upper.copy_with_map()
+    lower_copy, lower_map = lower.copy_with_map()
+    k_node = upper_map[upper.selection_path()[k]]
+    k_node.add(Axis.DESCENDANT, lower_copy.root)  # type: ignore[arg-type]
+    return Pattern(upper_copy.root, lower_map[lower.output])  # type: ignore[index]
+
+
+# ----------------------------------------------------------------------
+# Selection-edge predicates used by the rewriting conditions
+# ----------------------------------------------------------------------
+
+def selection_edge_axes(pattern: Pattern) -> list[Axis]:
+    """Axes of the selection edges, top-down (alias of selection_axes)."""
+    return pattern.selection_axes()
+
+
+def last_descendant_selection_depth(pattern: Pattern) -> int | None:
+    """Depth of the node the *deepest* descendant selection edge enters.
+
+    The depth of a selection edge ``(m, n)`` is the depth of ``n``
+    (Section 5.2).  None when the selection path has no descendant edge.
+    """
+    axes = pattern.selection_axes()
+    deepest = None
+    for index, axis in enumerate(axes):
+        if axis is Axis.DESCENDANT:
+            deepest = index + 1
+    return deepest
+
+
+def selection_prefix_all_child(pattern: Pattern, k: int) -> bool:
+    """True iff the first ``k`` selection edges are all child edges."""
+    axes = pattern.selection_axes()
+    return all(axis is Axis.CHILD for axis in axes[:k])

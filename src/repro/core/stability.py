@@ -1,0 +1,76 @@
+"""Stability and normal forms (paper §4.1.1 and §5.1).
+
+A pattern ``Q`` is *stable* when weak equivalence to ``Q`` implies
+ordinary equivalence.  Stability is a semantic property; Proposition 4.1
+(after [10]) gives three *sufficient, syntactic* conditions, which is
+what the rewriting algorithm needs — everything certified stable here
+really is stable, so the solver's completeness certificates are sound
+(the certified class is possibly a strict subset of all stable patterns,
+exactly as in the paper's algorithmic use).
+
+``GNF/∗`` (Definition 5.3) is the generalized normal form: at every
+selection depth ``i ≥ 1``, a child edge enters the i-node, or ``Q≥i`` is
+stable, or ``Q≥i`` is linear.
+"""
+
+from __future__ import annotations
+
+from ..patterns.ast import Axis, Pattern, WILDCARD
+from .selection import sub_ge
+
+__all__ = ["is_stable", "is_in_gnf", "gnf_witnesses"]
+
+
+def is_stable(pattern: Pattern) -> bool:
+    """Sufficient stability test (Proposition 4.1).
+
+    ``Q`` is stable when any of the following holds:
+
+    1. the root label is not ``*``;
+    2. the depth of ``Q`` is 0;
+    3. the depth is ≥ 1 and ``Q`` contains a Σ-label that does not appear
+       in ``Q≥1`` (i.e. some branch off the root carries a label absent
+       from the 1-sub-pattern).
+    """
+    if pattern.is_empty:
+        return False
+    if pattern.root.label != WILDCARD:  # type: ignore[union-attr]
+        return True
+    if pattern.depth == 0:
+        return True
+    sub1_labels = sub_ge(pattern, 1).labels()
+    return bool(pattern.labels() - sub1_labels)
+
+
+def is_in_gnf(pattern: Pattern) -> bool:
+    """Membership in ``GNF/∗`` (Definition 5.3), using sufficient stability.
+
+    For all ``1 ≤ i ≤ d``: a child edge enters the i-node, or ``Q≥i`` is
+    stable (Prop 4.1 conditions), or ``Q≥i`` is linear.
+    """
+    return all(reason is not None for reason in gnf_witnesses(pattern))
+
+
+def gnf_witnesses(pattern: Pattern) -> list[str | None]:
+    """Per-depth GNF/∗ justification (or None where no condition holds).
+
+    Entry ``i-1`` explains depth ``i``: one of ``"child-edge"``,
+    ``"stable"``, ``"linear"`` or None.  Useful for tracing why the
+    Theorem 5.4 rule does or does not fire.
+    """
+    if pattern.is_empty:
+        return []
+    axes = pattern.selection_axes()
+    witnesses: list[str | None] = []
+    for i in range(1, pattern.depth + 1):
+        if axes[i - 1] is Axis.CHILD:
+            witnesses.append("child-edge")
+            continue
+        sub = sub_ge(pattern, i)
+        if is_stable(sub):
+            witnesses.append("stable")
+        elif sub.is_linear():
+            witnesses.append("linear")
+        else:
+            witnesses.append(None)
+    return witnesses

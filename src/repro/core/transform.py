@@ -1,0 +1,89 @@
+"""Pattern transformations used by the rewriting machinery.
+
+* :func:`relax_root` — ``Q_r//``: every edge emanating from the root
+  becomes a descendant edge (Section 4; ``Q ⊑ Q_r//`` always holds).
+* :func:`label_descendant` — ``l//Q``: a new root labeled ``l`` above
+  ``Q`` via a descendant edge (Section 5.2).
+* :func:`extend` — the ``l``-extension ``Q+l`` (Section 5.3): a child
+  labeled ``l`` under the output node and a wildcard child under every
+  other leaf.
+* :func:`lift_output` — ``Q^{j→}``: move the output node up to the j-node
+  of the selection path (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from ..errors import EmptyPatternError, PatternStructureError
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+
+__all__ = ["relax_root", "label_descendant", "extend", "lift_output"]
+
+
+def relax_root(pattern: Pattern) -> Pattern:
+    """``Q_r//``: relax (make descendant) all edges leaving the root.
+
+    ``Q ⊑ Q_r//`` holds for every ``Q`` since a child pair is in
+    particular a proper ancestor-descendant pair.
+    """
+    if pattern.is_empty:
+        raise EmptyPatternError("cannot relax the empty pattern")
+    copy = pattern.copy()
+    copy.root.edges = [  # type: ignore[union-attr]
+        (Axis.DESCENDANT, child) for _, child in copy.root.edges  # type: ignore[union-attr]
+    ]
+    copy._key_cache = None
+    return Pattern(copy.root, copy.output)
+
+
+def label_descendant(label: str, pattern: Pattern) -> Pattern:
+    """``l//Q``: a fresh root labeled ``l`` with a descendant edge to Q.
+
+    The output node is that of ``Q`` (Section 5.2, Proposition 5.5).
+    """
+    if pattern.is_empty:
+        raise EmptyPatternError("cannot extend the empty pattern with a root")
+    copy, mapping = pattern.copy_with_map()
+    new_root = PNode(label)
+    new_root.add(Axis.DESCENDANT, copy.root)  # type: ignore[arg-type]
+    return Pattern(new_root, mapping[pattern.output])  # type: ignore[index]
+
+
+def extend(pattern: Pattern, label: str) -> Pattern:
+    """The ``l``-extension ``Q+l`` (Section 5.3).
+
+    Adds (all by child edges):
+
+    * a child labeled ``label`` to the output node, and
+    * a child labeled ``*`` to every leaf — except that when the output
+      node is itself a leaf it receives only the ``label`` child.
+    """
+    if pattern.is_empty:
+        raise EmptyPatternError("cannot extend the empty pattern")
+    copy, mapping = pattern.copy_with_map()
+    out = mapping[pattern.output]  # type: ignore[index]
+    # Collect leaves before adding any new nodes.
+    leaves = [node for node in copy.nodes() if not node.edges]
+    for leaf in leaves:
+        if leaf is out:
+            continue
+        leaf.add(Axis.CHILD, PNode(WILDCARD))
+    out.add(Axis.CHILD, PNode(label))
+    copy._key_cache = None
+    return Pattern(copy.root, out)
+
+
+def lift_output(pattern: Pattern, j: int) -> Pattern:
+    """``Q^{j→}``: the same tree with the output moved to the j-node.
+
+    ``j`` indexes the (original) selection path; ``Q^{h→}`` with ``h`` the
+    original depth is ``Q`` itself (Section 5.3).
+    """
+    if pattern.is_empty:
+        raise EmptyPatternError("cannot lift the output of the empty pattern")
+    path = pattern.selection_path()
+    if not 0 <= j < len(path):
+        raise PatternStructureError(
+            f"lift_output: j={j} out of range for depth {len(path) - 1}"
+        )
+    copy, mapping = pattern.copy_with_map()
+    return Pattern(copy.root, mapping[path[j]])

@@ -1,0 +1,99 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch a single exception type at the API boundary.  Sub-classes
+are grouped by subsystem: pattern parsing, pattern structure, containment,
+rewriting and the view engine.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PatternSyntaxError",
+    "PatternStructureError",
+    "EmptyPatternError",
+    "CompositionError",
+    "ContainmentBudgetError",
+    "RewriteBudgetError",
+    "ViewEngineError",
+    "UnknownViewError",
+    "DocumentSyntaxError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class PatternSyntaxError(ReproError):
+    """Raised when an XPath pattern string cannot be parsed.
+
+    Carries the offending text and, when available, the character offset
+    where parsing failed.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position} in {text!r})"
+        elif text:
+            message = f"{message} (in {text!r})"
+        super().__init__(message)
+
+
+class PatternStructureError(ReproError):
+    """Raised when a structurally invalid pattern operation is attempted.
+
+    Examples: requesting the k-sub-pattern for a ``k`` larger than the
+    pattern depth, or lifting the output node above the root.
+    """
+
+
+class EmptyPatternError(PatternStructureError):
+    """Raised when an operation requires a nonempty pattern but got Υ."""
+
+
+class CompositionError(ReproError):
+    """Raised when a pattern composition ``R ∘ V`` is malformed.
+
+    Note that an *incompatible* composition (``glb`` of the merged labels
+    undefined) is not an error — it yields the empty pattern Υ, following
+    Section 2.3 of the paper.  This exception covers genuine misuse, such
+    as composing with a non-pattern.
+    """
+
+
+class ContainmentBudgetError(ReproError):
+    """Raised when a containment test exceeds its canonical-model budget.
+
+    The canonical-model containment procedure enumerates exponentially many
+    models in the number of descendant edges; callers may bound that work.
+    """
+
+
+class RewriteBudgetError(ReproError):
+    """Raised when the exhaustive rewriting search exceeds its budget.
+
+    The Prop 3.4 decidability procedure is doubly exponential in the worst
+    case; the solver caps enumeration and raises (or reports UNKNOWN) when
+    the cap is hit.
+    """
+
+
+class ViewEngineError(ReproError):
+    """Base class for errors raised by the materialized-view engine."""
+
+
+class UnknownViewError(ViewEngineError):
+    """Raised when a view name is not registered in the view store."""
+
+
+class DocumentSyntaxError(ReproError):
+    """Raised when an XML document string cannot be parsed into a tree."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification is inconsistent."""

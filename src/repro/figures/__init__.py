@@ -1,0 +1,16 @@
+"""Programmatic reconstructions of the paper's Figures 1–4.
+
+Each module exposes ``build()`` (the figure's patterns) and ``verify()``
+(a :class:`~repro.figures.report.FigureReport` whose checks must all
+pass).  :func:`verify_all` runs every figure.
+"""
+
+from . import fig1, fig2, fig3, fig4
+from .report import FigureReport
+
+__all__ = ["FigureReport", "fig1", "fig2", "fig3", "fig4", "verify_all"]
+
+
+def verify_all() -> list[FigureReport]:
+    """Verify every figure reconstruction; reports in figure order."""
+    return [fig1.verify(), fig2.verify(), fig3.verify(), fig4.verify()]

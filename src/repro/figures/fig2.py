@@ -1,0 +1,75 @@
+"""Figure 2 (Section 4): the natural candidates and their compositions.
+
+For the Figure 1 instance (P, V), Figure 2 depicts the two natural
+candidates ``P≥1`` and ``P≥1_r//`` together with ``P≥1 ∘ V`` and
+``P≥1_r// ∘ V``.  The text establishes:
+
+* ``P≥1`` is **not** a rewriting of P using V;
+* ``P≥1_r//`` **is** a rewriting (the reader "can verify" it — here the
+  containment engine does);
+* V's selection path consists of a single child edge, so Theorem 4.10
+  applies: one of the natural candidates must be a potential rewriting.
+"""
+
+from __future__ import annotations
+
+from ..core.candidates import natural_candidates
+from ..core.composition import compose
+from ..core.containment import equivalent
+from ..core.rewrite import RewriteSolver
+from ..core.selection import sub_ge
+from ..core.transform import relax_root
+from ..patterns.ast import Axis, Pattern
+from .fig1 import build as build_fig1
+from .report import FigureReport
+
+__all__ = ["build", "verify"]
+
+
+def build() -> dict[str, Pattern]:
+    """The Figure 2 patterns: candidates and compositions for Figure 1."""
+    fig1 = build_fig1()
+    query, view = fig1["P"], fig1["V"]
+    base = sub_ge(query, view.depth)
+    relaxed = relax_root(base)
+    return {
+        "P": query,
+        "V": view,
+        "P≥1": base,
+        "P≥1_r//": relaxed,
+        "P≥1∘V": compose(base, view),
+        "P≥1_r//∘V": compose(relaxed, view),
+    }
+
+
+def verify() -> FigureReport:
+    """Reconstruct Figure 2 and verify the claims of Section 4."""
+    patterns = build()
+    query, view = patterns["P"], patterns["V"]
+    base, relaxed = patterns["P≥1"], patterns["P≥1_r//"]
+
+    report = FigureReport(figure="Figure 2", patterns=patterns)
+
+    report.checks["natural candidates are {P≥1, P≥1_r//}"] = (
+        natural_candidates(query, view.depth) == [base, relaxed]
+    )
+    report.checks["P≥1 is not a rewriting"] = not equivalent(
+        patterns["P≥1∘V"], query
+    )
+    report.checks["P≥1_r// is a rewriting"] = equivalent(
+        patterns["P≥1_r//∘V"], query
+    )
+    report.checks["V's selection path is a single child edge"] = (
+        view.depth == 1 and view.selection_axes() == [Axis.CHILD]
+    )
+    # Theorem 4.10's precondition holds, so the candidate check is a
+    # complete decision procedure for this instance.
+    solver = RewriteSolver()
+    report.checks["Thm 4.10 precondition (view path all child edges)"] = all(
+        axis is Axis.CHILD for axis in view.selection_axes()
+    )
+    decision = solver.solve(query, view)
+    report.checks["solver returns the relaxed candidate"] = (
+        decision.rewriting == relaxed
+    )
+    return report

@@ -1,0 +1,58 @@
+"""Figure 3 (Section 4.1.2, proof of Lemma 4.12): branch relaxation.
+
+The figure illustrates a branch ``B`` whose maximal child-edge path from
+the root carries only wildcard labels and ends at a node with only
+descendant out-edges; ``B'`` is the result of replacing the path's edges
+by descendant edges, and ``B_r//`` relaxes just the root's outgoing edge.
+The lemma's chain is ``B ⊑ B_r// ⊑ B' ≡ B``, hence ``B ≡ B_r//``.
+
+Reconstruction: ``B`` is a wildcard chain of three nodes whose last node
+carries descendant branches to ``a`` and ``b`` (the figure's label set is
+{a, b, *}).  All four containments of the chain are machine-verified.
+"""
+
+from __future__ import annotations
+
+from ..core.containment import contains, equivalent
+from ..core.transform import relax_root
+from ..patterns.ast import Pattern
+from ..patterns.parse import parse_pattern
+from .report import FigureReport
+
+__all__ = ["build", "verify"]
+
+
+def build() -> dict[str, Pattern]:
+    """The Figure 3 patterns: B, B_r// and B'."""
+    branch = parse_pattern("*[*[*[.//a][.//b]]]")
+    relaxed = relax_root(branch)
+    fully = parse_pattern("*[.//*[.//*[.//a][.//b]]]")
+    return {"B": branch, "B_r//": relaxed, "B'": fully}
+
+
+def verify() -> FigureReport:
+    """Reconstruct Figure 3 and verify the Lemma 4.12 chain."""
+    patterns = build()
+    branch, relaxed, fully = patterns["B"], patterns["B_r//"], patterns["B'"]
+
+    report = FigureReport(figure="Figure 3", patterns=patterns)
+    report.notes.append(
+        "B is a branch pattern (output at the root); the chain "
+        "B ⊑ B_r// ⊑ B' ≡ B is the heart of Lemma 4.12's proof"
+    )
+
+    report.checks["B ⊑ B_r//"] = contains(branch, relaxed)
+    report.checks["B_r// ⊑ B'"] = contains(relaxed, fully)
+    report.checks["B' ≡ B"] = equivalent(fully, branch)
+    report.checks["hence B ≡ B_r//"] = equivalent(branch, relaxed)
+    # The lemma's precondition: the maximal child path from the root has
+    # only wildcard labels.
+    chain = branch.root
+    wildcards_only = True
+    while chain is not None:
+        if not chain.is_wildcard():
+            wildcards_only = False
+        child_edges = [c for a, c in chain.edges if a.name == "CHILD"]
+        chain = child_edges[0] if child_edges else None
+    report.checks["maximal child path is all wildcards"] = wildcards_only
+    return report

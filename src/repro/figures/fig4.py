@@ -1,0 +1,127 @@
+"""Figure 4 (Sections 4.1.3 and 5.3): correlation, extension, lifting.
+
+The figure shows a view ``V`` and three queries ``P1``, ``P2``, ``P3``
+(labels {a, b, c, e, µ, *}), plus the extension/lifting artifacts
+``V+∗``, ``P2+µ`` and ``(P2+µ)^{4→}``.  The text's claims:
+
+* (V, P1) satisfy Theorem 4.16: the last descendant edge on P1's
+  selection path (the second) corresponds to a descendant edge of V.
+* (V, P3) do **not** satisfy 4.16 (V's corresponding edge is a child
+  edge) but satisfy Corollary 5.7: V's deepest descendant selection edge
+  is at least as deep as P3's — so ``P3≥3`` is a potential rewriting.
+* P2's last descendant selection edge is the fifth, deeper than V, so
+  neither 4.16 nor 5.7 applies directly; Section 5.3 fixes this: a non-∗
+  label (``c``) occurs between the k-node and that edge, so lifting the
+  extended query at depth 4 — ``(P2+µ)^{4→}`` with view ``V+∗`` —
+  reduces to a resolved case.
+
+The reconstruction uses V of depth 3 with selection axes (/, //, /) and
+queries engineered so that *only* the stated condition applies (checked
+against the solver's certificate engine).
+"""
+
+from __future__ import annotations
+
+from ..core.rewrite import RewriteSolver, RewriteStatus
+from ..core.selection import last_descendant_selection_depth
+from ..core.transform import extend, lift_output
+from ..patterns.ast import Axis, Pattern
+from ..patterns.parse import parse_pattern
+from .report import FigureReport
+
+__all__ = ["build", "verify"]
+
+
+def build() -> dict[str, Pattern]:
+    """The Figure 4 patterns (reconstruction)."""
+    view = parse_pattern("a/*//*/*")  # depth 3, axes (/, //, /)
+    p1 = parse_pattern("a/*//*/*/e")  # last // at depth 2, like V
+    p2 = parse_pattern("a/*//*[e]/*/c//e")  # last // at depth 5 > k
+    p3 = parse_pattern("a//*[e]/*/*/e")  # last // at depth 1; V's is deeper
+    p2_ext = extend(p2, "µ")
+    return {
+        "V": view,
+        "P1": p1,
+        "P2": p2,
+        "P3": p3,
+        "V+∗": extend(view, "*"),
+        "P2+µ": p2_ext,
+        "(P2+µ)^{4→}": lift_output(p2_ext, 4),
+    }
+
+
+def verify() -> FigureReport:
+    """Reconstruct Figure 4 and verify the correlation/extension claims."""
+    patterns = build()
+    view = patterns["V"]
+    p1, p2, p3 = patterns["P1"], patterns["P2"], patterns["P3"]
+    k = view.depth
+
+    report = FigureReport(figure="Figure 4", patterns=patterns)
+    report.notes.append(
+        "V has depth 3 with one descendant selection edge at depth 2; "
+        "P1/P2/P3 realize the three correlation cases of §4.1.3 and §5.3"
+    )
+
+    view_axes = view.selection_axes()
+    j1 = last_descendant_selection_depth(p1)
+    report.checks["P1's last // edge (depth 2) corresponds to a // edge of V"] = (
+        j1 == 2 and view_axes[j1 - 1] is Axis.DESCENDANT
+    )
+    j3 = last_descendant_selection_depth(p3)
+    report.checks["P3 fails Thm 4.16: V's corresponding edge is a child edge"] = (
+        j3 == 1 and view_axes[j3 - 1] is Axis.CHILD
+    )
+    jv = last_descendant_selection_depth(view)
+    report.checks["Cor 5.7 applies to (P3, V): V's deepest // ≥ P3's deepest //"] = (
+        jv is not None and j3 is not None and jv >= j3
+    )
+    j2 = last_descendant_selection_depth(p2)
+    report.checks["P2's last // edge is the fifth (no corresponding V edge)"] = (
+        j2 == 5 and j2 > k
+    )
+    sel_labels = [n.label for n in p2.selection_path()]
+    report.checks["a non-∗ label (c) sits between P2's k-node and that edge"] = (
+        "c" in sel_labels[k : j2]
+    )
+
+    solver = RewriteSolver()
+    cert1 = solver.find_certificate(p1, view)
+    report.checks["certificate for (P1, V) is Thm 4.16"] = (
+        cert1 == "thm-4.16-corresponding-descendant-edges"
+    )
+    cert3 = solver.find_certificate(p3, view)
+    report.checks["certificate for (P3, V) is Cor 5.7 (= Prop 5.6 + Thm 4.16)"] = (
+        cert3 == "prop-5.6+thm-4.16-corresponding-descendant-edges"
+    )
+    cert2 = solver.find_certificate(p2, view)
+    report.checks["certificate for (P2, V) goes through the §5.3 lift at j=4"] = (
+        cert2 is not None and cert2.startswith("thm-5.9-lift@4")
+    )
+
+    # Solver outcomes: P1 has a rewriting (its natural candidate works);
+    # P2 and P3 provably have none (their [e] branch is lost by V).
+    report.checks["(P1, V): rewriting found"] = (
+        solver.solve(p1, view).status is RewriteStatus.FOUND
+    )
+    report.checks["(P2, V): no rewriting, by the §5.3 certificate"] = (
+        solver.solve(p2, view).status is RewriteStatus.NO_REWRITING
+    )
+    report.checks["(P3, V): no rewriting, by Cor 5.7"] = (
+        solver.solve(p3, view).status is RewriteStatus.NO_REWRITING
+    )
+
+    # The extension artifacts themselves.
+    lifted = patterns["(P2+µ)^{4→}"]
+    report.checks["(P2+µ)^{4→} has depth 4 and output label c"] = (
+        lifted.depth == 4 and lifted.output.label == "c"
+    )
+    extended_view = patterns["V+∗"]
+    report.checks["V+∗ keeps depth 3 and gains a ∗ child at its output"] = (
+        extended_view.depth == 3
+        and any(
+            child.label == "*"
+            for _, child in extended_view.output.edges
+        )
+    )
+    return report

@@ -1,0 +1,55 @@
+"""Shared report type for the paper-figure reconstructions.
+
+Each figure module builds the patterns of its figure and checks the exact
+claims the paper makes about them; the result is a :class:`FigureReport`
+whose ``checks`` must all be True for the reproduction to count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..patterns.ast import Pattern
+from ..patterns.serialize import to_xpath
+
+__all__ = ["FigureReport"]
+
+
+@dataclass
+class FigureReport:
+    """Outcome of reconstructing one paper figure.
+
+    Attributes
+    ----------
+    figure:
+        Figure identifier, e.g. ``"Figure 1"``.
+    patterns:
+        The named patterns of the figure.
+    checks:
+        Named boolean verifications of the paper's claims.
+    notes:
+        Reconstruction caveats (e.g. relabelings forced by the flattened
+        figure text).
+    """
+
+    figure: str
+    patterns: dict[str, Pattern] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every claimed property verified."""
+        return all(self.checks.values())
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"== {self.figure} =="]
+        for name, pattern in self.patterns.items():
+            lines.append(f"  {name} = {to_xpath(pattern)}")
+        for name, value in self.checks.items():
+            status = "PASS" if value else "FAIL"
+            lines.append(f"  [{status}] {name}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Pattern substrate: the XPath fragment ``XP{//,[],*}`` (paper §2.1).
+
+Public surface:
+
+* :class:`Pattern`, :class:`PNode`, :class:`Axis`, :data:`WILDCARD`,
+  :data:`EMPTY_PATTERN` — the AST.
+* :func:`parse_pattern` — XPath-syntax parser.
+* :func:`to_xpath`, :func:`to_grammar` — serializers.
+* :class:`PatternBuilder`, :func:`pat` — programmatic construction.
+* :class:`Fragment`, :func:`classify`, :func:`in_fragment`,
+  :func:`homomorphism_complete` — fragment classification.
+* :class:`PatternConfig`, :func:`random_pattern`,
+  :func:`random_rewrite_instance` — random generation.
+"""
+
+from .ast import Axis, EMPTY_PATTERN, Pattern, PNode, WILDCARD
+from .build import PatternBuilder, pat
+from .fragments import Fragment, classify, homomorphism_complete, in_fragment
+from .parse import parse_pattern
+from .random import PatternConfig, random_pattern, random_rewrite_instance
+from .serialize import to_grammar, to_xpath
+
+__all__ = [
+    "Axis",
+    "EMPTY_PATTERN",
+    "Pattern",
+    "PNode",
+    "WILDCARD",
+    "PatternBuilder",
+    "pat",
+    "Fragment",
+    "classify",
+    "in_fragment",
+    "homomorphism_complete",
+    "parse_pattern",
+    "PatternConfig",
+    "random_pattern",
+    "random_rewrite_instance",
+    "to_grammar",
+    "to_xpath",
+]

@@ -1,0 +1,426 @@
+"""Abstract syntax for tree patterns in the fragment ``XP{//,[],*}``.
+
+A *pattern* (paper Section 2.1) is a rooted labeled tree where
+
+* labels come from Σ ∪ {*} (``*`` is the wildcard, :data:`WILDCARD`),
+* every edge is either a **child** edge (``/``) or a **descendant** edge
+  (``//``), and
+* one node is designated the **output node**.
+
+The special **empty pattern** Υ (:data:`EMPTY_PATTERN`) is the pattern
+whose application to any tree yields the empty set; it arises as the
+result of incompatible compositions (Section 2.3).
+
+Design contract
+---------------
+``Pattern`` objects are treated as **immutable values**: every transform in
+:mod:`repro.core` copies nodes rather than mutating them, and two patterns
+never share ``PNode`` objects.  Structural equality (``==``) is
+isomorphism of unordered labeled trees *including* edge types and the
+output designation — the notion of isomorphism used in the paper's
+Proposition 3.4 (after [10]).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Callable, Iterator
+
+from ..errors import EmptyPatternError, PatternStructureError
+
+__all__ = ["Axis", "PNode", "Pattern", "WILDCARD", "EMPTY_PATTERN"]
+
+#: The wildcard label ``*`` (not a member of Σ).
+WILDCARD = "*"
+
+
+class Axis(IntEnum):
+    """Edge type of a pattern edge: child (``/``) or descendant (``//``)."""
+
+    CHILD = 0
+    DESCENDANT = 1
+
+    def symbol(self) -> str:
+        """The XPath separator for this axis (``/`` or ``//``)."""
+        return "/" if self is Axis.CHILD else "//"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Axis.{self.name}"
+
+
+class PNode:
+    """A pattern node: a label plus outgoing typed edges.
+
+    Attributes
+    ----------
+    label:
+        A label from Σ or the wildcard ``*``.
+    edges:
+        Outgoing edges as ``(axis, child)`` pairs.  Order is preserved for
+        deterministic serialization but carries no semantics (branches are
+        unordered).
+    """
+
+    __slots__ = ("label", "edges")
+
+    def __init__(self, label: str, edges: list[tuple[Axis, "PNode"]] | None = None):
+        self.label = label
+        self.edges: list[tuple[Axis, PNode]] = list(edges) if edges else []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, axis: Axis, child: "PNode") -> "PNode":
+        """Attach ``child`` below this node along ``axis``; return child."""
+        self.edges.append((axis, child))
+        return child
+
+    def child(self, label: str) -> "PNode":
+        """Attach and return a fresh node connected by a child edge."""
+        return self.add(Axis.CHILD, PNode(label))
+
+    def descendant(self, label: str) -> "PNode":
+        """Attach and return a fresh node connected by a descendant edge."""
+        return self.add(Axis.DESCENDANT, PNode(label))
+
+    # ------------------------------------------------------------------
+    # Traversal and measures
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["PNode"]:
+        """Yield this node and all nodes below it, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(child for _, child in reversed(node.edges))
+
+    def children(self) -> list["PNode"]:
+        """The child nodes (regardless of axis), in edge order."""
+        return [child for _, child in self.edges]
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_subtree())
+
+    def height(self) -> int:
+        """Maximal number of edges on any downward path from this node."""
+        if not self.edges:
+            return 0
+        return 1 + max(child.height() for _, child in self.edges)
+
+    def labels(self) -> set[str]:
+        """Σ-labels in this subtree (the wildcard is excluded)."""
+        return {n.label for n in self.iter_subtree() if n.label != WILDCARD}
+
+    def is_wildcard(self) -> bool:
+        """True if this node is labeled ``*``."""
+        return self.label == WILDCARD
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def deep_copy(self) -> "PNode":
+        """Copy the subtree rooted here (fresh node identities)."""
+        copy, _ = self.deep_copy_with_map()
+        return copy
+
+    def deep_copy_with_map(self) -> tuple["PNode", dict["PNode", "PNode"]]:
+        """Copy the subtree and return ``(copy, old_node -> new_node)``."""
+        mapping: dict[PNode, PNode] = {}
+
+        def rec(node: PNode) -> PNode:
+            clone = PNode(node.label)
+            mapping[node] = clone
+            for axis, child in node.edges:
+                clone.add(axis, rec(child))
+            return clone
+
+        return rec(self), mapping
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PNode({self.label!r}, {len(self.edges)} edges)"
+
+
+class Pattern:
+    """A tree pattern of ``XP{//,[],*}`` with a designated output node.
+
+    Use :meth:`empty` for the empty pattern Υ.  Most users construct
+    patterns via :func:`repro.patterns.parse.parse_pattern` or the builder
+    in :mod:`repro.patterns.build`.
+
+    Parameters
+    ----------
+    root:
+        The root node, or None for the empty pattern.
+    output:
+        The output node; must be a node of the tree rooted at ``root``.
+        Defaults to the root itself.
+    """
+
+    __slots__ = ("root", "output", "_key_cache", "_path_cache", "_pmap_cache")
+
+    def __init__(self, root: PNode | None, output: PNode | None = None):
+        if root is None:
+            self.root: PNode | None = None
+            self.output: PNode | None = None
+        else:
+            self.root = root
+            self.output = output if output is not None else root
+        self._key_cache: tuple | None = None
+        self._path_cache: list[PNode] | None = None
+        self._pmap_cache: dict[PNode, tuple[Axis, PNode]] | None = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Pattern":
+        """The empty pattern Υ (a shared singleton)."""
+        return EMPTY_PATTERN
+
+    @classmethod
+    def single(cls, label: str) -> "Pattern":
+        """A pattern with a single node (root = output)."""
+        return cls(PNode(label))
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff this is the empty pattern Υ."""
+        return self.root is None
+
+    def _validate(self) -> None:
+        if self.root is None:
+            return
+        seen: set[int] = set()
+        found_output = False
+        for node in self.root.iter_subtree():
+            if id(node) in seen:
+                raise PatternStructureError(
+                    "pattern node appears twice (patterns must be trees)"
+                )
+            seen.add(id(node))
+            if node is self.output:
+                found_output = True
+        if not found_output:
+            raise PatternStructureError("output node is not part of the pattern")
+
+    def _require_nonempty(self) -> PNode:
+        if self.root is None:
+            raise EmptyPatternError("operation undefined on the empty pattern Υ")
+        return self.root
+
+    # ------------------------------------------------------------------
+    # Traversal and measures
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[PNode]:
+        """All pattern nodes, pre-order (empty iterator for Υ)."""
+        if self.root is None:
+            return iter(())
+        return self.root.iter_subtree()
+
+    def edges(self) -> Iterator[tuple[PNode, Axis, PNode]]:
+        """All edges as ``(parent, axis, child)`` triples."""
+        for node in self.nodes():
+            for axis, child in node.edges:
+                yield node, axis, child
+
+    def size(self) -> int:
+        """Number of nodes (0 for Υ)."""
+        return 0 if self.root is None else self.root.size()
+
+    def height(self) -> int:
+        """Maximal number of edges on any root-to-leaf path (0 for Υ)."""
+        return 0 if self.root is None else self.root.height()
+
+    def labels(self) -> set[str]:
+        """Σ-labels occurring in the pattern (wildcard excluded)."""
+        return set() if self.root is None else self.root.labels()
+
+    def has_wildcard(self) -> bool:
+        """True if any node is labeled ``*``."""
+        return any(n.is_wildcard() for n in self.nodes())
+
+    def has_descendant_edge(self) -> bool:
+        """True if any edge is a descendant edge."""
+        return any(axis is Axis.DESCENDANT for _, axis, _ in self.edges())
+
+    def has_branching(self) -> bool:
+        """True if any node has two or more outgoing edges."""
+        return any(len(n.edges) >= 2 for n in self.nodes())
+
+    def is_linear(self) -> bool:
+        """True if the pattern forms a single path (paper §5.1)."""
+        return not self.has_branching()
+
+    def parent_map(self) -> dict[PNode, tuple[Axis, PNode]]:
+        """Map each non-root node to its ``(incoming axis, parent)``.
+
+        Cached: patterns are treated as immutable values, and all
+        transforms mutate raw nodes *before* constructing the final
+        ``Pattern`` object.
+        """
+        if self._pmap_cache is not None:
+            return self._pmap_cache
+        mapping: dict[PNode, tuple[Axis, PNode]] = {}
+        for parent, axis, child in self.edges():
+            mapping[child] = (axis, parent)
+        self._pmap_cache = mapping
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Selection path (paper §3.1)
+    # ------------------------------------------------------------------
+    def selection_path(self) -> list[PNode]:
+        """Nodes on the root-to-output path (``d+1`` nodes).
+
+        Cached (see :meth:`parent_map`).  Raises
+        :class:`EmptyPatternError` for Υ.
+        """
+        self._require_nonempty()
+        if self._path_cache is not None:
+            return self._path_cache
+
+        def rec(node: PNode) -> list[PNode] | None:
+            if node is self.output:
+                return [node]
+            for _, child in node.edges:
+                tail = rec(child)
+                if tail is not None:
+                    return [node] + tail
+            return None
+
+        path = rec(self.root)  # type: ignore[arg-type]
+        assert path is not None, "output node must be reachable from the root"
+        self._path_cache = path
+        return path
+
+    def selection_axes(self) -> list[Axis]:
+        """Axes of the ``d`` selection edges, top-down (empty if d = 0)."""
+        path = self.selection_path()
+        parent_map = self.parent_map()
+        return [parent_map[node][0] for node in path[1:]]
+
+    @property
+    def depth(self) -> int:
+        """The depth ``d`` of the pattern: selection-path edge count."""
+        return len(self.selection_path()) - 1
+
+    def k_node(self, k: int) -> PNode:
+        """The selection node at depth ``k`` (paper §3.1)."""
+        path = self.selection_path()
+        if not 0 <= k < len(path):
+            raise PatternStructureError(
+                f"k-node index {k} out of range for pattern of depth {len(path) - 1}"
+            )
+        return path[k]
+
+    def node_depth(self, node: PNode) -> int:
+        """Depth of ``node``: the depth of its deepest selection ancestor.
+
+        The paper extends selection depth to all nodes this way (§3.1).
+        """
+        on_path = set(map(id, self.selection_path()))
+        parent_map = self.parent_map()
+
+        current = node
+        while id(current) not in on_path:
+            try:
+                _, current = parent_map[current]
+            except KeyError:  # pragma: no cover - defensive
+                raise PatternStructureError("node is not part of this pattern")
+        path = self.selection_path()
+        for depth, sel in enumerate(path):
+            if sel is current:
+                return depth
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "Pattern":
+        """Deep copy with fresh node identities (Υ returns itself)."""
+        if self.root is None:
+            return self
+        clone, mapping = self.root.deep_copy_with_map()
+        return Pattern(clone, mapping[self.output])  # type: ignore[index]
+
+    def copy_with_map(self) -> tuple["Pattern", dict[PNode, PNode]]:
+        """Deep copy plus the ``old_node -> new_node`` mapping."""
+        root = self._require_nonempty()
+        clone, mapping = root.deep_copy_with_map()
+        return Pattern(clone, mapping[self.output]), mapping  # type: ignore[index]
+
+    def map_nodes(self, fn: Callable[[PNode], str]) -> "Pattern":
+        """Copy, rewriting each node's label to ``fn(old_node)``."""
+        if self.root is None:
+            return self
+        clone, mapping = self.copy_with_map()
+        for old, new in mapping.items():
+            new.label = fn(old)
+        clone._key_cache = None
+        return clone
+
+    # ------------------------------------------------------------------
+    # Structural equality (isomorphism)
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> tuple:
+        """A canonical key: equal keys iff isomorphic patterns.
+
+        Isomorphism respects labels, edge types and the output marker but
+        ignores branch order — the notion used for deduplicating candidate
+        rewritings in Proposition 3.4.
+        """
+        if self._key_cache is not None:
+            return self._key_cache
+        if self.root is None:
+            key: tuple = ("Υ",)
+        else:
+            key = _node_key(self.root, self.output)
+        self._key_cache = key
+        return key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        from .serialize import to_xpath  # local import to avoid a cycle
+
+        if self.is_empty:
+            return "Pattern(Υ)"
+        return f"Pattern({to_xpath(self)!r})"
+
+    def render(self) -> str:
+        """ASCII-art rendering (output node marked with ``<- output``)."""
+        if self.root is None:
+            return "Υ (empty pattern)"
+        lines: list[str] = []
+
+        def rec(node: PNode, prefix: str, axis: Axis | None) -> None:
+            edge = "" if axis is None else ("/ " if axis is Axis.CHILD else "// ")
+            marker = "  <- output" if node is self.output else ""
+            lines.append(f"{prefix}{edge}{node.label}{marker}")
+            for child_axis, child in node.edges:
+                rec(child, prefix + "    ", child_axis)
+
+        rec(self.root, "", None)
+        return "\n".join(lines)
+
+
+def _node_key(node: PNode, output: PNode | None) -> tuple:
+    child_keys = sorted(
+        (int(axis), _node_key(child, output)) for axis, child in node.edges
+    )
+    return (node.label, node is output, tuple(child_keys))
+
+
+#: The empty pattern Υ (Section 2.1).  A shared singleton value.
+EMPTY_PATTERN = Pattern(None)

@@ -1,0 +1,123 @@
+"""Programmatic pattern construction.
+
+Two styles are offered:
+
+* :class:`PatternBuilder` — a fluent, selection-path-oriented builder::
+
+      P = (PatternBuilder("a")
+           .child("*").branch("b")
+           .descendant("e")
+           .build())            # a/*[b]//e
+
+* :func:`pat` — a nested-tuple literal mirroring the tree shape::
+
+      P = pat(("a", [("/", ("b", [])), ("//", ("e", []))]), output=[1])
+
+The builder is the recommended style for tests and examples; the parser
+(:func:`~repro.patterns.parse.parse_pattern`) is the recommended style for
+users.
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternStructureError
+from .ast import Axis, Pattern, PNode
+
+__all__ = ["PatternBuilder", "pat"]
+
+
+class PatternBuilder:
+    """Fluent builder that grows a pattern along its selection path.
+
+    The cursor starts at the root; :meth:`child` and :meth:`descendant`
+    extend the selection path, while :meth:`branch` / :meth:`dbranch`
+    attach predicate subtrees to the *current* selection node without
+    moving the cursor.  :meth:`build` marks the cursor node as the output
+    node and returns the finished :class:`Pattern`.
+    """
+
+    def __init__(self, root_label: str):
+        self._root = PNode(root_label)
+        self._cursor = self._root
+
+    # -- selection-path growth -----------------------------------------
+    def child(self, label: str) -> "PatternBuilder":
+        """Extend the selection path with a child edge to ``label``."""
+        self._cursor = self._cursor.child(label)
+        return self
+
+    def descendant(self, label: str) -> "PatternBuilder":
+        """Extend the selection path with a descendant edge to ``label``."""
+        self._cursor = self._cursor.descendant(label)
+        return self
+
+    # -- branches ---------------------------------------------------------
+    def branch(self, expr: str | Pattern) -> "PatternBuilder":
+        """Attach a predicate subtree by a **child** edge.
+
+        ``expr`` is either a pattern expression string (its selection path
+        is irrelevant — only the tree shape is used) or a ``Pattern``.
+        """
+        self._attach(Axis.CHILD, expr)
+        return self
+
+    def dbranch(self, expr: str | Pattern) -> "PatternBuilder":
+        """Attach a predicate subtree by a **descendant** edge."""
+        self._attach(Axis.DESCENDANT, expr)
+        return self
+
+    def _attach(self, axis: Axis, expr: str | Pattern) -> None:
+        subtree = _as_subtree(expr)
+        self._cursor.add(axis, subtree)
+
+    # -- finish ----------------------------------------------------------
+    def build(self) -> Pattern:
+        """Finish: the current cursor node becomes the output node."""
+        return Pattern(self._root, self._cursor)
+
+
+def _as_subtree(expr: str | Pattern) -> PNode:
+    if isinstance(expr, Pattern):
+        if expr.is_empty:
+            raise PatternStructureError("cannot attach the empty pattern as a branch")
+        return expr.root.deep_copy()  # type: ignore[union-attr]
+    from .parse import parse_pattern  # local import to avoid a cycle
+
+    parsed = parse_pattern(expr)
+    if parsed.is_empty:
+        raise PatternStructureError("cannot attach the empty pattern as a branch")
+    return parsed.root  # freshly parsed: no sharing  # type: ignore[return-value]
+
+
+def pat(spec, output: list[int] | None = None) -> Pattern:
+    """Build a pattern from a nested-tuple literal.
+
+    ``spec`` is ``(label, [(axis, spec), ...])`` where ``axis`` is ``"/"``
+    or ``"//"``.  ``output`` addresses the output node as a list of child
+    indices from the root (default: the root itself).
+
+    Example — ``a/*[b]//e`` with output ``e``::
+
+        pat(("a", [("/", ("*", [("/", ("b", [])),
+                                ("//", ("e", []))]))]),
+            output=[0, 1])
+    """
+    root = _node_from_spec(spec)
+    node = root
+    for index in output or []:
+        children = node.children()
+        if index >= len(children):
+            raise PatternStructureError(
+                f"output path index {index} out of range at node {node.label!r}"
+            )
+        node = children[index]
+    return Pattern(root, node)
+
+
+def _node_from_spec(spec) -> PNode:
+    label, edges = spec
+    node = PNode(label)
+    for axis_sym, child_spec in edges:
+        axis = Axis.CHILD if axis_sym == "/" else Axis.DESCENDANT
+        node.add(axis, _node_from_spec(child_spec))
+    return node

@@ -1,0 +1,132 @@
+"""Fragment classification for patterns.
+
+The paper's complexity landscape is organized around the fragment
+``XP{//,[],*}`` and its three maximal sub-fragments, obtained by dropping
+one construct each (Section 1):
+
+* ``XP{[],*}``  — no descendant edges,
+* ``XP{//,*}``  — no branches,
+* ``XP{//,[]}`` — no wildcards.
+
+Containment (hence equivalence, hence the candidate check in rewriting)
+is PTIME on each of the three sub-fragments because it is characterized
+by the existence of a homomorphism [14]; on the full fragment it is
+coNP-complete.  The rewriting problem is PTIME on the sub-fragments [17]
+and coNP-complete under the paper's conditions on the full fragment.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from .ast import Pattern
+
+__all__ = [
+    "Fragment",
+    "classify",
+    "in_fragment",
+    "uses_predicate",
+    "homomorphism_complete",
+]
+
+
+class Fragment(Enum):
+    """Named sub-fragments of ``XP{//,[],*}``.
+
+    Values record which constructs are *allowed*.
+    """
+
+    PATHS = "XP{}"  # child edges only, no branches, no wildcards
+    BRANCHES = "XP{[]}"
+    DESCENDANTS = "XP{//}"
+    WILDCARDS = "XP{*}"
+    NO_WILDCARD = "XP{//,[]}"
+    NO_BRANCH = "XP{//,*}"
+    NO_DESCENDANT = "XP{[],*}"
+    FULL = "XP{//,[],*}"
+
+    def allows(self) -> tuple[bool, bool, bool]:
+        """``(descendants, branches, wildcards)`` permitted by the fragment."""
+        return {
+            Fragment.PATHS: (False, False, False),
+            Fragment.BRANCHES: (False, True, False),
+            Fragment.DESCENDANTS: (True, False, False),
+            Fragment.WILDCARDS: (False, False, True),
+            Fragment.NO_WILDCARD: (True, True, False),
+            Fragment.NO_BRANCH: (True, False, True),
+            Fragment.NO_DESCENDANT: (False, True, True),
+            Fragment.FULL: (True, True, True),
+        }[self]
+
+
+def uses_predicate(pattern: Pattern) -> bool:
+    """True iff the pattern needs the ``q[q]`` construct.
+
+    Equivalently: some node lies off the selection path.  (This is the
+    grammar-level notion of "branching"; the structural notion "some node
+    has ≥ 2 children" is :meth:`Pattern.has_branching` and is what
+    linearity in §5.1 refers to.)
+    """
+    if pattern.is_empty:
+        return False
+    return pattern.size() > pattern.depth + 1
+
+
+def classify(pattern: Pattern) -> Fragment:
+    """The *smallest* named fragment containing ``pattern``.
+
+    The empty pattern classifies as :data:`Fragment.PATHS`.
+    """
+    has_desc = pattern.has_descendant_edge()
+    has_branch = uses_predicate(pattern)
+    has_wild = pattern.has_wildcard()
+    table = {
+        (False, False, False): Fragment.PATHS,
+        (False, True, False): Fragment.BRANCHES,
+        (True, False, False): Fragment.DESCENDANTS,
+        (False, False, True): Fragment.WILDCARDS,
+        (True, True, False): Fragment.NO_WILDCARD,
+        (True, False, True): Fragment.NO_BRANCH,
+        (False, True, True): Fragment.NO_DESCENDANT,
+        (True, True, True): Fragment.FULL,
+    }
+    return table[(has_desc, has_branch, has_wild)]
+
+
+def in_fragment(pattern: Pattern, fragment: Fragment) -> bool:
+    """True iff ``pattern`` uses only constructs allowed by ``fragment``."""
+    allow_desc, allow_branch, allow_wild = fragment.allows()
+    if pattern.has_descendant_edge() and not allow_desc:
+        return False
+    if uses_predicate(pattern) and not allow_branch:
+        return False
+    if pattern.has_wildcard() and not allow_wild:
+        return False
+    return True
+
+
+def homomorphism_complete(contained: Pattern, container: Pattern) -> bool:
+    """True iff ``contained ⊑ container`` is decided by homomorphism
+    existence (``container → contained``).
+
+    The test is always *sound*; it is **complete** when
+
+    * ``contained`` has no descendant edges — its single canonical model
+      ``τ(contained)`` makes every counterexample-free embedding lift to
+      a homomorphism (covers all of ``XP{[],*}`` and more), or
+    * both patterns are wildcard-free (``XP{//,[]}``) — the classical
+      tree-pattern result.
+
+    Note that on ``XP{//,*}`` containment is PTIME but **not** by
+    homomorphism: ``a//*/e ⊑ a/*//e`` holds with no homomorphism
+    (wildcards commute with descendant steps).  The paper's Section 1
+    wording lumps the three sub-fragments together; the load-bearing fact
+    (PTIME decidability on each sub-fragment) is preserved here — see
+    :func:`repro.baselines.linear_containment` for the dedicated
+    ``XP{//,*}`` procedure.
+    """
+    if not contained.has_descendant_edge():
+        return True
+    if not contained.has_wildcard() and not container.has_wildcard():
+        return True
+    return False

@@ -1,0 +1,199 @@
+"""Parser for ``XP{//,[],*}`` pattern expressions.
+
+The paper describes the fragment by the grammar (Section 2.1)::
+
+    q  ::=  q/q  |  q//q  |  q[q]  |  l  |  *
+
+We accept the familiar XPath surface syntax:
+
+* ``a/b//c`` — child and descendant separators on the *selection path*;
+* ``a[b][c//d]`` — predicates (branches) attached to a step;
+* ``a[.//b]`` or ``a[//b]`` — a branch connected by a *descendant* edge;
+* ``*`` — the wildcard label;
+* an optional leading ``/`` (ignored) or ``//`` (sugar for a wildcard
+  root followed by a descendant edge: ``//a`` ≡ ``*//a``);
+* ``Υ`` (or the empty string) — the empty pattern.
+
+The **output node** is the last step of the top-level path, matching
+XPath semantics for this fragment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import PatternSyntaxError
+from .ast import Axis, Pattern, PNode, WILDCARD
+
+__all__ = ["parse_pattern", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<DSLASH>//)
+  | (?P<SLASH>/)
+  | (?P<LBRACK>\[)
+  | (?P<RBRACK>\])
+  | (?P<STAR>\*)
+  | (?P<DOT>\.)
+  | (?P<NAME>\w[\w\-:]*)
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE | re.UNICODE,
+)
+
+
+def tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Tokenize a pattern expression into ``(kind, value, position)``.
+
+    Raises :class:`PatternSyntaxError` on any unrecognized character.
+    """
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PatternSyntaxError("unexpected character", text, pos)
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append((kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token-stream helpers ------------------------------------------
+    def peek(self) -> str | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index][0]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        if self.index >= len(self.tokens):
+            raise PatternSyntaxError("unexpected end of pattern", self.text)
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> tuple[str, str, int]:
+        token = self.next()
+        if token[0] != kind:
+            raise PatternSyntaxError(
+                f"expected {kind}, found {token[1]!r}", self.text, token[2]
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Pattern:
+        if self.at_end():
+            return Pattern.empty()
+        # A leading '/' is the (implicit) document root; '//' is sugar
+        # for a wildcard root followed by a descendant edge.
+        first_axis = Axis.CHILD
+        virtual_root: PNode | None = None
+        if self.peek() == "SLASH":
+            self.next()
+        elif self.peek() == "DSLASH":
+            self.next()
+            virtual_root = PNode(WILDCARD)
+            first_axis = Axis.DESCENDANT
+
+        first = self.parse_step()
+        if virtual_root is not None:
+            virtual_root.add(first_axis, first)
+            root = virtual_root
+        else:
+            root = first
+
+        output = first
+        while not self.at_end() and self.peek() in ("SLASH", "DSLASH"):
+            kind, _, _ = self.next()
+            axis = Axis.CHILD if kind == "SLASH" else Axis.DESCENDANT
+            step = self.parse_step()
+            output.add(axis, step)
+            output = step
+        if not self.at_end():
+            _, value, pos = self.tokens[self.index]
+            raise PatternSyntaxError(
+                f"unexpected trailing token {value!r}", self.text, pos
+            )
+        return Pattern(root, output)
+
+    def parse_step(self) -> PNode:
+        """One step: a label followed by zero or more predicates."""
+        kind, value, pos = self.next()
+        if kind == "STAR":
+            node = PNode(WILDCARD)
+        elif kind == "NAME":
+            node = PNode(value)
+        else:
+            raise PatternSyntaxError(
+                f"expected a label or '*', found {value!r}", self.text, pos
+            )
+        while self.peek() == "LBRACK":
+            self.next()
+            self.parse_predicate(node)
+            self.expect("RBRACK")
+        return node
+
+    def parse_predicate(self, anchor: PNode) -> None:
+        """A predicate ``[...]``: a relative path attached to ``anchor``.
+
+        The first edge is a child edge by default; ``.//`` or a leading
+        ``//`` makes it a descendant edge.  A leading ``./`` is accepted
+        and means a child edge.
+        """
+        axis = Axis.CHILD
+        if self.peek() == "DOT":
+            self.next()
+            kind, value, pos = self.next()
+            if kind == "DSLASH":
+                axis = Axis.DESCENDANT
+            elif kind == "SLASH":
+                axis = Axis.CHILD
+            else:
+                raise PatternSyntaxError(
+                    f"expected '/' or '//' after '.', found {value!r}",
+                    self.text,
+                    pos,
+                )
+        elif self.peek() == "DSLASH":
+            self.next()
+            axis = Axis.DESCENDANT
+        elif self.peek() == "SLASH":
+            self.next()
+            axis = Axis.CHILD
+
+        node = self.parse_step()
+        anchor.add(axis, node)
+        while self.peek() in ("SLASH", "DSLASH"):
+            kind, _, _ = self.next()
+            step_axis = Axis.CHILD if kind == "SLASH" else Axis.DESCENDANT
+            step = self.parse_step()
+            node.add(step_axis, step)
+            node = step
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse an XPath expression of ``XP{//,[],*}`` into a :class:`Pattern`.
+
+    Examples
+    --------
+    >>> parse_pattern("a/*[b]//c").depth
+    2
+    >>> parse_pattern("Υ").is_empty
+    True
+    """
+    stripped = text.strip()
+    if stripped in ("", "Υ"):
+        return Pattern.empty()
+    return _Parser(stripped).parse()

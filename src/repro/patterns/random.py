@@ -1,0 +1,175 @@
+"""Random pattern generation for tests, workloads and benchmarks.
+
+The generators are parameterized by the paper's three constructs —
+descendant edges, branches, wildcards — so that workloads can target the
+full fragment ``XP{//,[],*}`` or any sub-fragment, plus the syntactic
+conditions of Sections 4–5 (e.g. "selection path of V has only child
+edges" for Theorem 4.10 workloads).
+
+:func:`random_rewrite_instance` generates ``(P, V)`` pairs with a known
+ground truth: when ``V`` is taken to be ``P≤k`` verbatim, the composition
+``P≥k ∘ V`` is equivalent to ``P`` (equal when the k-node carries no
+branches; otherwise those branches appear twice, redundantly), so a
+rewriting certainly exists.  Mutated views give (typically) unrewritable
+instances for negative testing.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import WorkloadError
+from .ast import Axis, Pattern, PNode, WILDCARD
+from .fragments import Fragment
+
+__all__ = ["PatternConfig", "random_pattern", "random_rewrite_instance"]
+
+
+def _rng(seed_or_rng: int | _random.Random | None) -> _random.Random:
+    if isinstance(seed_or_rng, _random.Random):
+        return seed_or_rng
+    return _random.Random(seed_or_rng)
+
+
+@dataclass
+class PatternConfig:
+    """Knobs for random pattern generation.
+
+    Attributes
+    ----------
+    depth:
+        Selection-path length (number of selection edges).
+    alphabet:
+        Σ-labels to draw from.
+    wildcard_prob:
+        Probability that a node is labeled ``*``.
+    descendant_prob:
+        Probability that an edge is a descendant edge.
+    branch_prob:
+        Probability that a selection node sprouts a branch.
+    max_branch_size:
+        Maximal node count of each branch subtree.
+    fragment:
+        Restrict generation to a named fragment (overrides the three
+        probabilities when a construct is disallowed).
+    """
+
+    depth: int = 3
+    alphabet: Sequence[str] = ("a", "b", "c", "d", "e")
+    wildcard_prob: float = 0.3
+    descendant_prob: float = 0.3
+    branch_prob: float = 0.5
+    max_branch_size: int = 3
+    fragment: Fragment = Fragment.FULL
+
+    def __post_init__(self) -> None:
+        if self.depth < 0:
+            raise WorkloadError("depth must be >= 0")
+        if not self.alphabet:
+            raise WorkloadError("alphabet must be nonempty")
+        allow_desc, allow_branch, allow_wild = self.fragment.allows()
+        if not allow_desc:
+            self.descendant_prob = 0.0
+        if not allow_branch:
+            self.branch_prob = 0.0
+        if not allow_wild:
+            self.wildcard_prob = 0.0
+
+    # -- draw helpers -----------------------------------------------------
+    def draw_label(self, rng: _random.Random) -> str:
+        if rng.random() < self.wildcard_prob:
+            return WILDCARD
+        return rng.choice(list(self.alphabet))
+
+    def draw_axis(self, rng: _random.Random) -> Axis:
+        if rng.random() < self.descendant_prob:
+            return Axis.DESCENDANT
+        return Axis.CHILD
+
+
+def random_pattern(
+    config: PatternConfig | None = None,
+    seed: int | _random.Random | None = None,
+) -> Pattern:
+    """Generate a random pattern according to ``config``.
+
+    The selection path has exactly ``config.depth`` edges; each selection
+    node may carry branch subtrees of at most ``config.max_branch_size``
+    nodes.
+    """
+    config = config or PatternConfig()
+    rng = _rng(seed)
+    root = PNode(config.draw_label(rng))
+    node = root
+    path = [root]
+    for _ in range(config.depth):
+        node = node.add(config.draw_axis(rng), PNode(config.draw_label(rng)))
+        path.append(node)
+    for sel_node in path:
+        while rng.random() < config.branch_prob:
+            size = rng.randint(1, config.max_branch_size)
+            sel_node.add(config.draw_axis(rng), _random_subtree(rng, config, size))
+            if rng.random() < 0.5:
+                break
+    return Pattern(root, path[-1])
+
+
+def _random_subtree(rng: _random.Random, config: PatternConfig, size: int) -> PNode:
+    """A random branch subtree with exactly ``size`` nodes."""
+    root = PNode(config.draw_label(rng))
+    nodes = [root]
+    for _ in range(size - 1):
+        parent = rng.choice(nodes)
+        child = parent.add(config.draw_axis(rng), PNode(config.draw_label(rng)))
+        nodes.append(child)
+    return root
+
+
+def random_rewrite_instance(
+    config: PatternConfig | None = None,
+    seed: int | _random.Random | None = None,
+    view_depth: int | None = None,
+    mutate_view: bool = False,
+) -> tuple[Pattern, Pattern]:
+    """Generate a ``(P, V)`` rewriting instance.
+
+    With ``mutate_view=False`` the view is exactly ``P≤k`` (same nodes and
+    branches), so ``P≥k ∘ V = P`` and a rewriting is guaranteed to exist.
+    With ``mutate_view=True`` the view receives a random extra branch with
+    a fresh label, which usually destroys rewritability (useful for
+    negative workloads; callers must still *decide* the instance).
+
+    Parameters
+    ----------
+    view_depth:
+        The view's depth ``k`` (must satisfy ``0 <= k <= depth``); random
+        when None.
+    """
+    config = config or PatternConfig()
+    if config.depth < 1:
+        raise WorkloadError("rewrite instances need a query of depth >= 1")
+    rng = _rng(seed)
+    query = random_pattern(config, rng)
+    k = view_depth if view_depth is not None else rng.randint(0, config.depth - 1)
+    if not 0 <= k <= config.depth:
+        raise WorkloadError(f"view_depth {k} out of range for depth {config.depth}")
+
+    # Build V = P≤k by copying the query and pruning below the k-node.
+    view_copy, mapping = query.copy_with_map()
+    sel_path = query.selection_path()
+    k_node_new = mapping[sel_path[k]]
+    if k < query.depth:
+        next_new = mapping[sel_path[k + 1]]
+        k_node_new.edges = [
+            (axis, child) for axis, child in k_node_new.edges if child is not next_new
+        ]
+    view = Pattern(view_copy.root, k_node_new)
+
+    if mutate_view:
+        fresh = "zz_view_only"
+        target = rng.choice(list(view.nodes()))
+        target.add(Axis.CHILD, PNode(fresh))
+        view = Pattern(view.root, view.output)  # re-validate
+    return query, view

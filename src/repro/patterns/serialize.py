@@ -1,0 +1,103 @@
+"""Serialization of patterns back to XPath expressions.
+
+:func:`to_xpath` emits an expression that :func:`~repro.patterns.parse.parse_pattern`
+parses back to an isomorphic pattern (round-trip property, covered by
+property-based tests).  Selection-path steps are written as path steps;
+all other subtrees become predicates, with ``.//`` marking a branch that
+hangs off a descendant edge.
+"""
+
+from __future__ import annotations
+
+from .ast import Axis, Pattern, PNode
+
+__all__ = ["to_xpath", "to_grammar"]
+
+
+def to_xpath(pattern: Pattern) -> str:
+    """Render a pattern as an XPath expression of the fragment.
+
+    The empty pattern renders as ``Υ``.
+    """
+    if pattern.is_empty:
+        return "Υ"
+    path = pattern.selection_path()
+    on_path = set(map(id, path))
+    parts: list[str] = []
+    for index, node in enumerate(path):
+        if index > 0:
+            axis = _incoming_axis(pattern, node)
+            parts.append(axis.symbol())
+        parts.append(_step_expr(node, on_path))
+    return "".join(parts)
+
+
+def _incoming_axis(pattern: Pattern, node: PNode) -> Axis:
+    axis, _ = pattern.parent_map()[node]
+    return axis
+
+
+def _step_expr(node: PNode, on_path: set[int]) -> str:
+    """A selection step: label plus predicates for non-selection branches."""
+    out = [node.label]
+    for axis, child in node.edges:
+        if id(child) in on_path:
+            continue
+        out.append(f"[{_branch_expr(axis, child)}]")
+    return "".join(out)
+
+
+def _branch_expr(axis: Axis, node: PNode) -> str:
+    """A predicate body for a branch entered along ``axis``.
+
+    Single-child chains are rendered as paths (``b//c/d``); branching
+    nodes nest further predicates.
+    """
+    prefix = ".//" if axis is Axis.DESCENDANT else ""
+    return prefix + _subtree_expr(node)
+
+
+def _subtree_expr(node: PNode) -> str:
+    if not node.edges:
+        return node.label
+    if len(node.edges) == 1:
+        child_axis, child = node.edges[0]
+        return f"{node.label}{child_axis.symbol()}{_subtree_expr(child)}"
+    preds = "".join(f"[{_branch_expr(axis, child)}]" for axis, child in node.edges)
+    return f"{node.label}{preds}"
+
+
+def to_grammar(pattern: Pattern) -> str:
+    """Render a pattern in the paper's grammar notation.
+
+    This is :func:`to_xpath` with every branch fully bracketed (no path
+    shorthand inside predicates), mirroring ``q/q | q//q | q[q] | l | *``.
+    """
+    if pattern.is_empty:
+        return "Υ"
+    path = pattern.selection_path()
+    on_path = set(map(id, path))
+    parts: list[str] = []
+    for index, node in enumerate(path):
+        if index > 0:
+            parts.append(_incoming_axis(pattern, node).symbol())
+        out = [node.label]
+        for axis, child in node.edges:
+            if id(child) in on_path:
+                continue
+            body = _grammar_subtree(child)
+            if axis is Axis.DESCENDANT:
+                body = f".//{body}"
+            out.append(f"[{body}]")
+        parts.append("".join(out))
+    return "".join(parts)
+
+
+def _grammar_subtree(node: PNode) -> str:
+    out = [node.label]
+    for axis, child in node.edges:
+        body = _grammar_subtree(child)
+        if axis is Axis.DESCENDANT:
+            body = f".//{body}"
+        out.append(f"[{body}]")
+    return "".join(out)

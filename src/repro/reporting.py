@@ -1,0 +1,67 @@
+"""Small table/series printers for the benchmark harness.
+
+The paper has no numeric tables (it is a theory paper), so the benchmark
+suite prints the rows it *derives* from the paper's claims — rule
+coverage, test counts, scaling series.  These helpers keep that output
+uniform across benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "format_series", "print_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> None:
+    """Print an aligned ASCII table."""
+    print(format_table(headers, rows, title))
+
+
+def format_series(
+    name: str, points: Iterable[tuple[object, object]]
+) -> str:
+    """Render an ``x -> y`` series on one line each."""
+    lines = [f"series: {name}"]
+    for x, y in points:
+        lines.append(f"  {_cell(x)} -> {_cell(y)}")
+    return "\n".join(lines)
+
+
+def print_series(name: str, points: Iterable[tuple[object, object]]) -> None:
+    """Print an ``x -> y`` series."""
+    print(format_series(name, points))

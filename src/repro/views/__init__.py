@@ -1,0 +1,30 @@
+"""Materialized views and rewriting-backed query answering (Section 2.4
+plus the paper's motivating applications).
+
+* :class:`ViewStore` / :class:`MaterializedView` — named documents and
+  precomputed ``V(t)`` forests.
+* :class:`QueryEngine` — plans and executes queries directly or via a
+  rewriting over a stored view (Prop 2.4 guarantees equal answers).
+* :class:`ViewCache` — an LRU semantic query cache in the style of the
+  systems the paper cites ([3, 5, 13, 18]), but with sound-and-complete
+  rewriting decisions.
+"""
+
+from .advisor import AdvisorResult, CandidateView, advise_views
+from .cache import CachedView, CacheStats, ViewCache
+from .engine import EngineStats, QueryEngine, QueryPlan
+from .store import MaterializedView, ViewStore
+
+__all__ = [
+    "AdvisorResult",
+    "CandidateView",
+    "advise_views",
+    "CachedView",
+    "CacheStats",
+    "ViewCache",
+    "EngineStats",
+    "QueryEngine",
+    "QueryPlan",
+    "MaterializedView",
+    "ViewStore",
+]

@@ -1,0 +1,174 @@
+"""View selection for a query workload (paper §6, open problem 4).
+
+    "Given a set of queries that are frequently asked, what is an
+    optimal set of views that should be maintained so that the queries
+    could be evaluated as quickly as possible?"
+
+This module implements a practical greedy advisor for that problem:
+
+* **candidate views** are the selection-path prefixes ``P≤k`` of the
+  workload queries (the shapes for which the paper's natural candidates
+  are designed, so rewritability checks are fast and usually decisive);
+* each candidate is scored by the workload weight of the queries it can
+  answer (decided by the rewriting solver) against its estimated storage
+  cost (answer count on a sample document when provided, else pattern
+  generality);
+* a **greedy set-cover** pass picks views until the budget is exhausted
+  or every answerable query is covered.
+
+This is explicitly a heuristic for an open problem; the solver-backed
+answerability test is exact, the selection is greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.embedding import evaluate
+from ..core.rewrite import RewriteSolver
+from ..core.selection import sub_le
+from ..patterns.ast import Pattern
+from ..xmltree.tree import XMLTree
+
+__all__ = ["AdvisorResult", "CandidateView", "advise_views"]
+
+
+@dataclass
+class CandidateView:
+    """A scored candidate view.
+
+    Attributes
+    ----------
+    pattern:
+        The view pattern.
+    covered:
+        Indices of workload queries answerable from this view.
+    benefit:
+        Total weight of covered queries.
+    cost:
+        Estimated storage cost (sample answer count, or pattern size
+        fallback).
+    """
+
+    pattern: Pattern
+    covered: set[int] = field(default_factory=set)
+    benefit: float = 0.0
+    cost: float = 1.0
+
+
+@dataclass
+class AdvisorResult:
+    """Outcome of view selection.
+
+    Attributes
+    ----------
+    views:
+        Chosen views, in selection order.
+    coverage:
+        query index -> chosen view index (first view answering it).
+    uncovered:
+        Workload indices no candidate view could answer.
+    """
+
+    views: list[CandidateView] = field(default_factory=list)
+    coverage: dict[int, int] = field(default_factory=dict)
+    uncovered: list[int] = field(default_factory=list)
+
+
+def _candidate_views(queries: Sequence[Pattern]) -> list[Pattern]:
+    """Distinct selection-path prefixes of the workload queries."""
+    seen: set[tuple] = set()
+    candidates: list[Pattern] = []
+    for query in queries:
+        if query.is_empty:
+            continue
+        for k in range(query.depth + 1):
+            prefix = sub_le(query, k)
+            key = prefix.canonical_key()
+            if key not in seen:
+                seen.add(key)
+                candidates.append(prefix)
+    return candidates
+
+
+def advise_views(
+    queries: Sequence[Pattern],
+    weights: Sequence[float] | None = None,
+    max_views: int = 3,
+    sample: XMLTree | None = None,
+    solver: RewriteSolver | None = None,
+    max_cost_fraction: float = 0.6,
+) -> AdvisorResult:
+    """Pick up to ``max_views`` views for a weighted query workload.
+
+    Parameters
+    ----------
+    queries:
+        The workload patterns.
+    weights:
+        Per-query weights (frequencies); uniform when None.
+    max_views:
+        Budget on the number of materialized views.
+    sample:
+        Optional sample document for storage-cost estimation.
+    solver:
+        Rewriting solver (the answerability oracle).
+    max_cost_fraction:
+        With a sample, candidates whose stored size exceeds this fraction
+        of the document are discarded — a view that stores (almost) the
+        whole document prunes nothing, so answering from it is no better
+        than direct evaluation.
+    """
+    solver = solver or RewriteSolver(use_fallback=False)
+    weights = list(weights) if weights is not None else [1.0] * len(queries)
+    if len(weights) != len(queries):
+        raise ValueError("weights must align with queries")
+
+    scored: list[CandidateView] = []
+    for pattern in _candidate_views(queries):
+        candidate = CandidateView(pattern=pattern)
+        for index, query in enumerate(queries):
+            if solver.solve(query, pattern).found:
+                candidate.covered.add(index)
+                candidate.benefit += weights[index]
+        if not candidate.covered:
+            continue
+        if sample is not None:
+            # Materializing V stores the subtrees rooted at its answers;
+            # cost is their total node count (a root view costs the
+            # whole document, as it should).
+            answers = evaluate(pattern, sample)
+            candidate.cost = float(max(sum(n.size() for n in answers), 1))
+            if candidate.cost > max_cost_fraction * sample.size():
+                continue  # stores (nearly) the whole document: no benefit
+        else:
+            # Generality proxy: shallower, less constrained views are
+            # assumed to store more.
+            candidate.cost = float(max(1, 16 - 2 * pattern.size()))
+        scored.append(candidate)
+
+    result = AdvisorResult()
+    remaining = set(range(len(queries)))
+    answerable = set().union(*(c.covered for c in scored)) if scored else set()
+    while len(result.views) < max_views and remaining & answerable:
+        # Greedy: maximize newly covered workload weight, break ties by
+        # cheaper storage.
+        def _key(candidate: CandidateView) -> tuple[float, float]:
+            gain_weight = sum(weights[i] for i in candidate.covered & remaining)
+            return (gain_weight, -candidate.cost)
+
+        best = max(scored, key=_key)
+        gain = best.covered & remaining
+        if not gain:
+            break
+        view_index = len(result.views)
+        result.views.append(best)
+        for index in sorted(gain):
+            result.coverage[index] = view_index
+        remaining -= gain
+        scored.remove(best)
+        if not scored:
+            break
+    result.uncovered = sorted(remaining)
+    return result

@@ -1,0 +1,163 @@
+"""Rewriting-backed query answering over materialized views.
+
+The engine answers a query pattern ``P`` over a document ``t`` either
+
+* **directly** — evaluating ``P`` on ``t``, or
+* **via a view** — finding a rewriting ``R`` with ``R ∘ V ≡ P``
+  (Section 2.4) and evaluating ``R`` over the stored forest ``V(t)``;
+  by Proposition 2.4 the answers are identical.
+
+The engine records per-query plans and counters, which benchmark C5 uses
+to reproduce the paper's motivating speedup scenario (the view forest is
+usually far smaller than the document).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.composition import compose
+from ..core.embedding import evaluate, evaluate_forest
+from ..core.rewrite import RewriteResult, RewriteSolver, RewriteStatus
+from ..errors import ViewEngineError
+from ..patterns.ast import Pattern
+from ..xmltree.node import TNode
+from .store import ViewStore
+
+__all__ = ["QueryPlan", "EngineStats", "QueryEngine"]
+
+
+@dataclass
+class QueryPlan:
+    """How a query was (or would be) answered.
+
+    ``kind`` is ``"view"`` or ``"direct"``; for view plans, ``view_name``
+    and the verified ``rewriting`` are set.
+    """
+
+    kind: str
+    view_name: str | None = None
+    rewriting: Pattern | None = None
+    rewrite_result: RewriteResult | None = None
+
+
+@dataclass
+class EngineStats:
+    """Counters over the engine's lifetime."""
+
+    direct_answers: int = 0
+    view_answers: int = 0
+    rewrites_attempted: int = 0
+    rewrites_found: int = 0
+
+    def reset(self) -> None:
+        self.direct_answers = 0
+        self.view_answers = 0
+        self.rewrites_attempted = 0
+        self.rewrites_found = 0
+
+
+class QueryEngine:
+    """Answer queries over a :class:`~repro.views.store.ViewStore`.
+
+    Parameters
+    ----------
+    store:
+        The view store holding documents and materialized views.
+    solver:
+        Rewriting solver (defaults to the paper's full solver).
+    """
+
+    def __init__(self, store: ViewStore, solver: RewriteSolver | None = None):
+        self.store = store
+        self.solver = solver or RewriteSolver()
+        self.stats = EngineStats()
+        # Cache of rewrite decisions keyed by (query key, view name).
+        self._decisions: dict[tuple, RewriteResult] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def rewrite_against(self, query: Pattern, view_name: str) -> RewriteResult:
+        """Find (and cache) a rewriting of ``query`` using a named view."""
+        view = self.store.view(view_name)
+        key = (query.canonical_key(), view_name)
+        if key not in self._decisions:
+            self.stats.rewrites_attempted += 1
+            decision = self.solver.solve(query, view.pattern)
+            if decision.found:
+                self.stats.rewrites_found += 1
+            self._decisions[key] = decision
+        return self._decisions[key]
+
+    def plan(self, query: Pattern, document: str) -> QueryPlan:
+        """Choose a plan: the usable view with the smallest stored forest.
+
+        Falls back to a direct plan when no view admits a rewriting.
+        """
+        best: QueryPlan | None = None
+        best_size: int | None = None
+        for view in self.store.views():
+            decision = self.rewrite_against(query, view.name)
+            if not decision.found:
+                continue
+            size = view.answer_count(document)
+            if best_size is None or size < best_size:
+                best = QueryPlan(
+                    kind="view",
+                    view_name=view.name,
+                    rewriting=decision.rewriting,
+                    rewrite_result=decision,
+                )
+                best_size = size
+        return best or QueryPlan(kind="direct")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def answer_direct(self, query: Pattern, document: str) -> set[TNode]:
+        """Evaluate ``P(t)`` directly on the document."""
+        self.stats.direct_answers += 1
+        return evaluate(query, self.store.document(document))
+
+    def answer_with_view(
+        self, query: Pattern, view_name: str, document: str
+    ) -> set[TNode]:
+        """Answer via one specific view; raises if no rewriting exists.
+
+        Evaluates the rewriting over the stored forest ``V(t)`` — the
+        document itself is *not* touched (the paper's caching scenario).
+        """
+        decision = self.rewrite_against(query, view_name)
+        if not decision.found:
+            raise ViewEngineError(
+                f"query has no rewriting using view {view_name!r} "
+                f"(status: {decision.status.value})"
+            )
+        forest = self.store.view_answers(view_name, document)
+        self.stats.view_answers += 1
+        return evaluate_forest(decision.rewriting, forest)
+
+    def answer(self, query: Pattern, document: str) -> set[TNode]:
+        """Answer using the planner's choice (view if possible)."""
+        plan = self.plan(query, document)
+        if plan.kind == "view":
+            assert plan.view_name is not None
+            return self.answer_with_view(query, plan.view_name, document)
+        return self.answer_direct(query, document)
+
+    # ------------------------------------------------------------------
+    # Verification helper (Prop 2.4 end-to-end)
+    # ------------------------------------------------------------------
+    def verify_plan(self, query: Pattern, view_name: str, document: str) -> bool:
+        """Check ``R(V(t)) = P(t)`` for the chosen rewriting on one doc.
+
+        Always True when a rewriting was found (Prop 2.4); exposed for
+        tests and demos.
+        """
+        via_view = self.answer_with_view(query, view_name, document)
+        direct = evaluate(query, self.store.document(document))
+        decision = self.rewrite_against(query, view_name)
+        composed = compose(decision.rewriting, self.store.view(view_name).pattern)
+        via_composition = evaluate(composed, self.store.document(document))
+        return via_view == direct == via_composition

@@ -1,0 +1,132 @@
+"""Materialized view storage (paper Section 2.4).
+
+A *materialized view* is the precomputed result ``V(t)`` of applying a
+view pattern ``V`` to a document ``t`` — a set of subtrees of ``t``,
+represented by their root nodes (node identity inside the original
+document is preserved, which is what makes ``R(V(t)) = P(t)`` an equality
+of answer sets).
+
+:class:`ViewStore` manages named documents and named views and their
+materializations; the query engine (:mod:`repro.views.engine`) evaluates
+rewritings against these stored forests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.embedding import evaluate
+from ..errors import UnknownViewError, ViewEngineError
+from ..patterns.ast import Pattern
+from ..xmltree.node import TNode
+from ..xmltree.tree import XMLTree
+
+__all__ = ["MaterializedView", "ViewStore"]
+
+
+@dataclass
+class MaterializedView:
+    """A view definition plus its materialization per document.
+
+    Attributes
+    ----------
+    name:
+        View identifier.
+    pattern:
+        The view pattern ``V``.
+    results:
+        ``document name -> frozenset of answer nodes`` (the roots of the
+        subtrees in ``V(t)``).
+    """
+
+    name: str
+    pattern: Pattern
+    results: dict[str, frozenset[TNode]] = field(default_factory=dict)
+
+    def answer_count(self, document: str | None = None) -> int:
+        """Stored answer cardinality (for one document or overall)."""
+        if document is not None:
+            return len(self.results.get(document, frozenset()))
+        return sum(len(nodes) for nodes in self.results.values())
+
+
+class ViewStore:
+    """Named documents and materialized views over them.
+
+    Typical usage::
+
+        store = ViewStore()
+        store.add_document("bib", tree)
+        store.define_view("entries", parse_pattern("dblp/*[author]"))
+        forest = store.view_answers("entries", "bib")
+    """
+
+    def __init__(self) -> None:
+        self._documents: dict[str, XMLTree] = {}
+        self._views: dict[str, MaterializedView] = {}
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def add_document(self, name: str, tree: XMLTree) -> None:
+        """Register a document; existing views are materialized over it."""
+        if name in self._documents:
+            raise ViewEngineError(f"document {name!r} already registered")
+        self._documents[name] = tree
+        for view in self._views.values():
+            view.results[name] = frozenset(evaluate(view.pattern, tree))
+
+    def document(self, name: str) -> XMLTree:
+        """Look up a document by name."""
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise ViewEngineError(f"unknown document {name!r}") from None
+
+    def documents(self) -> list[str]:
+        """Registered document names."""
+        return sorted(self._documents)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def define_view(self, name: str, pattern: Pattern) -> MaterializedView:
+        """Define a view and materialize it over all documents."""
+        if name in self._views:
+            raise ViewEngineError(f"view {name!r} already defined")
+        view = MaterializedView(name=name, pattern=pattern)
+        for doc_name, tree in self._documents.items():
+            view.results[doc_name] = frozenset(evaluate(pattern, tree))
+        self._views[name] = view
+        return view
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view and its materializations."""
+        self._view(name)
+        del self._views[name]
+
+    def _view(self, name: str) -> MaterializedView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise UnknownViewError(f"unknown view {name!r}") from None
+
+    def view(self, name: str) -> MaterializedView:
+        """Look up a view by name."""
+        return self._view(name)
+
+    def views(self) -> list[MaterializedView]:
+        """All views, sorted by name."""
+        return [self._views[name] for name in sorted(self._views)]
+
+    def view_answers(self, view_name: str, document: str) -> frozenset[TNode]:
+        """The stored forest ``V(t)`` for one view and document."""
+        view = self._view(view_name)
+        self.document(document)  # validate
+        return view.results.get(document, frozenset())
+
+    def refresh(self, document: str) -> None:
+        """Re-materialize every view over one document (after mutation)."""
+        tree = self.document(document)
+        for view in self._views.values():
+            view.results[document] = frozenset(evaluate(view.pattern, tree))

@@ -1,0 +1,18 @@
+"""Workload generators: rewriting instances and query streams.
+
+* :mod:`instances` — ``(P, V)`` populations for the rewriting benchmarks
+  (rewritable, mutated, and condition-targeted instances).
+* :mod:`streams` — query streams with temporal locality for the cache
+  and view-answering scenarios.
+"""
+
+from .instances import InstanceConfig, condition_instance, make_instances
+from .streams import StreamConfig, query_stream
+
+__all__ = [
+    "InstanceConfig",
+    "condition_instance",
+    "make_instances",
+    "StreamConfig",
+    "query_stream",
+]

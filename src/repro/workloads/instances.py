@@ -1,0 +1,163 @@
+"""Workload generators for rewriting instances ``(P, V)``.
+
+Benchmarks C3/C4 need instance populations with controlled properties:
+
+* *rewritable* instances (view = a prefix of the query, so ``P≥k ∘ V``
+  reconstructs ``P``);
+* *mutated* instances (the view gains a branch the query lacks, usually
+  destroying rewritability) — these exercise the completeness
+  certificates;
+* *condition-targeted* instances that satisfy one specific theorem's
+  precondition (e.g. "selection path of V has only child edges" for
+  Theorem 4.10 workloads).
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..patterns.random import PatternConfig, random_pattern, random_rewrite_instance
+
+__all__ = ["InstanceConfig", "make_instances", "condition_instance"]
+
+
+def _rng(seed_or_rng: int | _random.Random | None) -> _random.Random:
+    if isinstance(seed_or_rng, _random.Random):
+        return seed_or_rng
+    return _random.Random(seed_or_rng)
+
+
+@dataclass
+class InstanceConfig:
+    """Shape of a rewriting-instance workload.
+
+    ``mutate_ratio`` is the fraction of instances whose views receive a
+    distinguishing branch (negative instances).
+    """
+
+    count: int = 50
+    pattern: PatternConfig | None = None
+    mutate_ratio: float = 0.5
+
+    def resolved_pattern(self) -> PatternConfig:
+        return self.pattern or PatternConfig(depth=4)
+
+
+def make_instances(
+    config: InstanceConfig | None = None,
+    seed: int | _random.Random | None = None,
+) -> list[tuple[Pattern, Pattern, bool]]:
+    """Generate ``(P, V, mutated)`` triples.
+
+    ``mutated`` is True for negative-leaning instances.  Rewritability of
+    each instance must still be *decided* (mutations occasionally leave a
+    rewriting intact).
+    """
+    config = config or InstanceConfig()
+    rng = _rng(seed)
+    pattern_config = config.resolved_pattern()
+    instances = []
+    for index in range(config.count):
+        mutated = rng.random() < config.mutate_ratio
+        query, view = random_rewrite_instance(
+            pattern_config, seed=rng, mutate_view=mutated
+        )
+        instances.append((query, view, mutated))
+    return instances
+
+
+def condition_instance(
+    condition: str,
+    depth: int = 4,
+    view_depth: int = 2,
+    seed: int | _random.Random | None = None,
+) -> tuple[Pattern, Pattern]:
+    """A random instance satisfying one named theorem precondition.
+
+    Supported conditions:
+
+    * ``"thm-4.3"``  — ``P≥k`` is stable (non-wildcard k-node);
+    * ``"thm-4.4"``  — the first k selection edges of P are child edges;
+    * ``"thm-4.9"``  — a descendant edge enters ``out(V)``;
+    * ``"thm-4.10"`` — V's selection path has only child edges;
+    * ``"thm-4.16"`` — P's last descendant selection edge corresponds to
+      a descendant edge of V;
+    * ``"gnf"``      — P is linear (hence in GNF/∗).
+
+    The view is the corresponding prefix ``P≤k`` (possibly with its edges
+    adjusted to satisfy the condition), so generated instances remain
+    realistic "view caches a prefix of the query" scenarios.
+    """
+    if view_depth < 1 or view_depth > depth:
+        raise WorkloadError("need 1 <= view_depth <= depth")
+    rng = _rng(seed)
+    pattern_config = PatternConfig(depth=depth)
+
+    query, view = random_rewrite_instance(
+        pattern_config, seed=rng, view_depth=view_depth
+    )
+    q_path = query.selection_path()
+    q_parent = query.parent_map()
+    v_path = view.selection_path()
+    v_parent = view.parent_map()
+
+    def set_query_axis(i: int, axis: Axis) -> None:
+        node = q_path[i]
+        _, parent = q_parent[node]
+        parent.edges = [
+            (axis if child is node else a, child) for a, child in parent.edges
+        ]
+
+    def set_view_axis(i: int, axis: Axis) -> None:
+        node = v_path[i]
+        _, parent = v_parent[node]
+        parent.edges = [
+            (axis if child is node else a, child) for a, child in parent.edges
+        ]
+
+    k = view_depth
+    if condition == "thm-4.3":
+        label = rng.choice(["a", "b", "c"])
+        q_path[k].label = label
+        # Keep the view's output label glb-compatible with the k-node.
+        if v_path[k].label != WILDCARD:
+            v_path[k].label = label
+    elif condition == "thm-4.4":
+        for i in range(1, k + 1):
+            set_query_axis(i, Axis.CHILD)
+            set_view_axis(i, Axis.CHILD)
+    elif condition == "thm-4.9":
+        set_view_axis(k, Axis.DESCENDANT)
+        set_query_axis(k, Axis.DESCENDANT)
+    elif condition == "thm-4.10":
+        for i in range(1, k + 1):
+            set_view_axis(i, Axis.CHILD)
+            set_query_axis(i, Axis.CHILD)
+    elif condition == "thm-4.16":
+        # Put the last descendant edge of P at depth k, matched in V.
+        set_view_axis(k, Axis.DESCENDANT)
+        set_query_axis(k, Axis.DESCENDANT)
+        for i in range(k + 1, depth + 1):
+            set_query_axis(i, Axis.CHILD)
+    elif condition == "gnf":
+        # Strip branches: linear patterns are always in GNF/∗.
+        q_on_path = set(map(id, q_path))
+        for node in list(query.nodes()):
+            node.edges = [(a, c) for a, c in node.edges if id(c) in q_on_path]
+        v_on_path = set(map(id, v_path))
+        for node in list(view.nodes()):
+            node.edges = [(a, c) for a, c in node.edges if id(c) in v_on_path]
+    else:
+        raise WorkloadError(f"unknown condition {condition!r}")
+
+    # Rebuild to refresh caches/validation after in-place edits.
+    query = Pattern(query.root, query.output)
+    view = Pattern(view.root, view.output)
+    query._key_cache = None
+    view._key_cache = None
+    return query, view

@@ -1,0 +1,90 @@
+"""Query streams for the cache and view-answering scenarios.
+
+The paper's motivating applications (query caching, answering queries
+using cached views) involve *streams* of queries with locality: popular
+queries recur, and many queries are specializations of earlier ones.
+:func:`query_stream` produces such a stream over a fixed document schema:
+
+* a pool of "template" queries is drawn first;
+* each stream element is, with configurable probabilities, a repeat of a
+  template (Zipf-weighted), a specialization of a template (an extra
+  branch or a deepened selection path — typically answerable from a
+  cached prefix view), or a fresh random query.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..patterns.random import PatternConfig, random_pattern
+
+__all__ = ["StreamConfig", "query_stream"]
+
+
+def _rng(seed_or_rng: int | _random.Random | None) -> _random.Random:
+    if isinstance(seed_or_rng, _random.Random):
+        return seed_or_rng
+    return _random.Random(seed_or_rng)
+
+
+@dataclass
+class StreamConfig:
+    """Shape of a query stream.
+
+    ``repeat_prob`` + ``specialize_prob`` ≤ 1; the rest are fresh
+    queries.  Templates are Zipf-weighted (rank r has weight 1/r).
+    """
+
+    length: int = 100
+    templates: int = 8
+    repeat_prob: float = 0.5
+    specialize_prob: float = 0.3
+    pattern: PatternConfig | None = None
+
+    def resolved_pattern(self) -> PatternConfig:
+        return self.pattern or PatternConfig(depth=3, branch_prob=0.4)
+
+
+def query_stream(
+    config: StreamConfig | None = None,
+    seed: int | _random.Random | None = None,
+) -> list[Pattern]:
+    """Generate a query stream with temporal locality."""
+    config = config or StreamConfig()
+    rng = _rng(seed)
+    pattern_config = config.resolved_pattern()
+    templates = [random_pattern(pattern_config, rng) for _ in range(config.templates)]
+    weights = [1.0 / (rank + 1) for rank in range(len(templates))]
+
+    stream: list[Pattern] = []
+    for _ in range(config.length):
+        roll = rng.random()
+        if roll < config.repeat_prob:
+            stream.append(rng.choices(templates, weights=weights, k=1)[0])
+        elif roll < config.repeat_prob + config.specialize_prob:
+            template = rng.choices(templates, weights=weights, k=1)[0]
+            stream.append(_specialize(template, pattern_config, rng))
+        else:
+            stream.append(random_pattern(pattern_config, rng))
+    return stream
+
+
+def _specialize(
+    template: Pattern, config: PatternConfig, rng: _random.Random
+) -> Pattern:
+    """A strictly more selective variant of ``template``.
+
+    Either grows the selection path below the output (the new query's
+    prefix is the template — the classic cache-hit shape), or adds a
+    branch to the output node.
+    """
+    copy, mapping = template.copy_with_map()
+    out = mapping[template.output]  # type: ignore[index]
+    if rng.random() < 0.6:
+        axis = config.draw_axis(rng)
+        new_out = out.add(axis, PNode(config.draw_label(rng)))
+        return Pattern(copy.root, new_out)
+    out.add(config.draw_axis(rng), PNode(config.draw_label(rng)))
+    return Pattern(copy.root, out)

@@ -1,0 +1,39 @@
+"""XML document substrate: labeled rooted trees (paper Section 2.1).
+
+Public surface:
+
+* :class:`TNode` — labeled tree node with identity.
+* :class:`XMLTree` — a rooted document tree.
+* :func:`build_tree` / :func:`tree_from_tuples` — literal constructors.
+* :func:`parse_xml` / :func:`to_xml` — stdlib-backed XML text round-trip.
+* :func:`parse_sexpr` / :func:`to_sexpr` — compact ``a(b,c(d))`` syntax.
+* Generators: :func:`random_tree`, :func:`dblp_like`, :func:`xmark_like`…
+"""
+
+from .node import BOTTOM_LABEL, TNode
+from .tree import XMLTree, build_tree, tree_from_tuples
+from .parse import parse_sexpr, parse_xml, to_sexpr, to_xml
+from .generate import (
+    deep_path_tree,
+    dblp_like,
+    random_forest,
+    random_tree,
+    xmark_like,
+)
+
+__all__ = [
+    "BOTTOM_LABEL",
+    "TNode",
+    "XMLTree",
+    "build_tree",
+    "tree_from_tuples",
+    "parse_xml",
+    "to_xml",
+    "parse_sexpr",
+    "to_sexpr",
+    "random_tree",
+    "random_forest",
+    "deep_path_tree",
+    "dblp_like",
+    "xmark_like",
+]

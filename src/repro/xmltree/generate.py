@@ -1,0 +1,222 @@
+"""Random XML document generators.
+
+The paper evaluates no datasets (it is a theory paper), but its motivating
+scenarios — query caching and answering queries over materialized views
+([3, 5, 13, 18] in the paper) — concern document-oriented and
+bibliography-like XML.  These generators produce synthetic documents that
+exercise the same code paths:
+
+* :func:`random_tree` — uniform random trees with configurable size,
+  branching and alphabet (the workhorse for property-based tests).
+* :func:`dblp_like` — a bibliography-shaped document (``dblp`` root with
+  ``article``/``inproceedings`` entries and author/title/year children),
+  mirroring the classic DBLP XML shape.
+* :func:`xmark_like` — an auction-site-shaped document following the XMark
+  benchmark schema skeleton (regions/items/people/auctions).
+
+All generators accept a seeded :class:`random.Random` (or a seed) so that
+workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Sequence
+
+from .node import TNode
+from .tree import XMLTree
+
+__all__ = [
+    "random_tree",
+    "random_forest",
+    "dblp_like",
+    "xmark_like",
+    "deep_path_tree",
+]
+
+
+def _rng(seed_or_rng: int | _random.Random | None) -> _random.Random:
+    if isinstance(seed_or_rng, _random.Random):
+        return seed_or_rng
+    return _random.Random(seed_or_rng)
+
+
+DEFAULT_ALPHABET: tuple[str, ...] = ("a", "b", "c", "d", "e")
+
+
+def random_tree(
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    max_children: int = 4,
+    seed: int | _random.Random | None = None,
+    root_label: str | None = None,
+) -> XMLTree:
+    """Generate a uniform random tree with exactly ``size`` nodes.
+
+    Nodes are attached to a random existing node whose child count is
+    below ``max_children`` (falling back to any node if all are full),
+    which yields bushy-but-bounded shapes similar to real documents.
+
+    Parameters
+    ----------
+    size:
+        Total node count (≥ 1).
+    alphabet:
+        Labels are drawn uniformly from this alphabet.
+    max_children:
+        Soft bound on the branching factor.
+    seed:
+        Seed or ``random.Random`` instance for reproducibility.
+    root_label:
+        Fixed root label; random when None.
+    """
+    if size < 1:
+        raise ValueError("random_tree requires size >= 1")
+    rng = _rng(seed)
+    root = TNode(root_label if root_label is not None else rng.choice(list(alphabet)))
+    nodes = [root]
+    for _ in range(size - 1):
+        open_nodes = [n for n in nodes if len(n.children) < max_children]
+        parent = rng.choice(open_nodes if open_nodes else nodes)
+        child = parent.new_child(rng.choice(list(alphabet)))
+        nodes.append(child)
+    return XMLTree(root)
+
+
+def random_forest(
+    count: int,
+    size: int,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    max_children: int = 4,
+    seed: int | _random.Random | None = None,
+) -> list[XMLTree]:
+    """Generate ``count`` independent random trees (shared RNG stream)."""
+    rng = _rng(seed)
+    return [
+        random_tree(size, alphabet=alphabet, max_children=max_children, seed=rng)
+        for _ in range(count)
+    ]
+
+
+def deep_path_tree(
+    depth: int,
+    label: str = "a",
+    tail_label: str | None = None,
+    seed: int | _random.Random | None = None,
+    alphabet: Sequence[str] | None = None,
+) -> XMLTree:
+    """A single path of ``depth`` edges; useful for descendant-edge tests.
+
+    When ``alphabet`` is given, interior labels are drawn randomly from it;
+    otherwise every node is labeled ``label``.  ``tail_label`` overrides
+    the final (deepest) node's label.
+    """
+    rng = _rng(seed)
+    root = TNode(label if alphabet is None else rng.choice(list(alphabet)))
+    node = root
+    for _ in range(depth):
+        next_label = label if alphabet is None else rng.choice(list(alphabet))
+        node = node.new_child(next_label)
+    if tail_label is not None:
+        node.label = tail_label
+    return XMLTree(root)
+
+
+# ----------------------------------------------------------------------
+# DBLP-like bibliography documents
+# ----------------------------------------------------------------------
+
+_DBLP_ENTRY_KINDS = ("article", "inproceedings", "book", "phdthesis")
+
+
+def dblp_like(
+    entries: int = 50,
+    seed: int | _random.Random | None = None,
+) -> XMLTree:
+    """A bibliography-shaped document: ``dblp`` with publication entries.
+
+    Each entry has 1–4 ``author`` children (each with a ``name`` child),
+    a ``title``, a ``year`` and, with some probability, ``pages``,
+    ``journal``/``booktitle`` and ``ee`` children — enough structure for
+    branch-and-wildcard queries like ``dblp/*[author]//title``.
+    """
+    rng = _rng(seed)
+    root = TNode("dblp")
+    for _ in range(entries):
+        entry = root.new_child(rng.choice(_DBLP_ENTRY_KINDS))
+        for _ in range(rng.randint(1, 4)):
+            author = entry.new_child("author")
+            author.new_child("name")
+        entry.new_child("title")
+        entry.new_child("year")
+        if rng.random() < 0.6:
+            entry.new_child("pages")
+        if entry.label == "article" and rng.random() < 0.9:
+            entry.new_child("journal")
+        if entry.label == "inproceedings" and rng.random() < 0.9:
+            entry.new_child("booktitle")
+        if rng.random() < 0.5:
+            ee = entry.new_child("ee")
+            ee.new_child("url")
+    return XMLTree(root)
+
+
+# ----------------------------------------------------------------------
+# XMark-like auction documents
+# ----------------------------------------------------------------------
+
+def xmark_like(
+    items: int = 20,
+    people: int = 10,
+    auctions: int = 10,
+    seed: int | _random.Random | None = None,
+) -> XMLTree:
+    """An auction-site-shaped document following the XMark skeleton.
+
+    ``site`` → ``regions`` (with continent subdivisions holding ``item``
+    entries), ``people`` (with ``person`` entries carrying profiles), and
+    ``open_auctions`` (with ``open_auction`` entries carrying bidders).
+    """
+    rng = _rng(seed)
+    root = TNode("site")
+
+    regions = root.new_child("regions")
+    continents = [regions.new_child(c) for c in ("africa", "asia", "europe")]
+    for _ in range(items):
+        item = rng.choice(continents).new_child("item")
+        item.new_child("name")
+        item.new_child("location")
+        description = item.new_child("description")
+        for _ in range(rng.randint(1, 3)):
+            para = description.new_child("parlist")
+            para.new_child("listitem")
+        if rng.random() < 0.5:
+            item.new_child("mailbox")
+
+    people_el = root.new_child("people")
+    for _ in range(people):
+        person = people_el.new_child("person")
+        person.new_child("name")
+        person.new_child("emailaddress")
+        if rng.random() < 0.7:
+            profile = person.new_child("profile")
+            profile.new_child("interest")
+            if rng.random() < 0.5:
+                profile.new_child("education")
+        if rng.random() < 0.4:
+            address = person.new_child("address")
+            address.new_child("city")
+            address.new_child("country")
+
+    open_auctions = root.new_child("open_auctions")
+    for _ in range(auctions):
+        auction = open_auctions.new_child("open_auction")
+        auction.new_child("initial")
+        for _ in range(rng.randint(0, 4)):
+            bidder = auction.new_child("bidder")
+            bidder.new_child("date")
+            bidder.new_child("increase")
+        auction.new_child("quantity")
+        auction.new_child("itemref")
+
+    return XMLTree(root)

@@ -1,0 +1,167 @@
+"""Labeled tree nodes for XML documents.
+
+The paper (Section 2.1) models an XML document as a rooted tree whose nodes
+carry labels from an infinite alphabet Σ.  ``TNode`` is that node type.
+
+Design notes
+------------
+* Nodes have **identity**: the result of applying a pattern to a tree is a
+  *set of subtrees of that tree* (Section 2.1), and Proposition 2.4 states
+  ``R ∘ V (t) = R(V(t))`` as equality of such sets.  Representing each
+  subtree by its root node (compared by object identity) makes those sets
+  directly comparable, which the test suite exploits.
+* Nodes keep a parent pointer so that depth and ancestor queries — needed
+  by weak-embedding semantics — are O(depth).
+* Children are ordered only for deterministic serialization; all semantics
+  in the paper are order-oblivious.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["TNode", "BOTTOM_LABEL"]
+
+#: The special label ⊥ used when instantiating canonical models
+#: (Section 2.1).  Patterns are assumed never to use this label.
+BOTTOM_LABEL = "⊥"  # "⊥"
+
+
+class TNode:
+    """A node of an XML tree: a label, a parent pointer and children.
+
+    Parameters
+    ----------
+    label:
+        The node label (an element name, drawn from Σ).
+    children:
+        Optional iterable of child ``TNode`` objects; each is re-parented
+        to this node.
+    """
+
+    __slots__ = ("label", "parent", "children", "__weakref__")
+
+    def __init__(self, label: str, children: Iterable["TNode"] = ()):
+        self.label = label
+        self.parent: TNode | None = None
+        self.children: list[TNode] = []
+        for child in children:
+            self.add_child(child)
+
+    # ------------------------------------------------------------------
+    # Structure manipulation
+    # ------------------------------------------------------------------
+    def add_child(self, child: "TNode") -> "TNode":
+        """Attach ``child`` as the last child of this node and return it.
+
+        The child is detached from any previous parent first.
+        """
+        child.detach()
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, label: str) -> "TNode":
+        """Create a fresh node with ``label``, attach it, and return it."""
+        return self.add_child(TNode(label))
+
+    def detach(self) -> "TNode":
+        """Remove this node from its parent (making it a root); return self."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def iter_subtree(self) -> Iterator["TNode"]:
+        """Yield this node and all of its descendants, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            # reversed() keeps pre-order left-to-right.
+            stack.extend(reversed(node.children))
+
+    def iter_descendants(self) -> Iterator["TNode"]:
+        """Yield all proper descendants of this node, pre-order."""
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def iter_ancestors(self) -> Iterator["TNode"]:
+        """Yield proper ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "TNode") -> bool:
+        """True if this node is a *proper* ancestor of ``other``."""
+        return any(anc is self for anc in other.iter_ancestors())
+
+    def root(self) -> "TNode":
+        """Return the root of the tree containing this node."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    @property
+    def depth(self) -> int:
+        """Number of edges from the root of the containing tree to here."""
+        return sum(1 for _ in self.iter_ancestors())
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_subtree())
+
+    def height(self) -> int:
+        """Maximal number of edges on a root-to-leaf path of this subtree."""
+        if not self.children:
+            return 0
+        return 1 + max(child.height() for child in self.children)
+
+    def labels(self) -> set[str]:
+        """The set of labels occurring in the subtree rooted here."""
+        return {node.label for node in self.iter_subtree()}
+
+    # ------------------------------------------------------------------
+    # Copying and structural comparison
+    # ------------------------------------------------------------------
+    def deep_copy(self) -> "TNode":
+        """Return a structurally identical copy (fresh node identities)."""
+        copy = TNode(self.label)
+        for child in self.children:
+            copy.add_child(child.deep_copy())
+        return copy
+
+    def structure_key(self) -> tuple:
+        """A canonical, order-independent key of this subtree's structure.
+
+        Two subtrees have equal keys iff they are isomorphic as unordered
+        labeled trees.  Used to compare query *answers* structurally when
+        node identity is not meaningful (e.g. across different documents).
+        """
+        child_keys = sorted(child.structure_key() for child in self.children)
+        return (self.label, tuple(child_keys))
+
+    def structurally_equal(self, other: "TNode") -> bool:
+        """True if the two subtrees are isomorphic unordered labeled trees."""
+        return self.structure_key() == other.structure_key()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TNode({self.label!r}, children={len(self.children)})"
+
+    def render(self, indent: str = "") -> str:
+        """ASCII-art rendering of the subtree rooted at this node."""
+        lines = [f"{indent}{self.label}"]
+        for child in self.children:
+            lines.append(child.render(indent + "  "))
+        return "\n".join(lines)

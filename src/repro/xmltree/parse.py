@@ -1,0 +1,164 @@
+"""Parsing and serializing XML documents.
+
+The library models documents as label-only trees (the paper's data model
+has no attributes or text, Section 2.1).  This module bridges to real XML:
+
+* :func:`parse_xml` parses an XML string via the stdlib and keeps element
+  tags as labels, dropping attributes and text (they are outside the
+  paper's model).
+* :func:`to_xml` serializes a tree back to XML text.
+* :func:`parse_sexpr` / :func:`to_sexpr` provide a compact whitespace-free
+  literal syntax ``a(b,c(d))`` used throughout the tests and examples.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from ..errors import DocumentSyntaxError
+from .node import TNode
+from .tree import XMLTree
+
+__all__ = ["parse_xml", "to_xml", "parse_sexpr", "to_sexpr"]
+
+
+def parse_xml(text: str) -> XMLTree:
+    """Parse an XML document string into an :class:`XMLTree`.
+
+    Element tags become node labels; attributes and character data are
+    ignored (the paper's tree model is label-only).
+
+    Raises
+    ------
+    DocumentSyntaxError
+        If the text is not well-formed XML.
+    """
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise DocumentSyntaxError(f"malformed XML: {exc}") from exc
+    return XMLTree(_node_from_element(element))
+
+
+def _node_from_element(element: ET.Element) -> TNode:
+    node = TNode(element.tag)
+    for child in element:
+        node.add_child(_node_from_element(child))
+    return node
+
+
+def to_xml(tree: XMLTree, indent: bool = False) -> str:
+    """Serialize a tree to XML text.
+
+    Parameters
+    ----------
+    tree:
+        The document tree.
+    indent:
+        Pretty-print with two-space indentation when True.
+    """
+    if indent:
+        return _element_to_pretty(tree.root, 0)
+    return _element_to_compact(tree.root)
+
+
+def _element_to_compact(node: TNode) -> str:
+    if not node.children:
+        return f"<{node.label}/>"
+    inner = "".join(_element_to_compact(child) for child in node.children)
+    return f"<{node.label}>{inner}</{node.label}>"
+
+
+def _element_to_pretty(node: TNode, level: int) -> str:
+    pad = "  " * level
+    if not node.children:
+        return f"{pad}<{node.label}/>"
+    inner = "\n".join(_element_to_pretty(child, level + 1) for child in node.children)
+    return f"{pad}<{node.label}>\n{inner}\n{pad}</{node.label}>"
+
+
+# ----------------------------------------------------------------------
+# Compact s-expression-ish literal syntax:  a(b,c(d))
+# ----------------------------------------------------------------------
+
+def parse_sexpr(text: str) -> XMLTree:
+    """Parse the compact literal syntax ``label(child,child(...),...)``.
+
+    Labels may contain any characters except ``(``, ``)``, ``,`` and
+    whitespace.  Whitespace between tokens is ignored.
+
+    Raises
+    ------
+    DocumentSyntaxError
+        On malformed input.
+    """
+    parser = _SexprParser(text)
+    node = parser.parse_node()
+    parser.skip_ws()
+    if not parser.at_end():
+        raise DocumentSyntaxError(
+            f"trailing characters at position {parser.pos} in {text!r}"
+        )
+    return XMLTree(node)
+
+
+class _SexprParser:
+    """Recursive-descent parser for the ``a(b,c(d))`` literal syntax."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def skip_ws(self) -> None:
+        while not self.at_end() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def parse_node(self) -> TNode:
+        self.skip_ws()
+        label = self._parse_label()
+        node = TNode(label)
+        self.skip_ws()
+        if not self.at_end() and self.text[self.pos] == "(":
+            self.pos += 1  # consume '('
+            while True:
+                node.add_child(self.parse_node())
+                self.skip_ws()
+                if self.at_end():
+                    raise DocumentSyntaxError(
+                        f"unclosed '(' in {self.text!r}"
+                    )
+                if self.text[self.pos] == ",":
+                    self.pos += 1
+                    continue
+                if self.text[self.pos] == ")":
+                    self.pos += 1
+                    break
+                raise DocumentSyntaxError(
+                    f"expected ',' or ')' at position {self.pos} in {self.text!r}"
+                )
+        return node
+
+    def _parse_label(self) -> str:
+        start = self.pos
+        while not self.at_end() and self.text[self.pos] not in "(),” \t\n":
+            self.pos += 1
+        if self.pos == start:
+            raise DocumentSyntaxError(
+                f"expected a label at position {start} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+
+def to_sexpr(tree: XMLTree) -> str:
+    """Serialize a tree to the compact ``a(b,c(d))`` literal syntax."""
+    return _node_to_sexpr(tree.root)
+
+
+def _node_to_sexpr(node: TNode) -> str:
+    if not node.children:
+        return node.label
+    inner = ",".join(_node_to_sexpr(child) for child in node.children)
+    return f"{node.label}({inner})"

@@ -1,0 +1,155 @@
+"""XML trees (documents) built from :class:`~repro.xmltree.node.TNode`.
+
+An :class:`XMLTree` is a thin, convenient wrapper around a root node.  The
+paper writes ``t`` for a tree, ``t^o_Δ`` for the subtree of ``t`` rooted at
+node ``o``, and ``P(t)`` for the set of subtrees produced by embeddings of
+``P`` in ``t`` — here subtrees are represented by their root nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from .node import TNode
+
+__all__ = ["XMLTree", "build_tree", "tree_from_tuples"]
+
+
+class XMLTree:
+    """A rooted, labeled tree representing an XML document.
+
+    Parameters
+    ----------
+    root:
+        The root :class:`TNode`.  It is detached from any previous parent.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: TNode):
+        root.detach()
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, label: str) -> "XMLTree":
+        """A tree consisting of a single node with the given label."""
+        return cls(TNode(label))
+
+    @classmethod
+    def path(cls, labels: Iterable[str]) -> "XMLTree":
+        """A tree that is a single downward path with the given labels."""
+        labels = list(labels)
+        if not labels:
+            raise ValueError("XMLTree.path requires at least one label")
+        root = TNode(labels[0])
+        node = root
+        for label in labels[1:]:
+            node = node.new_child(label)
+        return cls(root)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[TNode]:
+        """Iterate over all nodes, pre-order."""
+        return self.root.iter_subtree()
+
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return self.root.size()
+
+    def height(self) -> int:
+        """Maximal number of edges on a root-to-leaf path."""
+        return self.root.height()
+
+    def labels(self) -> set[str]:
+        """Set of labels used in the tree."""
+        return self.root.labels()
+
+    def find_all(self, predicate: Callable[[TNode], bool]) -> list[TNode]:
+        """All nodes satisfying ``predicate``, in pre-order."""
+        return [node for node in self.nodes() if predicate(node)]
+
+    def find_by_label(self, label: str) -> list[TNode]:
+        """All nodes carrying ``label``, in pre-order."""
+        return self.find_all(lambda node: node.label == label)
+
+    def subtree(self, node: TNode) -> "XMLTree":
+        """A *copy* of the subtree of this tree rooted at ``node``.
+
+        The paper's ``t^o_Δ``.  The copy has fresh node identities; use the
+        node itself when identity-preserving subtree sets are needed.
+        """
+        return XMLTree(node.deep_copy())
+
+    # ------------------------------------------------------------------
+    # Comparison / rendering
+    # ------------------------------------------------------------------
+    def structure_key(self) -> tuple:
+        """Canonical key; equal keys iff isomorphic unordered labeled trees."""
+        return self.root.structure_key()
+
+    def structurally_equal(self, other: "XMLTree") -> bool:
+        """Isomorphism of unordered labeled trees."""
+        return self.structure_key() == other.structure_key()
+
+    def copy(self) -> "XMLTree":
+        """Deep copy with fresh node identities."""
+        return XMLTree(self.root.deep_copy())
+
+    def render(self) -> str:
+        """ASCII-art rendering of the document tree."""
+        return self.root.render()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLTree(size={self.size()}, root={self.root.label!r})"
+
+
+def build_tree(spec: dict | str) -> XMLTree:
+    """Build a tree from a nested ``dict``/``str`` literal.
+
+    The spec format is ``{label: [child_spec, ...]}`` with a bare string
+    meaning a leaf.  Example::
+
+        build_tree({"a": ["b", {"c": ["d"]}]})
+
+    produces the tree ``a(b, c(d))``.
+    """
+    return XMLTree(_node_from_spec(spec))
+
+
+def _node_from_spec(spec: dict | str) -> TNode:
+    if isinstance(spec, str):
+        return TNode(spec)
+    if isinstance(spec, dict):
+        if len(spec) != 1:
+            raise ValueError(f"tree spec dict must have exactly one key: {spec!r}")
+        ((label, children),) = spec.items()
+        node = TNode(label)
+        for child_spec in children:
+            node.add_child(_node_from_spec(child_spec))
+        return node
+    raise TypeError(f"unsupported tree spec: {spec!r}")
+
+
+def tree_from_tuples(spec: tuple) -> XMLTree:
+    """Build a tree from nested tuples ``(label, child, child, ...)``.
+
+    A bare string is a leaf.  Example::
+
+        tree_from_tuples(("a", "b", ("c", "d")))
+    """
+    return XMLTree(_node_from_tuple(spec))
+
+
+def _node_from_tuple(spec: tuple | str) -> TNode:
+    if isinstance(spec, str):
+        return TNode(spec)
+    label, *children = spec
+    node = TNode(label)
+    for child_spec in children:
+        node.add_child(_node_from_tuple(child_spec))
+    return node

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.containment import clear_cache
+from repro.patterns.parse import parse_pattern
+from repro.xmltree.parse import parse_sexpr
+
+
+@pytest.fixture(autouse=True)
+def _fresh_containment_cache():
+    """Isolate containment memoization between tests."""
+    clear_cache()
+    yield
+    clear_cache()
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def p():
+    """Shorthand pattern parser."""
+    return parse_pattern
+
+
+@pytest.fixture
+def t():
+    """Shorthand document parser (compact ``a(b,c)`` syntax)."""
+    return parse_sexpr

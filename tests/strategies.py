@@ -1,0 +1,70 @@
+"""Hypothesis strategies for patterns and XML trees.
+
+Sizes are kept small: the complete containment procedure is exponential
+in descendant-edge count, and the semantic oracle enumerates all trees up
+to a size bound, so property tests must stay in the regime where both are
+fast and exact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.patterns.ast import Axis, Pattern, PNode, WILDCARD
+from repro.xmltree.node import TNode
+from repro.xmltree.tree import XMLTree
+
+SMALL_ALPHABET = ("a", "b", "c")
+
+labels = st.sampled_from(SMALL_ALPHABET + (WILDCARD,))
+sigma_labels = st.sampled_from(SMALL_ALPHABET)
+axes = st.sampled_from([Axis.CHILD, Axis.DESCENDANT])
+
+
+@st.composite
+def pattern_nodes(draw, max_size: int = 5, wildcard: bool = True, desc: bool = True):
+    """A random pattern subtree with at most ``max_size`` nodes."""
+    label_strategy = labels if wildcard else sigma_labels
+    axis_strategy = axes if desc else st.just(Axis.CHILD)
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    root = PNode(draw(label_strategy))
+    nodes = [root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(0, len(nodes) - 1))]
+        child = parent.add(draw(axis_strategy), PNode(draw(label_strategy)))
+        nodes.append(child)
+    return root, nodes
+
+
+@st.composite
+def patterns(draw, max_size: int = 5, wildcard: bool = True, desc: bool = True):
+    """A random pattern; the output is a random node of the tree."""
+    root, nodes = draw(pattern_nodes(max_size=max_size, wildcard=wildcard, desc=desc))
+    output = nodes[draw(st.integers(0, len(nodes) - 1))]
+    return Pattern(root, output)
+
+
+@st.composite
+def path_patterns(draw, max_depth: int = 4, wildcard: bool = True, desc: bool = True):
+    """A random *linear* pattern (output at the end)."""
+    label_strategy = labels if wildcard else sigma_labels
+    axis_strategy = axes if desc else st.just(Axis.CHILD)
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    root = PNode(draw(label_strategy))
+    node = root
+    for _ in range(depth):
+        node = node.add(draw(axis_strategy), PNode(draw(label_strategy)))
+    return Pattern(root, node)
+
+
+@st.composite
+def trees(draw, max_size: int = 7, alphabet=SMALL_ALPHABET):
+    """A random labeled tree with at most ``max_size`` nodes."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    root = TNode(draw(st.sampled_from(alphabet)))
+    nodes = [root]
+    for _ in range(size - 1):
+        parent = nodes[draw(st.integers(0, len(nodes) - 1))]
+        child = parent.new_child(draw(st.sampled_from(alphabet)))
+        nodes.append(child)
+    return XMLTree(root)

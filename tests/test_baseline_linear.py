@@ -1,0 +1,69 @@
+"""Unit and property tests for the linear-pattern word-automaton engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.linear import linear_containment, linear_equivalent
+from repro.core.containment import canonical_containment
+from repro.errors import PatternStructureError
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+
+from .strategies import path_patterns
+
+
+class TestKnownCases:
+    @pytest.mark.parametrize(
+        "p1,p2,expected",
+        [
+            ("a/b", "a/b", True),
+            ("a/b", "a//b", True),
+            ("a//b", "a/b", False),
+            ("a//*/e", "a/*//e", True),  # no homomorphism exists
+            ("a/*//e", "a//*/e", True),
+            ("a//b//c", "a//c", True),
+            ("a//c", "a//b//c", False),
+            ("a/*/*", "a//*", True),
+            ("a//*", "a/*/*", False),
+            ("*//b", "*/b", False),
+            ("a/b/c", "*//c", True),
+        ],
+    )
+    def test_containment(self, p, p1, p2, expected):
+        assert linear_containment(p(p1), p(p2)) is expected
+
+    def test_equivalence(self, p):
+        assert linear_equivalent(p("a//*/e"), p("a/*//e"))
+        assert not linear_equivalent(p("a/b"), p("a//b"))
+
+
+class TestEdgeCases:
+    def test_empty_patterns(self, p):
+        assert linear_containment(Pattern.empty(), p("a"))
+        assert not linear_containment(p("a"), Pattern.empty())
+
+    def test_branching_pattern_rejected(self, p):
+        with pytest.raises(PatternStructureError):
+            linear_containment(p("a[b]/c"), p("a/c"))
+
+    def test_interior_output_rejected(self, p):
+        with pytest.raises(PatternStructureError):
+            linear_containment(p("a[b]"), p("a"))
+
+    def test_depth_zero(self, p):
+        assert linear_containment(p("a"), p("*"))
+        assert not linear_containment(p("*"), p("a"))
+
+
+class TestAgreementWithCanonicalEngine:
+    @given(path_patterns(max_depth=3), path_patterns(max_depth=3))
+    @settings(max_examples=80, deadline=None)
+    def test_property_agreement(self, p1, p2):
+        assert linear_containment(p1, p2) == canonical_containment(p1, p2)
+
+    @given(path_patterns(max_depth=4), path_patterns(max_depth=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_agreement_deeper(self, p1, p2):
+        assert linear_containment(p1, p2) == canonical_containment(p1, p2)

@@ -1,0 +1,102 @@
+"""Tests for the [17]-style PTIME baseline and its solver agreement."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.xu_ozsoyoglu import ptime_fragment, rewrite_ptime
+from repro.core.composition import compose
+from repro.core.containment import equivalent
+from repro.core.rewrite import RewriteSolver, RewriteStatus
+from repro.errors import PatternStructureError
+from repro.patterns.ast import Pattern
+from repro.patterns.fragments import Fragment
+from repro.patterns.random import PatternConfig, random_rewrite_instance
+
+
+class TestFragmentDetection:
+    def test_wildcard_free(self, p):
+        assert ptime_fragment(p("a[b]//c"), p("a[b]")) == "XP{//,[]}"
+
+    def test_descendant_free(self, p):
+        assert ptime_fragment(p("a[*]/c"), p("a[*]")) == "XP{[],*}"
+
+    def test_linear(self, p):
+        assert ptime_fragment(p("a//*/e"), p("a/*")) == "XP{//,*}"
+
+    def test_outside_all(self, p):
+        assert ptime_fragment(p("a[*]//c"), p("a[x]//*")) is None
+
+    def test_interior_output_not_linear_fragment(self, p):
+        # a[b] is predicate-using, so not in the XP{//,*} path fragment.
+        assert ptime_fragment(p("a[b]//*"), p("a//*")) is None
+
+
+class TestRewritePtime:
+    def test_wildcard_free_instance(self, p):
+        result = rewrite_ptime(p("a[x]/b/c"), p("a[x]/b"))
+        assert result.rewriting is not None
+        assert result.fragment == "XP{//,[]}"
+        assert equivalent(compose(result.rewriting, p("a[x]/b")), p("a[x]/b/c"))
+
+    def test_descendant_free_instance(self, p):
+        result = rewrite_ptime(p("a[*]/b/c"), p("a[*]/b"))
+        assert result.rewriting is not None
+        assert result.fragment == "XP{[],*}"
+
+    def test_linear_instance_needs_relaxed_candidate(self, p):
+        result = rewrite_ptime(p("a//*/e"), p("a/*"))
+        assert result.rewriting is not None
+        assert result.equivalence_tests == 2  # base candidate fails first
+
+    def test_negative_instance(self, p):
+        result = rewrite_ptime(p("a//e/d"), p("a/*"))
+        assert result.rewriting is None
+
+    def test_out_of_fragment_raises(self, p):
+        with pytest.raises(PatternStructureError):
+            rewrite_ptime(p("a[*]//c"), p("a[x]//*"))
+
+    def test_empty_query(self, p):
+        result = rewrite_ptime(Pattern.empty(), p("a"))
+        assert result.rewriting is not None
+        assert result.rewriting.is_empty
+
+    def test_view_deeper(self, p):
+        assert rewrite_ptime(p("a/b"), p("a/b/c")).rewriting is None
+
+
+@st.composite
+def fragment_instances(draw):
+    """Instances confined to one of the three PTIME sub-fragments."""
+    fragment = draw(
+        st.sampled_from(
+            [Fragment.NO_WILDCARD, Fragment.NO_DESCENDANT, Fragment.NO_BRANCH]
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=1, max_value=3))
+    branch_prob = 0.0 if fragment is Fragment.NO_BRANCH else 0.4
+    config = PatternConfig(depth=depth, fragment=fragment, branch_prob=branch_prob)
+    mutate = draw(st.booleans())
+    query, view = random_rewrite_instance(config, seed=seed, mutate_view=mutate)
+    return query, view
+
+
+class TestAgreementWithGeneralSolver:
+    @given(fragment_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_baseline_matches_solver(self, instance):
+        query, view = instance
+        if ptime_fragment(query, view) is None:
+            return  # mutation may leave the fragment (extra branch)
+        baseline = rewrite_ptime(query, view)
+        general = RewriteSolver().solve(query, view)
+        if general.status is RewriteStatus.FOUND:
+            assert baseline.rewriting is not None
+            assert equivalent(compose(baseline.rewriting, view), query)
+        elif general.status is RewriteStatus.NO_REWRITING:
+            assert baseline.rewriting is None

@@ -1,0 +1,77 @@
+"""Unit tests for natural rewriting candidates (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.candidates import is_natural_candidate, natural_candidates
+from repro.core.selection import sub_ge
+from repro.core.transform import relax_root
+from repro.errors import PatternStructureError
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns
+
+
+class TestNaturalCandidates:
+    def test_two_candidates(self, p):
+        pattern = p("a/b[x]/c")
+        candidates = natural_candidates(pattern, 1)
+        # Relaxation affects every edge leaving the root, branches too.
+        assert candidates == [p("b[x]/c"), p("b[.//x]//c")]
+
+    def test_deduplicated_when_root_edges_descendant(self, p):
+        pattern = p("a/b//c")
+        candidates = natural_candidates(pattern, 1)
+        assert candidates == [p("b//c")]
+
+    def test_k_zero_gives_query_and_relaxation(self, p):
+        pattern = p("a/b")
+        candidates = natural_candidates(pattern, 0)
+        assert candidates[0] == pattern
+        assert candidates[1] == p("a//b")
+
+    def test_k_equals_depth(self, p):
+        pattern = p("a/b/c")
+        candidates = natural_candidates(pattern, 3 - 1)
+        assert candidates == [p("c")]
+
+    def test_view_deeper_than_query_raises(self, p):
+        with pytest.raises(PatternStructureError):
+            natural_candidates(p("a/b"), 5)
+
+    def test_candidate_branches_preserved(self, p):
+        pattern = p("a/*[u]/e[v]")
+        base, relaxed = natural_candidates(pattern, 1)
+        assert base == p("*[u]/e[v]")
+        assert relaxed == p("*[.//u]//e[v]")
+
+
+class TestIsNaturalCandidate:
+    def test_positive(self, p):
+        pattern = p("a/b/c")
+        assert is_natural_candidate(p("b/c"), pattern, 1)
+        assert is_natural_candidate(p("b//c"), pattern, 1)
+
+    def test_negative(self, p):
+        assert not is_natural_candidate(p("c"), p("a/b/c"), 1)
+
+
+class TestCandidateProperties:
+    @given(patterns(max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_candidates_derive_from_sub_pattern(self, pattern):
+        for k in range(pattern.depth + 1):
+            candidates = natural_candidates(pattern, k)
+            base = sub_ge(pattern, k)
+            assert candidates[0] == base
+            assert candidates[-1] == relax_root(base)
+            assert len(candidates) in (1, 2)
+
+    @given(patterns(max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_candidates_have_query_tail_depth(self, pattern):
+        for k in range(pattern.depth + 1):
+            for candidate in natural_candidates(pattern, k):
+                assert candidate.depth == pattern.depth - k

@@ -1,0 +1,119 @@
+"""Unit tests for canonical models (paper Section 2.1 and [14])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.canonical import (
+    canonical_models,
+    count_canonical_models,
+    star_length,
+    tau,
+)
+from repro.core.embedding import is_model
+from repro.errors import EmptyPatternError
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+from repro.xmltree.node import BOTTOM_LABEL
+
+
+class TestTau:
+    def test_wildcards_become_bottom(self, p):
+        model = tau(p("a/*"))
+        assert [n.label for n in model.tree.nodes()] == ["a", BOTTOM_LABEL]
+
+    def test_descendant_edges_become_single_edges(self, p):
+        model = tau(p("a//b//c"))
+        assert model.tree.height() == 2
+        assert model.tree.size() == 3
+
+    def test_node_map_covers_pattern(self, p):
+        pattern = p("a[x]/b")
+        model = tau(pattern)
+        assert set(model.node_map) == set(pattern.nodes())
+
+    def test_output_tracked(self, p):
+        pattern = p("a/b")
+        model = tau(pattern)
+        assert model.output.label == "b"
+        assert model.output is model.node_map[pattern.output]
+
+    def test_tau_is_a_model(self, p):
+        pattern = p("a[x//y]/b/*")
+        assert is_model(tau(pattern).tree, pattern)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPatternError):
+            tau(Pattern.empty())
+
+
+class TestCanonicalModels:
+    def test_count_no_descendants(self, p):
+        pattern = p("a/b[c]")
+        models = list(canonical_models(pattern, 3))
+        assert len(models) == 1
+        assert count_canonical_models(pattern, 3) == 1
+
+    def test_count_exponential_in_descendant_edges(self, p):
+        pattern = p("a//b//c")
+        assert count_canonical_models(pattern, 3) == 9
+        assert len(list(canonical_models(pattern, 3))) == 9
+
+    def test_expansion_paths_use_bottom(self, p):
+        pattern = p("a//b")
+        sizes = set()
+        for model in canonical_models(pattern, 3):
+            sizes.add(model.tree.size())
+            interior = [
+                n
+                for n in model.tree.nodes()
+                if n.label not in ("a", "b")
+            ]
+            assert all(n.label == BOTTOM_LABEL for n in interior)
+        assert sizes == {2, 3, 4}
+
+    def test_all_models_are_models(self, p):
+        pattern = p("a[.//x]//b/*")
+        for model in canonical_models(pattern, 3):
+            assert is_model(model.tree, pattern)
+
+    def test_output_is_image_of_output_node(self, p):
+        pattern = p("a//b")
+        for model in canonical_models(pattern, 3):
+            assert model.output.label == "b"
+
+    def test_expansion_recorded(self, p):
+        pattern = p("a//b")
+        expansions = sorted(
+            next(iter(m.expansion.values())) for m in canonical_models(pattern, 4)
+        )
+        assert expansions == [1, 2, 3, 4]
+
+    def test_bad_bound(self, p):
+        with pytest.raises(ValueError):
+            list(canonical_models(p("a//b"), 0))
+
+    def test_count_empty_pattern(self):
+        assert count_canonical_models(Pattern.empty(), 3) == 0
+
+
+class TestStarLength:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a/b/c", 0),
+            ("*", 1),
+            ("*/*", 2),
+            ("*//*", 1),  # descendant edge breaks the chain
+            ("a/*/*/b", 2),
+            ("a[*/*]/*", 2),
+            ("*/*[*/*/*]", 5),  # root chain continues into the branch
+            ("a/*[*/*/*]", 4),
+            ("a", 0),
+        ],
+    )
+    def test_examples(self, p, text, expected):
+        assert star_length(p(text)) == expected
+
+    def test_empty(self):
+        assert star_length(Pattern.empty()) == 0

@@ -1,0 +1,119 @@
+"""Unit tests for pattern composition (Section 2.3 and Proposition 2.4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.composition import compose, glb
+from repro.core.embedding import evaluate, evaluate_forest
+from repro.patterns.ast import Pattern, WILDCARD
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns, trees
+
+
+class TestGlb:
+    def test_equal_labels(self):
+        assert glb("a", "a") == "a"
+
+    def test_wildcard_identity(self):
+        assert glb("a", WILDCARD) == "a"
+        assert glb(WILDCARD, "a") == "a"
+        assert glb(WILDCARD, WILDCARD) == WILDCARD
+
+    def test_distinct_labels_undefined(self):
+        assert glb("a", "b") is None
+
+
+class TestCompose:
+    def test_simple_merge(self, p):
+        composition = compose(p("b/c"), p("a/b"))
+        assert composition == p("a/b/c")
+
+    def test_merged_label_from_rewriting_root(self, p):
+        composition = compose(p("b/c"), p("a/*"))
+        assert composition == p("a/b/c")
+
+    def test_merged_label_from_view_output(self, p):
+        composition = compose(p("*/c"), p("a/b"))
+        assert composition == p("a/b/c")
+
+    def test_wildcard_merge_stays_wildcard(self, p):
+        composition = compose(p("*/c"), p("a/*"))
+        assert composition.selection_path()[1].label == WILDCARD
+
+    def test_incompatible_labels_give_empty(self, p):
+        assert compose(p("x/c"), p("a/b")).is_empty
+
+    def test_branches_of_both_kept_on_merged_node(self, p):
+        composition = compose(p("b[x]/c"), p("a/b[y]"))
+        merged = composition.selection_path()[1]
+        branch_labels = sorted(
+            child.label for _, child in merged.edges if child.label != "c"
+        )
+        assert branch_labels == ["x", "y"]
+
+    def test_root_equals_output_rewriting(self, p):
+        # R = b[x] with output at the root: merged node is the output.
+        composition = compose(p("b[x]"), p("a/b"))
+        assert composition.output is composition.selection_path()[1]
+        assert composition == p("a/b[x]")
+
+    def test_empty_inputs(self, p):
+        assert compose(Pattern.empty(), p("a")).is_empty
+        assert compose(p("a"), Pattern.empty()).is_empty
+
+    def test_depth_addition(self, p):
+        # depth(R ∘ V) = depth(V) + depth(R).
+        composition = compose(p("*//x/y"), p("a/b//*"))
+        assert composition.depth == 2 + 2
+
+    def test_inputs_not_mutated(self, p):
+        rewriting, view = p("b/c"), p("a/b")
+        rewriting_key = rewriting.canonical_key()
+        view_key = view.canonical_key()
+        compose(rewriting, view)
+        assert rewriting.canonical_key() == rewriting_key
+        assert view.canonical_key() == view_key
+
+    def test_descendant_edges_preserved(self, p):
+        composition = compose(p("b//c"), p("a//b"))
+        assert composition == p("a//b//c")
+
+
+class TestProposition24:
+    """Prop 2.4: R ∘ V (t) = R(V(t)) for all trees t."""
+
+    def test_hand_example(self, p, t):
+        tree = t("a(b(c,d),b(x(c)))")
+        view = p("a/b")
+        rewriting = p("b/c")
+        lhs = evaluate(compose(rewriting, view), tree)
+        rhs = evaluate_forest(rewriting, evaluate(view, tree))
+        assert lhs == rhs
+        assert {n.label for n in lhs} == {"c"}
+
+    def test_empty_composition(self, p, t):
+        tree = t("a(b)")
+        view = p("a/b")
+        rewriting = p("x")  # incompatible root
+        assert compose(rewriting, view).is_empty
+        assert evaluate_forest(rewriting, evaluate(view, tree)) == set()
+
+    @given(patterns(max_size=4), patterns(max_size=4), trees(max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property(self, rewriting, view, tree):
+        lhs = evaluate(compose(rewriting, view), tree)
+        rhs = evaluate_forest(rewriting, evaluate(view, tree))
+        assert lhs == rhs
+
+    @given(patterns(max_size=3), patterns(max_size=3), trees(max_size=7))
+    @settings(max_examples=40, deadline=None)
+    def test_property_weak_view_application(self, rewriting, view, tree):
+        # The composition law also holds when the *outer* application is
+        # regular but the stored forest is consumed subtree-by-subtree
+        # (the view-engine evaluation mode).
+        forest = evaluate(view, tree)
+        lhs = evaluate(compose(rewriting, view), tree)
+        assert lhs == evaluate_forest(rewriting, forest)

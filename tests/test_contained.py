@@ -1,0 +1,152 @@
+"""Tests for contained and union rewritings (§6 open problems 3 and 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.composition import compose
+from repro.core.contained import (
+    contained_rewritings,
+    find_union_rewriting,
+    union_contains,
+)
+from repro.core.containment import contains, equivalent
+from repro.core.embedding import evaluate, evaluate_forest
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+from repro.xmltree.parse import parse_sexpr
+
+from .strategies import patterns, trees
+
+
+class TestUnionContains:
+    def test_single_member_matches_contains(self, p):
+        pairs = [("a/b", "a//b"), ("a//b", "a/b"), ("a//*/e", "a/*//e")]
+        for t1, t2 in pairs:
+            assert union_contains(p(t1), [p(t2)]) == contains(p(t1), p(t2))
+
+    def test_genuine_union(self, p):
+        # a/b[c][d] needs both branch constraints; each member covers it.
+        assert union_contains(p("a/b[c][d]"), [p("a/b[c]"), p("a/b[d]")])
+
+    def test_union_not_covering(self, p):
+        assert not union_contains(p("a/b"), [p("a/b[c]"), p("a/b[d]")])
+
+    def test_union_where_no_single_member_suffices(self, p):
+        # P = a/*: members a/b and a/⊥-free wildcard... use labels: the
+        # union {a/b, a/*} trivially covers via the second; instead test
+        # a case needing both: P = a/* over alphabet — not finitely
+        # coverable, so check the negative.
+        assert not union_contains(p("a/*"), [p("a/b"), p("a/c")])
+
+    def test_empty_pattern_contained(self, p):
+        assert union_contains(Pattern.empty(), [p("a")])
+
+    def test_empty_union(self, p):
+        assert not union_contains(p("a"), [])
+        assert union_contains(Pattern.empty(), [])
+
+    @given(patterns(max_size=3), patterns(max_size=3), patterns(max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_property_members_imply_union(self, pattern, q1, q2):
+        # If P ⊑ q1 then P ⊑ q1 ∪ q2.
+        if contains(pattern, q1):
+            assert union_contains(pattern, [q1, q2])
+
+    @given(patterns(max_size=3), patterns(max_size=3), patterns(max_size=3), trees(max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_union_semantics(self, pattern, q1, q2, tree):
+        # Semantic soundness: union containment implies output coverage
+        # on arbitrary trees.
+        if union_contains(pattern, [q1, q2]):
+            out = evaluate(pattern, tree)
+            covered = evaluate(q1, tree) | evaluate(q2, tree)
+            assert out <= covered
+
+
+class TestContainedRewritings:
+    def test_found_on_unrewritable_instance(self, p):
+        # a//e/d over a/* has no equivalent rewriting (Thm 4.3), but e/d
+        # is a maximal contained one: e/d ∘ V = a/e/d ⊑ a//e/d.
+        results = contained_rewritings(p("a//e/d"), p("a/*"))
+        assert results
+        for rewriting in results:
+            composition = compose(rewriting, p("a/*"))
+            assert contains(composition, p("a//e/d"))
+
+    def test_equivalent_rewriting_is_the_maximum(self, p):
+        query, view = p("a/b/c"), p("a/b")
+        results = contained_rewritings(query, view)
+        assert any(
+            equivalent(compose(rewriting, view), query) for rewriting in results
+        )
+
+    def test_no_contained_rewriting_on_label_conflict(self, p):
+        assert contained_rewritings(p("a/b"), p("x")) == []
+
+    def test_deep_view_returns_nothing(self, p):
+        assert contained_rewritings(p("a/b"), p("a/b/c")) == []
+
+    def test_maximality(self, p):
+        # No returned composition may be strictly contained in another.
+        query, view = p("a//e/d"), p("a/*")
+        results = contained_rewritings(query, view)
+        compositions = [compose(r, view) for r in results]
+        for left in compositions:
+            for right in compositions:
+                if left is right:
+                    continue
+                assert not (
+                    contains(left, right) and not contains(right, left)
+                )
+
+
+class TestUnionRewriting:
+    def test_single_view_equivalent_case(self, p):
+        views = [("v", p("a/b"))]
+        result = find_union_rewriting(p("a/b/c"), views)
+        assert result is not None
+        assert len(result.parts) == 1
+        name, rewriting = result.parts[0]
+        assert name == "v"
+        assert equivalent(compose(rewriting, p("a/b")), p("a/b/c"))
+
+    def test_two_views_cover_jointly(self, p):
+        # P = a/*[b][c]/x ... construct: query answerable by the union of
+        # two filtered views but neither alone: V1 = a/b, V2 = a/c;
+        # P = a/*/x: over V1 only b-children, over V2 only c-children —
+        # union still misses other labels, so it must fail.
+        result = find_union_rewriting(
+            p("a/*/x"), [("v1", p("a/b")), ("v2", p("a/c"))]
+        )
+        assert result is None
+
+    def test_union_answers_match_query(self, p, t):
+        # Direct semantic check of ∪ Ri(Vi(t)) = P(t).
+        query = p("a/b/x")
+        views = [("v1", p("a/b")), ("v2", p("a/c"))]
+        result = find_union_rewriting(query, views)
+        assert result is not None
+        doc = t("a(b(x,y),c(x),b(x))")
+        view_patterns = dict(views)
+        answer = set()
+        for name, rewriting in result.parts:
+            forest = evaluate(view_patterns[name], doc)
+            answer |= evaluate_forest(rewriting, forest)
+        assert answer == evaluate(query, doc)
+
+    def test_no_views(self, p):
+        assert find_union_rewriting(p("a/b"), []) is None
+
+    def test_empty_query(self, p):
+        result = find_union_rewriting(Pattern.empty(), [("v", p("a"))])
+        assert result is not None
+        assert result.parts == []
+
+    def test_minimization_drops_redundant_parts(self, p):
+        # Both views can answer the query; the greedy pass keeps one.
+        views = [("v1", p("a/b")), ("v2", p("a//b"))]
+        result = find_union_rewriting(p("a/b/c"), views)
+        assert result is not None
+        assert len(result.parts) == 1

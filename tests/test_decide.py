@@ -1,0 +1,102 @@
+"""Unit tests for the bounded exhaustive search (Proposition 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.containment import equivalent
+from repro.core.decide import enumerate_candidates, exhaustive_search
+from repro.errors import RewriteBudgetError
+from repro.patterns.parse import parse_pattern
+
+
+class TestEnumerateCandidates:
+    def test_selection_labels_forced(self, p):
+        query, view = p("a/b/c"), p("a/b")
+        for candidate in enumerate_candidates(query, view, max_extra_nodes=1):
+            path_labels = [n.label for n in candidate.selection_path()]
+            assert path_labels[-1] == "c"
+            assert path_labels[0] in ("b", "*")
+
+    def test_depth_forced(self, p):
+        query, view = p("a/b/c/d"), p("a/b")
+        for candidate in enumerate_candidates(query, view, max_extra_nodes=1):
+            assert candidate.depth == 2
+
+    def test_no_candidates_when_view_too_deep(self, p):
+        assert list(enumerate_candidates(p("a/b"), p("a/b/c/d"))) == []
+
+    def test_no_candidates_on_label_conflict(self, p):
+        # k-node of P is *, out(V) is b: glb can never be *.
+        query, view = p("a/*/c"), p("a/b")
+        assert list(enumerate_candidates(query, view)) == []
+
+    def test_no_isomorphic_duplicates(self, p):
+        query, view = p("a/b[x]/c"), p("a/b")
+        seen = set()
+        for candidate in enumerate_candidates(query, view, max_extra_nodes=2):
+            key = candidate.canonical_key()
+            assert key not in seen
+            seen.add(key)
+
+    def test_budget_error(self, p):
+        query, view = p("a/b[x][y]/c[z]/d"), p("a/b")
+        with pytest.raises(RewriteBudgetError):
+            list(
+                enumerate_candidates(
+                    query, view, max_extra_nodes=3, max_candidates=5
+                )
+            )
+
+    def test_height_bounded(self, p):
+        query, view = p("a/b/c"), p("a/b")
+        from repro.core.selection import sub_ge
+
+        bound = max(sub_ge(query, 1).height(), 1)
+        for candidate in enumerate_candidates(query, view, max_extra_nodes=2):
+            assert candidate.height() <= bound
+
+
+class TestExhaustiveSearch:
+    def test_finds_trivial_rewriting(self, p):
+        query, view = p("a/b/c"), p("a/b")
+        outcome = exhaustive_search(query, view)
+        assert outcome.rewriting is not None
+        assert equivalent(compose(outcome.rewriting, view), query)
+
+    def test_finds_relaxed_rewriting(self, p):
+        # The Figure 2 situation: only the relaxed candidate works.
+        query, view = p("a//*/e"), p("a/*")
+        outcome = exhaustive_search(query, view)
+        assert outcome.rewriting is not None
+        assert equivalent(compose(outcome.rewriting, view), query)
+
+    def test_exhausts_on_unrewritable(self, p):
+        query, view = p("a//e/d"), p("a/*")
+        outcome = exhaustive_search(query, view, max_extra_nodes=1)
+        assert outcome.rewriting is None
+        assert outcome.exhausted
+        assert outcome.tried > 0
+
+    def test_branch_rewriting_found(self, p):
+        # R needs a branch: P = a/b[x]/c with V = a/b loses [x] unless R
+        # re-imposes it on the merged node.
+        query, view = p("a/b[x]/c"), p("a/b")
+        outcome = exhaustive_search(query, view, max_extra_nodes=2)
+        assert outcome.rewriting is not None
+        assert equivalent(compose(outcome.rewriting, view), query)
+
+    def test_smallest_rewriting_first(self, p):
+        query, view = p("a/b/c"), p("a/b")
+        outcome = exhaustive_search(query, view)
+        # The minimal rewriting is the 2-node pattern b/c or */c.
+        assert outcome.rewriting.size() == 2
+
+    def test_budget_returns_unexhausted(self, p):
+        query, view = p("a//e/d"), p("a/*")
+        outcome = exhaustive_search(
+            query, view, max_extra_nodes=3, max_candidates=3
+        )
+        assert outcome.rewriting is None
+        assert not outcome.exhausted

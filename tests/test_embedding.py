@@ -1,0 +1,199 @@
+"""Unit tests for the embedding engine (Definition 2.1 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.embedding import (
+    Matcher,
+    evaluate,
+    evaluate_forest,
+    find_embedding,
+    is_model,
+    weak_output_images,
+)
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+from repro.xmltree.parse import parse_sexpr
+
+from .strategies import patterns, trees
+
+
+class TestEvaluateBasics:
+    def test_single_node_matches_root_only(self, p, t):
+        tree = t("a(a,a)")
+        result = evaluate(p("a"), tree)
+        assert result == {tree.root}
+
+    def test_child_edge(self, p, t):
+        tree = t("a(b,c(b))")
+        result = evaluate(p("a/b"), tree)
+        assert {n.label for n in result} == {"b"}
+        assert all(n.depth == 1 for n in result)
+
+    def test_descendant_edge_is_proper(self, p, t):
+        tree = t("a(a(a))")
+        result = evaluate(p("a//a"), tree)
+        # The root itself is not a proper descendant.
+        assert sorted(n.depth for n in result) == [1, 2]
+
+    def test_wildcard_label(self, p, t):
+        tree = t("a(b,c)")
+        assert len(evaluate(p("a/*"), tree)) == 2
+
+    def test_root_label_mismatch(self, p, t):
+        assert evaluate(p("b"), t("a(b)")) == set()
+
+    def test_branch_filters(self, p, t):
+        tree = t("a(b(c),b)")
+        result = evaluate(p("a/b[c]"), tree)
+        assert len(result) == 1
+        assert result.pop().children[0].label == "c"
+
+    def test_descendant_branch(self, p, t):
+        tree = t("a(b(x(c)),b)")
+        result = evaluate(p("a/b[.//c]"), tree)
+        assert len(result) == 1
+
+    def test_deep_branch_structure(self, p, t):
+        tree = t("a(b(c(d),e),b(c))")
+        result = evaluate(p("a/b[c/d][e]"), tree)
+        assert len(result) == 1
+
+    def test_multiple_embeddings_same_output(self, p, t):
+        # Two ways to map the branch; output set has one element.
+        tree = t("a(x(b),x(b),c)")
+        result = evaluate(p("a[x/b]/c"), tree)
+        assert len(result) == 1
+
+    def test_empty_pattern_yields_empty(self, t):
+        assert evaluate(Pattern.empty(), t("a")) == set()
+
+    def test_output_in_branch_position(self, p, t):
+        # Output at a non-leaf selection node.
+        tree = t("a(b(c),b)")
+        result = evaluate(p("a/b[c]"), tree)
+        assert all(n.label == "b" for n in result)
+
+
+class TestWeakSemantics:
+    def test_weak_ignores_root(self, p, t):
+        tree = t("x(a(b))")
+        assert evaluate(p("a/b"), tree) == set()
+        weak = weak_output_images(p("a/b"), tree)
+        assert {n.label for n in weak} == {"b"}
+
+    def test_weak_includes_regular(self, p, t):
+        tree = t("a(b,a(b))")
+        regular = evaluate(p("a/b"), tree)
+        weak = evaluate(p("a/b"), tree, weak=True)
+        assert regular <= weak
+        assert len(weak) == 2
+
+    def test_weak_on_empty_pattern(self, t):
+        assert evaluate(Pattern.empty(), t("a"), weak=True) == set()
+
+
+class TestForest:
+    def test_union_over_trees(self, p, t):
+        forest = [t("a(b)"), t("a(b,b)"), t("x(b)")]
+        result = evaluate_forest(p("a/b"), forest)
+        assert len(result) == 3
+
+    def test_forest_of_nodes(self, p, t):
+        tree = t("r(a(b),a(b,b))")
+        subroots = tree.find_by_label("a")
+        result = evaluate_forest(p("a/b"), subroots)
+        assert len(result) == 3
+
+
+class TestIsModel:
+    def test_model_positive(self, p, t):
+        assert is_model(t("a(x(b),c)"), p("a[c]//b"))
+
+    def test_model_negative(self, p, t):
+        assert not is_model(t("a(c)"), p("a/b"))
+
+    def test_empty_pattern_has_no_models(self, t):
+        assert not is_model(t("a"), Pattern.empty())
+
+
+class TestMatcher:
+    def test_sat_table(self, p, t):
+        tree = t("a(b(c),b)")
+        matcher = Matcher(p("b/c"), tree)
+        b_with_c = tree.root.children[0]
+        b_without = tree.root.children[1]
+        pattern_root = matcher.pattern.root
+        assert matcher.sat(pattern_root, b_with_c)
+        assert not matcher.sat(pattern_root, b_without)
+
+    def test_has_weak_embedding(self, p, t):
+        matcher = Matcher(p("b/c"), t("a(b(c))"))
+        assert matcher.has_weak_embedding()
+        assert not matcher.has_embedding()
+
+
+class TestFindEmbedding:
+    def test_witness_is_valid(self, p, t):
+        pattern = p("a[x]/b//c")
+        tree = t("a(x,b(z(c)))")
+        mapping = find_embedding(pattern, tree)
+        assert mapping is not None
+        assert mapping[pattern.root] is tree.root
+        assert mapping[pattern.output].label == "c"
+        # child/descendant relations hold
+        for parent, axis, child in pattern.edges():
+            image_parent, image_child = mapping[parent], mapping[child]
+            if axis.name == "CHILD":
+                assert image_child.parent is image_parent
+            else:
+                assert image_parent.is_ancestor_of(image_child)
+
+    def test_witness_for_specific_output(self, p, t):
+        pattern = p("a//b")
+        tree = t("a(b(b))")
+        deep_b = tree.find_by_label("b")[1]
+        mapping = find_embedding(pattern, tree, output=deep_b)
+        assert mapping is not None
+        assert mapping[pattern.output] is deep_b
+
+    def test_witness_none_when_impossible(self, p, t):
+        assert find_embedding(p("a/b"), t("a(c)")) is None
+
+    def test_weak_witness(self, p, t):
+        pattern = p("b/c")
+        tree = t("a(b(c))")
+        mapping = find_embedding(pattern, tree, weak=True)
+        assert mapping is not None
+        assert mapping[pattern.root].label == "b"
+
+    def test_witness_respects_output_constraint_negative(self, p, t):
+        pattern = p("a/b")
+        tree = t("a(b,c)")
+        c_node = tree.find_by_label("c")[0]
+        assert find_embedding(pattern, tree, output=c_node) is None
+
+
+class TestEmbeddingProperties:
+    @given(patterns(max_size=4), trees(max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_are_tree_nodes_with_compatible_labels(self, pattern, tree):
+        for node in evaluate(pattern, tree):
+            assert (
+                pattern.output.label == "*"
+                or node.label == pattern.output.label
+            )
+
+    @given(patterns(max_size=4), trees(max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_regular_subset_of_weak(self, pattern, tree):
+        assert evaluate(pattern, tree) <= evaluate(pattern, tree, weak=True)
+
+    @given(patterns(max_size=4), trees(max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_witness_exists_iff_output_nonempty(self, pattern, tree):
+        images = evaluate(pattern, tree)
+        witness = find_embedding(pattern, tree)
+        assert (witness is not None) == bool(images)

@@ -1,0 +1,40 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_pattern_syntax_error_position():
+    exc = errors.PatternSyntaxError("bad token", text="a@b", position=1)
+    assert "position 1" in str(exc)
+    assert exc.text == "a@b"
+    assert exc.position == 1
+
+
+def test_pattern_syntax_error_without_position():
+    exc = errors.PatternSyntaxError("unexpected end", text="a[")
+    assert "a[" in str(exc)
+
+
+def test_empty_pattern_error_is_structure_error():
+    assert issubclass(errors.EmptyPatternError, errors.PatternStructureError)
+
+
+def test_unknown_view_error_is_view_engine_error():
+    assert issubclass(errors.UnknownViewError, errors.ViewEngineError)
+
+
+def test_catchable_at_api_boundary():
+    from repro.patterns.parse import parse_pattern
+
+    with pytest.raises(errors.ReproError):
+        parse_pattern("a[")

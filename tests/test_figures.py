@@ -1,0 +1,41 @@
+"""The paper's figures must reproduce: every claimed property verifies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.figures import fig1, fig2, fig3, fig4, verify_all
+
+
+@pytest.mark.parametrize("module", [fig1, fig2, fig3, fig4])
+def test_figure_builds(module):
+    patterns = module.build()
+    assert patterns
+    for name, pattern in patterns.items():
+        assert pattern is not None, name
+
+
+@pytest.mark.parametrize("module", [fig1, fig2, fig3, fig4])
+def test_figure_verifies(module):
+    report = module.verify()
+    failing = [name for name, ok in report.checks.items() if not ok]
+    assert not failing, f"{report.figure} failed: {failing}"
+
+
+def test_verify_all_order_and_success():
+    reports = verify_all()
+    assert [r.figure for r in reports] == [
+        "Figure 1",
+        "Figure 2",
+        "Figure 3",
+        "Figure 4",
+    ]
+    assert all(r.ok for r in reports)
+
+
+def test_summaries_render():
+    for report in verify_all():
+        text = report.summary()
+        assert report.figure in text
+        assert "PASS" in text
+        assert "FAIL" not in text

@@ -1,0 +1,145 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise realistic flows — workload generation → solving →
+materialized-view answering — plus failure injection for the budgeted
+code paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    compose,
+    equivalent,
+    evaluate,
+    evaluate_forest,
+    find_rewriting,
+    parse_pattern,
+)
+from repro.core.containment import canonical_containment, clear_cache
+from repro.core.rewrite import RewriteSolver, RewriteStatus
+from repro.errors import ContainmentBudgetError, ReproError
+from repro.patterns.random import PatternConfig, random_pattern, random_rewrite_instance
+from repro.views import QueryEngine, ViewCache, ViewStore
+from repro.workloads import StreamConfig, query_stream
+from repro.xmltree.generate import dblp_like, random_tree, xmark_like
+
+
+class TestEndToEndPipeline:
+    """Random instance → solver → view store → answer equality."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_pipeline(self, seed):
+        rng = random.Random(seed)
+        config = PatternConfig(
+            depth=3, alphabet=("a", "b", "c"), branch_prob=0.4
+        )
+        query, view = random_rewrite_instance(config, seed=rng)
+        decision = find_rewriting(query, view)
+        assert decision.status is RewriteStatus.FOUND
+
+        document = random_tree(
+            120, alphabet=("a", "b", "c"), seed=seed, root_label=query.root.label
+        )
+        store = ViewStore()
+        store.add_document("doc", document)
+        store.define_view("v", view)
+        engine = QueryEngine(store)
+
+        direct = evaluate(query, document)
+        via_view = engine.answer_with_view(query, "v", "doc")
+        assert via_view == direct
+
+    def test_xmark_workload_round_trip(self):
+        document = xmark_like(items=40, people=20, auctions=20, seed=4)
+        store = ViewStore()
+        store.add_document("site", document)
+        store.define_view("people", parse_pattern("site/people/person"))
+        store.define_view("items", parse_pattern("site/regions/*/item"))
+        engine = QueryEngine(store)
+        queries = [
+            "site/people/person[profile]/name",
+            "site/people/person/emailaddress",
+            "site/regions/*/item[mailbox]/name",
+            "site/regions/asia/item/name",
+        ]
+        for text in queries:
+            query = parse_pattern(text)
+            assert engine.answer(query, "site") == evaluate(query, document)
+
+    def test_cache_and_engine_agree(self):
+        document = dblp_like(entries=40, seed=6)
+        cache = ViewCache(document, capacity=8)
+        for query in query_stream(StreamConfig(length=25, templates=4), seed=6):
+            assert cache.query(query) == evaluate(query, document)
+
+
+class TestFailureInjection:
+    def test_containment_budget_surfaces(self, p):
+        big = p("a//*//*//*//*//*//*//b[x]")
+        with pytest.raises(ContainmentBudgetError):
+            canonical_containment(big, p("a//b[x][y]"), max_models=5)
+
+    def test_budget_error_is_catchable_as_repro_error(self, p):
+        big = p("a//*//*//*//*//*//*//b[x]")
+        with pytest.raises(ReproError):
+            canonical_containment(big, p("a//b[x][y]"), max_models=5)
+
+    def test_solver_with_tiny_model_budget(self, p):
+        # The solver passes max_models through to its equivalence tests;
+        # exceeding it should raise, not silently mis-decide.  The Figure
+        # 2 instance needs the canonical engine (no homomorphism exists
+        # for the containment a//*/e ⊑ a/*/e direction check).
+        solver = RewriteSolver(max_models=1)
+        with pytest.raises(ContainmentBudgetError):
+            solver.solve(p("a//*/e"), p("a/*"))
+
+    def test_document_mutation_without_refresh_is_stale(self, p):
+        store = ViewStore()
+        from repro.xmltree.parse import parse_sexpr
+
+        store.add_document("d", parse_sexpr("a(b)"))
+        store.define_view("v", p("a/b"))
+        doc = store.document("d")
+        doc.root.new_child("b")
+        assert len(store.view_answers("v", "d")) == 1  # stale by design
+        store.refresh("d")
+        assert len(store.view_answers("v", "d")) == 2
+
+    def test_unknown_status_never_produces_rewriting(self, p):
+        solver = RewriteSolver(fallback_extra_nodes=0)
+        result = solver.solve(p("a//*[e]/*[e]/*//e"), p("a/*//*/*"))
+        assert result.status is RewriteStatus.UNKNOWN
+        assert result.rewriting is None
+
+
+class TestCrossEngineConsistency:
+    """The same question answered by independent code paths must agree."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solver_vs_direct_composition_check(self, seed):
+        rng = random.Random(1000 + seed)
+        config = PatternConfig(depth=2, alphabet=("a", "b"), branch_prob=0.3)
+        query = random_pattern(config, rng)
+        view = random_pattern(PatternConfig(depth=1, alphabet=("a", "b")), rng)
+        clear_cache()
+        result = RewriteSolver(fallback_extra_nodes=1).solve(query, view)
+        if result.status is RewriteStatus.FOUND:
+            assert equivalent(compose(result.rewriting, view), query)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_view_answer_equals_composition_answer(self, seed):
+        config = PatternConfig(depth=2, alphabet=("a", "b", "c"))
+        query, view = random_rewrite_instance(config, seed=seed)
+        result = find_rewriting(query, view)
+        assert result.found
+        document = random_tree(
+            80, alphabet=("a", "b", "c"), seed=seed,
+            root_label=query.root.label,
+        )
+        lhs = evaluate_forest(result.rewriting, evaluate(view, document))
+        rhs = evaluate(compose(result.rewriting, view), document)
+        assert lhs == rhs == evaluate(query, document)

@@ -1,0 +1,85 @@
+"""Unit tests for redundancy elimination (after [10], used by Prop 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.containment import equivalent
+from repro.core.minimize import is_non_redundant, minimize, redundant_branches
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns
+
+
+class TestRedundantBranches:
+    def test_wildcard_branch_redundant_with_selection_child(self, p):
+        pattern = p("a[*]/b")
+        assert len(redundant_branches(pattern)) == 1
+
+    def test_duplicate_branch_redundant(self, p):
+        pattern = p("a[b][b]")
+        # Either copy can go (each is redundant given the other).
+        assert len(redundant_branches(pattern)) == 2
+
+    def test_distinguishing_branch_not_redundant(self, p):
+        assert redundant_branches(p("a[c]/b")) == []
+
+    def test_subsumed_descendant_branch(self, p):
+        # [.//b] is implied by the child branch [b].
+        pattern = p("a[b][.//b]")
+        redundant = redundant_branches(pattern)
+        assert len(redundant) >= 1
+
+    def test_selection_path_never_reported(self, p):
+        pattern = p("a/b/c")
+        assert redundant_branches(pattern) == []
+
+    def test_empty_pattern(self):
+        assert redundant_branches(Pattern.empty()) == []
+
+
+class TestMinimize:
+    def test_removes_wildcard_branch(self, p):
+        assert minimize(p("a[*]/b")) == p("a/b")
+
+    def test_removes_duplicate(self, p):
+        assert minimize(p("a[b][b]")) == p("a[b]")
+
+    def test_keeps_meaningful_branches(self, p):
+        pattern = p("a[c][d]/b")
+        assert minimize(pattern) == pattern
+
+    def test_removes_nested_redundancy(self, p):
+        # b[*] inside the branch: the inner * is redundant only if b has
+        # another child in the branch... here b has no other child, so
+        # nothing is removable except the implied [.//b].
+        pattern = p("a[b/c][.//b]")
+        minimized = minimize(pattern)
+        assert minimized == p("a[b/c]")
+
+    def test_minimize_preserves_equivalence(self, p):
+        pattern = p("a[*][b]/c[.//d][d]")
+        minimized = minimize(pattern)
+        assert equivalent(minimized, pattern)
+        assert minimized.size() < pattern.size()
+
+    def test_empty_pattern(self):
+        assert minimize(Pattern.empty()).is_empty
+
+    @given(patterns(max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_equivalent_and_non_redundant(self, pattern):
+        minimized = minimize(pattern)
+        assert equivalent(minimized, pattern)
+        assert is_non_redundant(minimized)
+        assert minimized.size() <= pattern.size()
+
+
+class TestIsNonRedundant:
+    def test_positive(self, p):
+        assert is_non_redundant(p("a[b]/c"))
+
+    def test_negative(self, p):
+        assert not is_non_redundant(p("a[*]/c"))

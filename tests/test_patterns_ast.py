@@ -1,0 +1,193 @@
+"""Unit tests for repro.patterns.ast (Pattern/PNode structure)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import EmptyPatternError, PatternStructureError
+from repro.patterns.ast import Axis, EMPTY_PATTERN, Pattern, PNode, WILDCARD
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns
+
+
+class TestAxis:
+    def test_symbols(self):
+        assert Axis.CHILD.symbol() == "/"
+        assert Axis.DESCENDANT.symbol() == "//"
+
+
+class TestPNode:
+    def test_child_and_descendant_helpers(self):
+        root = PNode("a")
+        b = root.child("b")
+        c = root.descendant("c")
+        assert root.edges == [(Axis.CHILD, b), (Axis.DESCENDANT, c)]
+
+    def test_measures(self):
+        root = PNode("a")
+        root.child("b").child("c")
+        assert root.size() == 3
+        assert root.height() == 2
+
+    def test_labels_exclude_wildcard(self):
+        root = PNode(WILDCARD)
+        root.child("b")
+        assert root.labels() == {"b"}
+
+    def test_deep_copy_with_map(self):
+        root = PNode("a")
+        child = root.child("b")
+        copy, mapping = root.deep_copy_with_map()
+        assert mapping[child].label == "b"
+        assert mapping[child] is not child
+
+
+class TestEmptyPattern:
+    def test_singleton(self):
+        assert Pattern.empty() is EMPTY_PATTERN
+        assert EMPTY_PATTERN.is_empty
+
+    def test_measures(self):
+        assert EMPTY_PATTERN.size() == 0
+        assert EMPTY_PATTERN.height() == 0
+        assert EMPTY_PATTERN.labels() == set()
+
+    def test_selection_path_raises(self):
+        with pytest.raises(EmptyPatternError):
+            EMPTY_PATTERN.selection_path()
+
+    def test_copy_returns_self(self):
+        assert EMPTY_PATTERN.copy() is EMPTY_PATTERN
+
+    def test_equality(self):
+        assert EMPTY_PATTERN == Pattern.empty()
+        assert EMPTY_PATTERN != Pattern.single("a")
+
+
+class TestValidation:
+    def test_output_must_be_in_tree(self):
+        with pytest.raises(PatternStructureError):
+            Pattern(PNode("a"), PNode("b"))
+
+    def test_shared_node_rejected(self):
+        shared = PNode("x")
+        root = PNode("a")
+        root.add(Axis.CHILD, shared)
+        root.add(Axis.CHILD, shared)
+        with pytest.raises(PatternStructureError):
+            Pattern(root)
+
+
+class TestSelectionPath:
+    def test_default_output_is_root(self):
+        pattern = Pattern.single("a")
+        assert pattern.depth == 0
+        assert pattern.selection_path() == [pattern.root]
+
+    def test_depth_and_axes(self):
+        pattern = parse_pattern("a/b//c")
+        assert pattern.depth == 2
+        assert pattern.selection_axes() == [Axis.CHILD, Axis.DESCENDANT]
+
+    def test_branches_not_on_path(self):
+        pattern = parse_pattern("a[x]/b[y//z]")
+        assert [n.label for n in pattern.selection_path()] == ["a", "b"]
+
+    def test_k_node(self):
+        pattern = parse_pattern("a/b/c")
+        assert pattern.k_node(0).label == "a"
+        assert pattern.k_node(2).label == "c"
+
+    def test_k_node_out_of_range(self):
+        with pytest.raises(PatternStructureError):
+            parse_pattern("a/b").k_node(3)
+
+    def test_node_depth_of_branch(self):
+        pattern = parse_pattern("a/b[x/y]/c")
+        x = next(n for n in pattern.nodes() if n.label == "x")
+        y = next(n for n in pattern.nodes() if n.label == "y")
+        # Depth of a non-selection node = depth of deepest selection
+        # ancestor (paper §3.1).
+        assert pattern.node_depth(x) == 1
+        assert pattern.node_depth(y) == 1
+
+    def test_node_depth_of_selection_node(self):
+        pattern = parse_pattern("a/b/c")
+        assert pattern.node_depth(pattern.k_node(1)) == 1
+
+
+class TestPredicates:
+    def test_has_wildcard(self):
+        assert parse_pattern("a/*").has_wildcard()
+        assert not parse_pattern("a/b").has_wildcard()
+
+    def test_has_descendant_edge(self):
+        assert parse_pattern("a//b").has_descendant_edge()
+        assert parse_pattern("a[.//x]/b").has_descendant_edge()
+        assert not parse_pattern("a[x]/b").has_descendant_edge()
+
+    def test_has_branching_and_linear(self):
+        assert parse_pattern("a[x]/b").has_branching()
+        assert parse_pattern("a/b/c").is_linear()
+        assert not parse_pattern("a[x]/b").is_linear()
+
+
+class TestEqualityAndHash:
+    def test_branch_order_irrelevant(self):
+        left = parse_pattern("a[x][y]/b")
+        right = parse_pattern("a[y][x]/b")
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_axis_matters(self):
+        assert parse_pattern("a/b") != parse_pattern("a//b")
+
+    def test_output_marker_matters(self):
+        with_out_at_b = parse_pattern("a/b")  # output at b
+        single = parse_pattern("a[b]")  # output at a
+        assert with_out_at_b != single
+
+    def test_label_matters(self):
+        assert parse_pattern("a/b") != parse_pattern("a/c")
+
+    def test_eq_other_type(self):
+        assert parse_pattern("a") != "a"
+
+
+class TestCopy:
+    def test_copy_is_isomorphic_and_fresh(self):
+        pattern = parse_pattern("a[x//y]/b//*")
+        copy = pattern.copy()
+        assert copy == pattern
+        assert copy.root is not pattern.root
+        assert copy.output is not pattern.output
+
+    def test_copy_with_map_tracks_output(self):
+        pattern = parse_pattern("a/b")
+        copy, mapping = pattern.copy_with_map()
+        assert copy.output is mapping[pattern.output]
+
+    def test_map_nodes_relabels(self):
+        pattern = parse_pattern("a/b")
+        upper = pattern.map_nodes(lambda n: n.label.upper())
+        assert [n.label for n in upper.nodes()] == ["A", "B"]
+
+    @given(patterns(max_size=6))
+    def test_property_copy_roundtrip(self, pattern):
+        assert pattern.copy() == pattern
+
+
+class TestRender:
+    def test_render_marks_output(self):
+        text = parse_pattern("a/b").render()
+        assert "<- output" in text
+        assert text.splitlines()[0] == "a"
+
+    def test_render_empty(self):
+        assert "Υ" in EMPTY_PATTERN.render()
+
+    def test_repr(self):
+        assert "a/b" in repr(parse_pattern("a/b"))
+        assert "Υ" in repr(EMPTY_PATTERN)

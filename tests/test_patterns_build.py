@@ -1,0 +1,77 @@
+"""Unit tests for the fluent builder and the nested-tuple literal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PatternStructureError
+from repro.patterns.ast import Pattern
+from repro.patterns.build import PatternBuilder, pat
+from repro.patterns.parse import parse_pattern
+
+
+class TestPatternBuilder:
+    def test_simple_path(self):
+        built = PatternBuilder("a").child("b").descendant("c").build()
+        assert built == parse_pattern("a/b//c")
+
+    def test_branches(self):
+        built = (
+            PatternBuilder("a")
+            .branch("b")
+            .child("*")
+            .dbranch("d")
+            .descendant("e")
+            .build()
+        )
+        assert built == parse_pattern("a[b]/*[.//d]//e")
+
+    def test_branch_with_structure(self):
+        built = PatternBuilder("a").branch("b/c[d]").build()
+        assert built == parse_pattern("a[b/c[d]]")
+
+    def test_branch_from_pattern_object(self):
+        sub = parse_pattern("x//y")
+        built = PatternBuilder("a").branch(sub).build()
+        assert built == parse_pattern("a[x//y]")
+
+    def test_branch_pattern_is_copied(self):
+        sub = parse_pattern("x")
+        built = PatternBuilder("a").branch(sub).build()
+        assert built.root.edges[0][1] is not sub.root
+
+    def test_empty_branch_rejected(self):
+        with pytest.raises(PatternStructureError):
+            PatternBuilder("a").branch("")
+
+    def test_output_is_cursor(self):
+        built = PatternBuilder("a").child("b").build()
+        assert built.output.label == "b"
+
+    def test_root_only(self):
+        built = PatternBuilder("a").build()
+        assert built.depth == 0
+
+
+class TestPatLiteral:
+    def test_single(self):
+        assert pat(("a", [])) == parse_pattern("a")
+
+    def test_with_output_address(self):
+        pattern = pat(
+            ("a", [("/", ("*", [("/", ("b", [])), ("//", ("e", []))]))]),
+            output=[0, 1],
+        )
+        assert pattern == parse_pattern("a/*[b]//e")
+
+    def test_default_output_is_root(self):
+        pattern = pat(("a", [("/", ("b", []))]))
+        assert pattern == parse_pattern("a[b]")
+
+    def test_bad_output_address(self):
+        with pytest.raises(PatternStructureError):
+            pat(("a", []), output=[0])
+
+    def test_axis_strings(self):
+        pattern = pat(("a", [("//", ("b", []))]), output=[0])
+        assert pattern == parse_pattern("a//b")

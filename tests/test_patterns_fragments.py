@@ -1,0 +1,81 @@
+"""Unit tests for fragment classification and hom-completeness criteria."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns.ast import Pattern
+from repro.patterns.fragments import (
+    Fragment,
+    classify,
+    homomorphism_complete,
+    in_fragment,
+)
+from repro.patterns.parse import parse_pattern
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a/b", Fragment.PATHS),
+            ("a[b]/c", Fragment.BRANCHES),
+            ("a//b", Fragment.DESCENDANTS),
+            ("a/*", Fragment.WILDCARDS),
+            ("a[b]//c", Fragment.NO_WILDCARD),
+            ("a//*", Fragment.NO_BRANCH),
+            ("a[*]/b", Fragment.NO_DESCENDANT),
+            ("a[*]//b", Fragment.FULL),
+        ],
+    )
+    def test_smallest_fragment(self, text, expected):
+        assert classify(parse_pattern(text)) is expected
+
+    def test_empty_pattern_is_paths(self):
+        assert classify(Pattern.empty()) is Fragment.PATHS
+
+
+class TestInFragment:
+    def test_full_contains_everything(self):
+        pattern = parse_pattern("a[*]//b")
+        assert in_fragment(pattern, Fragment.FULL)
+
+    def test_no_wildcard_rejects_wildcards(self):
+        assert not in_fragment(parse_pattern("a/*"), Fragment.NO_WILDCARD)
+        assert in_fragment(parse_pattern("a[b]//c"), Fragment.NO_WILDCARD)
+
+    def test_no_branch_rejects_branching(self):
+        assert not in_fragment(parse_pattern("a[b]/c"), Fragment.NO_BRANCH)
+        assert in_fragment(parse_pattern("a//*"), Fragment.NO_BRANCH)
+
+    def test_no_descendant_rejects_descendants(self):
+        assert not in_fragment(parse_pattern("a//b"), Fragment.NO_DESCENDANT)
+        assert in_fragment(parse_pattern("a[*]/b"), Fragment.NO_DESCENDANT)
+
+    def test_paths_is_most_restrictive(self):
+        assert in_fragment(parse_pattern("a/b"), Fragment.PATHS)
+        assert not in_fragment(parse_pattern("a[b]"), Fragment.PATHS)
+
+    def test_allows_tuples(self):
+        assert Fragment.FULL.allows() == (True, True, True)
+        assert Fragment.PATHS.allows() == (False, False, False)
+
+
+class TestHomomorphismComplete:
+    def test_descendant_free_contained_side(self):
+        # Single canonical model: hom is complete whatever the container.
+        assert homomorphism_complete(parse_pattern("a[*]/b"), parse_pattern("a//*"))
+
+    def test_wildcard_free_pair(self):
+        assert homomorphism_complete(parse_pattern("a[b]//c"), parse_pattern("a//c"))
+
+    def test_linear_wildcard_descendant_pair_incomplete(self):
+        # The classic XP{//,*} counterexample: a//*/e ⊑ a/*//e has no hom.
+        assert not homomorphism_complete(
+            parse_pattern("a//*/e"), parse_pattern("a/*//e")
+        )
+
+    def test_wildcard_on_container_only_still_incomplete(self):
+        assert not homomorphism_complete(
+            parse_pattern("a//b"), parse_pattern("a/*//b")
+        )

@@ -1,0 +1,176 @@
+"""Unit tests for the pattern parser and serializer round trip."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import PatternSyntaxError
+from repro.patterns.ast import Axis, WILDCARD
+from repro.patterns.parse import parse_pattern, tokenize
+from repro.patterns.serialize import to_grammar, to_xpath
+
+from .strategies import patterns
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        kinds = [k for k, _, _ in tokenize("a//b[*]/./c")]
+        assert kinds == [
+            "NAME", "DSLASH", "NAME", "LBRACK", "STAR", "RBRACK",
+            "SLASH", "DOT", "SLASH", "NAME",
+        ]
+
+    def test_whitespace_skipped(self):
+        assert len(tokenize("a / b")) == 3
+
+    def test_bad_character(self):
+        with pytest.raises(PatternSyntaxError):
+            tokenize("a@b")
+
+    def test_position_reported(self):
+        with pytest.raises(PatternSyntaxError) as excinfo:
+            tokenize("ab?c")
+        assert excinfo.value.position == 2
+
+
+class TestBasicParsing:
+    def test_single_label(self):
+        pattern = parse_pattern("a")
+        assert pattern.size() == 1
+        assert pattern.depth == 0
+
+    def test_wildcard(self):
+        assert parse_pattern("*").root.label == WILDCARD
+
+    def test_child_chain(self):
+        pattern = parse_pattern("a/b/c")
+        assert pattern.depth == 2
+        assert pattern.selection_axes() == [Axis.CHILD, Axis.CHILD]
+        assert pattern.output.label == "c"
+
+    def test_descendant_chain(self):
+        pattern = parse_pattern("a//b")
+        assert pattern.selection_axes() == [Axis.DESCENDANT]
+
+    def test_empty_pattern_spellings(self):
+        assert parse_pattern("").is_empty
+        assert parse_pattern("Υ").is_empty
+        assert parse_pattern("  ").is_empty
+
+    def test_leading_slash_ignored(self):
+        assert parse_pattern("/a/b") == parse_pattern("a/b")
+
+    def test_leading_double_slash_sugar(self):
+        pattern = parse_pattern("//a")
+        assert pattern.root.label == WILDCARD
+        assert pattern.selection_axes() == [Axis.DESCENDANT]
+        assert pattern == parse_pattern("*//a")
+
+    def test_unicode_label(self):
+        assert parse_pattern("µ").root.label == "µ"
+
+
+class TestPredicates:
+    def test_child_branch(self):
+        pattern = parse_pattern("a[b]")
+        assert pattern.output.label == "a"
+        ((axis, child),) = pattern.root.edges
+        assert axis is Axis.CHILD and child.label == "b"
+
+    def test_descendant_branch_dot_slash_slash(self):
+        pattern = parse_pattern("a[.//b]")
+        ((axis, child),) = pattern.root.edges
+        assert axis is Axis.DESCENDANT
+
+    def test_descendant_branch_bare_double_slash(self):
+        assert parse_pattern("a[//b]") == parse_pattern("a[.//b]")
+
+    def test_dot_slash_branch(self):
+        assert parse_pattern("a[./b]") == parse_pattern("a[b]")
+
+    def test_branch_path(self):
+        pattern = parse_pattern("a[b/c//d]")
+        b = pattern.root.edges[0][1]
+        assert b.label == "b"
+        c = b.edges[0][1]
+        assert c.label == "c"
+        assert b.edges[0][0] is Axis.CHILD
+        assert c.edges[0][0] is Axis.DESCENDANT
+
+    def test_nested_predicates(self):
+        pattern = parse_pattern("a[b[c][d]]")
+        b = pattern.root.edges[0][1]
+        assert sorted(child.label for _, child in b.edges) == ["c", "d"]
+
+    def test_multiple_predicates(self):
+        pattern = parse_pattern("a[b][c]/d")
+        assert len(pattern.root.edges) == 3  # b, c and the selection child
+
+    def test_predicate_on_inner_step(self):
+        pattern = parse_pattern("a/b[x]/c")
+        assert [n.label for n in pattern.selection_path()] == ["a", "b", "c"]
+
+    def test_missing_closing_bracket(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("a[b")
+
+    def test_dot_without_slash(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("a[.b]")
+
+
+class TestErrors:
+    def test_trailing_separator(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("a/")
+
+    def test_double_label(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("a b")
+
+    def test_stray_bracket(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("a]b")
+
+    def test_bracket_only(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_pattern("[a]")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "*",
+            "a/b//c",
+            "a[b]",
+            "a[.//b]",
+            "a[b/c][.//d]/e//*",
+            "a[b[c][.//d]]/e",
+            "*//*[*]/a",
+        ],
+    )
+    def test_round_trip_examples(self, text):
+        pattern = parse_pattern(text)
+        assert parse_pattern(to_xpath(pattern)) == pattern
+
+    def test_empty_serializes_to_upsilon(self):
+        assert to_xpath(parse_pattern("")) == "Υ"
+
+    def test_grammar_form_is_parseable(self):
+        pattern = parse_pattern("a[b/c]/d//e")
+        assert parse_pattern(to_grammar(pattern)) == pattern
+
+    def test_grammar_form_fully_bracketed(self):
+        text = to_grammar(parse_pattern("a[b/c]/d"))
+        assert text == "a[b[c]]/d"
+
+    @given(patterns(max_size=7))
+    def test_property_round_trip(self, pattern):
+        assert parse_pattern(to_xpath(pattern)) == pattern
+
+    @given(patterns(max_size=7))
+    def test_property_grammar_round_trip(self, pattern):
+        assert parse_pattern(to_grammar(pattern)) == pattern

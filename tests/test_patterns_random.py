@@ -1,0 +1,115 @@
+"""Unit tests for random pattern generation and rewrite instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.containment import equivalent
+from repro.core.selection import sub_ge
+from repro.errors import WorkloadError
+from repro.patterns.fragments import Fragment, in_fragment
+from repro.patterns.random import (
+    PatternConfig,
+    random_pattern,
+    random_rewrite_instance,
+)
+
+
+class TestPatternConfig:
+    def test_fragment_overrides_probabilities(self):
+        config = PatternConfig(fragment=Fragment.NO_WILDCARD, wildcard_prob=1.0)
+        assert config.wildcard_prob == 0.0
+
+    def test_invalid_depth(self):
+        with pytest.raises(WorkloadError):
+            PatternConfig(depth=-1)
+
+    def test_empty_alphabet(self):
+        with pytest.raises(WorkloadError):
+            PatternConfig(alphabet=())
+
+
+class TestRandomPattern:
+    def test_depth_is_exact(self):
+        for depth in (0, 1, 4):
+            pattern = random_pattern(PatternConfig(depth=depth), seed=1)
+            assert pattern.depth == depth
+
+    def test_deterministic(self):
+        left = random_pattern(PatternConfig(depth=3), seed=5)
+        right = random_pattern(PatternConfig(depth=3), seed=5)
+        assert left == right
+
+    @pytest.mark.parametrize(
+        "fragment",
+        [Fragment.NO_WILDCARD, Fragment.NO_BRANCH, Fragment.NO_DESCENDANT],
+    )
+    def test_fragment_respected(self, fragment):
+        rng = random.Random(7)
+        config = PatternConfig(depth=3, fragment=fragment)
+        for _ in range(20):
+            assert in_fragment(random_pattern(config, rng), fragment)
+
+    def test_alphabet_respected(self):
+        config = PatternConfig(depth=3, alphabet=("x",), wildcard_prob=0.0)
+        pattern = random_pattern(config, seed=2)
+        assert pattern.labels() <= {"x"}
+
+
+class TestRandomRewriteInstance:
+    def test_prefix_view_composition_reconstructs_query(self):
+        rng = random.Random(11)
+        config = PatternConfig(depth=3, branch_prob=0.0)
+        for _ in range(15):
+            query, view = random_rewrite_instance(config, seed=rng)
+            candidate = sub_ge(query, view.depth)
+            # Without branches V = P≤k composes back to exactly P.
+            assert compose(candidate, view) == query
+
+    def test_prefix_view_composition_duplicates_k_branches(self):
+        # With branches on the k-node, both V (= P≤k) and P≥k carry them,
+        # so the composition holds them twice — syntactically different
+        # but equivalent (duplicate branches are redundant).
+        rng = random.Random(11)
+        config = PatternConfig(depth=3, branch_prob=0.9)
+        seen_duplicate = False
+        for _ in range(10):
+            query, view = random_rewrite_instance(config, seed=rng)
+            candidate = sub_ge(query, view.depth)
+            composition = compose(candidate, view)
+            if composition != query:
+                seen_duplicate = True
+                assert equivalent(composition, query)
+        assert seen_duplicate, "expected at least one k-node-branch instance"
+
+    def test_rewriting_always_exists_unmutated(self):
+        rng = random.Random(13)
+        config = PatternConfig(depth=3, branch_prob=0.3)
+        for _ in range(5):
+            query, view = random_rewrite_instance(config, seed=rng)
+            candidate = sub_ge(query, view.depth)
+            assert equivalent(compose(candidate, view), query)
+
+    def test_view_depth_parameter(self):
+        query, view = random_rewrite_instance(
+            PatternConfig(depth=4), seed=3, view_depth=2
+        )
+        assert view.depth == 2
+
+    def test_view_depth_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            random_rewrite_instance(PatternConfig(depth=2), seed=1, view_depth=5)
+
+    def test_depth_zero_query_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_rewrite_instance(PatternConfig(depth=0), seed=1)
+
+    def test_mutated_view_contains_fresh_label(self):
+        query, view = random_rewrite_instance(
+            PatternConfig(depth=3), seed=9, mutate_view=True
+        )
+        assert "zz_view_only" in view.labels()
+        assert "zz_view_only" not in query.labels()

@@ -1,0 +1,45 @@
+"""Unit tests for the benchmark reporting helpers."""
+
+from __future__ import annotations
+
+from repro.reporting import format_series, format_table, print_series, print_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["long-name-here", 1], ["x", 123456]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+        assert "long-name-here" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_tiny_float_scientific(self):
+        text = format_table(["x"], [[0.0000123]])
+        assert "e-" in text
+
+    def test_print_table(self, capsys):
+        print_table(["h"], [["v"]])
+        captured = capsys.readouterr()
+        assert "h" in captured.out
+        assert "v" in captured.out
+
+
+class TestFormatSeries:
+    def test_points(self):
+        text = format_series("scaling", [(1, 2.0), (2, 4.0)])
+        assert text.splitlines()[0] == "series: scaling"
+        assert "1 -> 2.0000" in text
+
+    def test_print_series(self, capsys):
+        print_series("s", [(1, 1)])
+        assert "series: s" in capsys.readouterr().out

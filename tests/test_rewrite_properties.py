@@ -1,0 +1,105 @@
+"""Property-based tests for the rewriting solver.
+
+Soundness: any rewriting the solver returns verifies (``R ∘ V ≡ P``).
+Completeness: on instances built as view-prefix pairs a rewriting always
+exists and the solver finds one; on arbitrary small instances the
+solver's NO_REWRITING verdicts agree with the bounded exhaustive search.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.composition import compose
+from repro.core.containment import equivalent
+from repro.core.decide import exhaustive_search
+from repro.core.rewrite import RewriteSolver, RewriteStatus
+from repro.patterns.random import PatternConfig, random_rewrite_instance
+
+from .strategies import path_patterns, patterns
+
+
+@st.composite
+def rewrite_instances(draw, mutate: bool = False):
+    """Seeded view-prefix instances through the library generator."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    depth = draw(st.integers(min_value=1, max_value=4))
+    config = PatternConfig(depth=depth, branch_prob=0.4)
+    return random_rewrite_instance(config, seed=seed, mutate_view=mutate)
+
+
+class TestSoundness:
+    @given(rewrite_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_prefix_instances_always_found(self, instance):
+        query, view = instance
+        result = RewriteSolver().solve(query, view)
+        assert result.status is RewriteStatus.FOUND
+        assert equivalent(compose(result.rewriting, view), query)
+
+    @given(rewrite_instances(mutate=True))
+    @settings(max_examples=40, deadline=None)
+    def test_mutated_instances_sound(self, instance):
+        query, view = instance
+        result = RewriteSolver().solve(query, view)
+        if result.status is RewriteStatus.FOUND:
+            assert equivalent(compose(result.rewriting, view), query)
+
+    @given(patterns(max_size=4), path_patterns(max_depth=2))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_pairs_sound(self, query, view):
+        result = RewriteSolver(fallback_extra_nodes=1).solve(query, view)
+        if result.status is RewriteStatus.FOUND:
+            assert equivalent(compose(result.rewriting, view), query)
+
+
+class TestAgreementWithSearch:
+    @given(rewrite_instances(mutate=True))
+    @settings(max_examples=25, deadline=None)
+    def test_no_rewriting_confirmed_by_search(self, instance):
+        query, view = instance
+        result = RewriteSolver().solve(query, view)
+        if result.status is RewriteStatus.NO_REWRITING:
+            outcome = exhaustive_search(query, view, max_extra_nodes=1)
+            assert outcome.rewriting is None
+
+    @given(rewrite_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_found_confirmed_by_search(self, instance):
+        query, view = instance
+        result = RewriteSolver().solve(query, view)
+        assert result.found
+        # The search needs enough extra-node budget to rebuild the
+        # candidate's branches (selection path nodes come for free).
+        needed = result.rewriting.size() - (result.rewriting.depth + 1)
+        if needed > 3:
+            return  # out of the bounded search's reach; skip
+        outcome = exhaustive_search(query, view, max_extra_nodes=max(needed, 1))
+        assert outcome.rewriting is not None
+
+
+class TestDecisionMetadata:
+    @given(rewrite_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_candidate_path_uses_at_most_two_tests(self, instance):
+        query, view = instance
+        result = RewriteSolver().solve(query, view)
+        if result.rule == "natural-candidate":
+            assert result.equivalence_tests <= 2
+
+    @given(rewrite_instances(mutate=True))
+    @settings(max_examples=30, deadline=None)
+    def test_status_rule_consistency(self, instance):
+        query, view = instance
+        result = RewriteSolver().solve(query, view)
+        if result.status is RewriteStatus.FOUND:
+            assert result.rewriting is not None
+            assert result.rule in ("natural-candidate", "prop-3.4-search")
+        elif result.status is RewriteStatus.NO_REWRITING:
+            assert result.rewriting is None
+            assert result.rule is not None
+        else:
+            assert result.rewriting is None

@@ -1,0 +1,242 @@
+"""Unit and integration tests for the rewriting solver (Sections 4–5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composition import compose
+from repro.core.containment import equivalent
+from repro.core.rewrite import (
+    RewriteSolver,
+    RewriteStatus,
+    find_rewriting,
+)
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+
+
+@pytest.fixture
+def solver():
+    return RewriteSolver()
+
+
+class TestDegenerateInstances:
+    def test_empty_query(self, p, solver):
+        result = solver.solve(Pattern.empty(), p("a"))
+        assert result.status is RewriteStatus.FOUND
+        assert result.rewriting.is_empty
+        assert result.rule == "empty-query"
+
+    def test_empty_view(self, p, solver):
+        result = solver.solve(p("a"), Pattern.empty())
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "empty-view"
+
+
+class TestPrechecks:
+    def test_view_deeper_than_query(self, p, solver):
+        result = solver.solve(p("a/b"), p("a/b/c"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "prop-3.1-depth"
+
+    def test_prefix_label_mismatch(self, p, solver):
+        result = solver.solve(p("a/b/c/d"), p("a/x/y"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "prop-3.1-label-mismatch"
+
+    def test_prefix_wildcard_vs_sigma_mismatch(self, p, solver):
+        # Prop 3.1 Part 3: equal labels means *equal strings*; a wildcard
+        # i-node of V cannot pair with a Σ-labeled i-node of P.
+        result = solver.solve(p("a/b/c"), p("*/b"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "prop-3.1-label-mismatch"
+
+    def test_output_label_conflict(self, p, solver):
+        result = solver.solve(p("a/b/c"), p("a/x"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "prop-3.1-output-label"
+
+    def test_wildcard_k_node_with_sigma_view_output(self, p, solver):
+        # Paper (§4): if the k-node of P is * and out(V) is not, no
+        # rewriting exists.
+        result = solver.solve(p("a/*/c"), p("a/b"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "prop-3.1-wildcard-k-node"
+
+
+class TestPositiveInstances:
+    @pytest.mark.parametrize(
+        "query,view",
+        [
+            ("a/b/c", "a/b"),
+            ("a/b//c", "a/b"),
+            ("a//b/c", "a//b"),
+            ("a[x]/b/c[y]", "a[x]/b"),
+            ("a/*[b]//e", "a/*[b]"),
+            ("a//*/e", "a/*"),  # needs the relaxed candidate
+            ("dblp/*[author]/title", "dblp/*[author]"),
+        ],
+    )
+    def test_found_and_verified(self, p, solver, query, view):
+        q, v = p(query), p(view)
+        result = solver.solve(q, v)
+        assert result.status is RewriteStatus.FOUND
+        assert equivalent(compose(result.rewriting, v), q)
+
+    def test_k_equals_d(self, p, solver):
+        result = solver.solve(p("a/b[x]"), p("a/b"))
+        assert result.status is RewriteStatus.FOUND
+        assert result.rewriting.depth == 0
+
+    def test_k_zero_view(self, p, solver):
+        # out(V) = root(V): Prop 3.5 territory.
+        result = solver.solve(p("a/b"), p("a[c]"))
+        # V filters the root by [c]; P does not require it, so R(V(t)) can
+        # not recover P(t) on trees lacking c.
+        assert result.status is RewriteStatus.NO_REWRITING
+
+    def test_k_zero_view_compatible(self, p, solver):
+        result = solver.solve(p("a[c]/b"), p("a[c]"))
+        assert result.status is RewriteStatus.FOUND
+
+    def test_two_tests_at_most_for_natural_hits(self, p, solver):
+        result = solver.solve(p("a/b/c"), p("a/b"))
+        assert result.equivalence_tests <= 2
+        assert result.rule == "natural-candidate"
+
+
+class TestNegativeInstancesWithCertificates:
+    def test_thm_4_3(self, p, solver):
+        # P≥k rooted at a Σ-label: stable.
+        result = solver.solve(p("a//e/d"), p("a/*"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "thm-4.3-stable-subquery"
+
+    def test_thm_4_4(self, p, solver):
+        # All-child prefix of P, but the view carries a branch [x] that P
+        # does not require, so neither candidate composes back to P.
+        result = solver.solve(p("a/*/c"), p("a/*[x]"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "thm-4.4-query-prefix-child-edges"
+
+    def test_thm_4_9(self, p, solver):
+        # Descendant edge into out(V); the view's extra branch [x] makes
+        # the candidates fail.
+        result = solver.solve(p("a//*/*"), p("a//*[x]"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "thm-4.9-descendant-into-view-output"
+
+    def test_thm_4_10(self, p, solver):
+        # V's path is all child edges; P starts with a descendant edge,
+        # and V's extra branch [x] defeats both candidates.
+        result = solver.solve(p("a//*/e"), p("a/*[x]"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "thm-4.10-view-path-child-edges"
+
+    def test_thm_4_16(self, p, solver):
+        result = solver.solve(p("a/*//*[e]/*/e"), p("a/*//*/*"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "thm-4.16-corresponding-descendant-edges"
+
+    def test_cor_5_7_via_derived_instance(self, p, solver):
+        result = solver.solve(p("a//*[e]/*/*/e"), p("a/*//*/*"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule == "prop-5.6+thm-4.16-corresponding-descendant-edges"
+
+    def test_section_5_3_lift(self, p, solver):
+        result = solver.solve(p("a/*//*[e]/*/c//e"), p("a/*//*/*"))
+        assert result.status is RewriteStatus.NO_REWRITING
+        assert result.rule.startswith("thm-5.9-lift@4")
+
+
+class TestFallback:
+    # An instance no certificate covers (and whose candidates fail):
+    # every non-wildcard selection node of P sits above a descendant
+    # edge, V's descendant edge is neither last nor deep enough, and the
+    # [e]-branches block stability/GNF on all derived instances.  Whether
+    # a rewriting exists here is exactly the paper's open general case.
+    UNCERTIFIED = ("a//*[e]/*[e]/*//e", "a/*//*/*")
+
+    def test_no_certificate_applies(self, p):
+        solver = RewriteSolver()
+        query, view = p(self.UNCERTIFIED[0]), p(self.UNCERTIFIED[1])
+        assert solver.find_certificate(query, view) is None
+
+    def test_uncertified_instance_is_unknown(self, p):
+        solver = RewriteSolver(fallback_extra_nodes=1)
+        result = solver.solve(p(self.UNCERTIFIED[0]), p(self.UNCERTIFIED[1]))
+        assert result.status is RewriteStatus.UNKNOWN
+        assert result.fallback_tried > 0
+
+    def test_candidates_found_before_fallback(self, p):
+        # When a natural candidate works, the fallback never runs even
+        # with certificates disabled.
+        solver = RewriteSolver(use_certificates=False)
+        query, view = p("a/b[x]/c"), p("a/b")
+        result = solver.solve(query, view)
+        assert result.status is RewriteStatus.FOUND
+        assert result.rule == "natural-candidate"
+        assert result.fallback_tried == 0
+        assert equivalent(compose(result.rewriting, view), query)
+
+    def test_no_fallback_mode(self, p):
+        solver = RewriteSolver(use_fallback=False, use_certificates=False)
+        result = solver.solve(p(self.UNCERTIFIED[0]), p(self.UNCERTIFIED[1]))
+        assert result.status is RewriteStatus.UNKNOWN
+        assert result.fallback_tried == 0
+
+    def test_fallback_agrees_with_certificates(self, p):
+        # On a certified-NONE instance, the bounded search must not find
+        # anything either.
+        certified = RewriteSolver().solve(p("a//e/d"), p("a/*"))
+        assert certified.status is RewriteStatus.NO_REWRITING
+        searched = RewriteSolver(use_certificates=False).solve(
+            p("a//e/d"), p("a/*")
+        )
+        assert searched.status is not RewriteStatus.FOUND
+
+
+class TestResultMetadata:
+    def test_trace_is_populated(self, p, solver):
+        result = solver.solve(p("a/b/c"), p("a/b"))
+        assert any("depths" in line for line in result.trace)
+
+    def test_candidates_recorded(self, p, solver):
+        result = solver.solve(p("a//e/d"), p("a/*"))
+        assert len(result.candidates) >= 1
+
+    def test_found_property(self, p, solver):
+        assert solver.solve(p("a/b"), p("a")).found
+
+    def test_find_rewriting_wrapper(self, p):
+        result = find_rewriting(p("a/b/c"), p("a/b"))
+        assert result.found
+
+
+class TestSolverAgainstBruteForce:
+    """Solver decisions cross-checked against exhaustive search."""
+
+    INSTANCES = [
+        ("a/b/c", "a/b"),
+        ("a//b/c", "a/b"),
+        ("a/b[x]/c", "a/b"),
+        ("a//*/e", "a/*"),
+        ("a//e/d", "a/*"),
+        ("a/*[u]/c", "a/*"),
+        ("a[b]//*/e[d]", "a[b]/*"),
+        ("a/b//c/d", "a/b//c"),
+        ("a/b/c/d", "a/b/c"),
+    ]
+
+    @pytest.mark.parametrize("query,view", INSTANCES)
+    def test_agreement(self, p, query, view):
+        from repro.core.decide import exhaustive_search
+
+        q, v = p(query), p(view)
+        solver_result = RewriteSolver().solve(q, v)
+        search = exhaustive_search(q, v, max_extra_nodes=2)
+        if solver_result.status is RewriteStatus.FOUND:
+            assert equivalent(compose(solver_result.rewriting, v), q)
+            assert search.rewriting is not None
+        elif solver_result.status is RewriteStatus.NO_REWRITING:
+            assert search.rewriting is None

@@ -1,0 +1,152 @@
+"""Unit tests for the selection-path toolkit (Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.containment import equivalent
+from repro.core.selection import (
+    combine,
+    last_descendant_selection_depth,
+    selection_prefix_all_child,
+    sub_ge,
+    sub_gt,
+    sub_le,
+    sub_lt,
+)
+from repro.errors import PatternStructureError
+from repro.patterns.ast import Axis, Pattern
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns, path_patterns
+
+
+class TestSubGe:
+    def test_identity_at_zero(self, p):
+        pattern = p("a[x]/b//c")
+        assert sub_ge(pattern, 0) == pattern
+
+    def test_subtree_at_k(self, p):
+        pattern = p("a[x]/b[y]//c")
+        assert sub_ge(pattern, 1) == p("b[y]//c")
+
+    def test_output_preserved(self, p):
+        pattern = p("a/b/c")
+        sub = sub_ge(pattern, 2)
+        assert sub.depth == 0
+        assert sub.output.label == "c"
+
+    def test_branches_of_k_node_kept(self, p):
+        pattern = p("a/b[u][.//v]/c")
+        assert sub_ge(pattern, 1) == p("b[u][.//v]/c")
+
+    def test_out_of_range(self, p):
+        with pytest.raises(PatternStructureError):
+            sub_ge(p("a/b"), 3)
+
+
+class TestSubLe:
+    def test_identity_at_depth(self, p):
+        pattern = p("a/b//c")
+        assert sub_le(pattern, 2) == pattern
+
+    def test_prunes_selection_child_only(self, p):
+        pattern = p("a/b[u]/c")
+        assert sub_le(pattern, 1) == p("a/b[u]")
+
+    def test_output_moves_to_k_node(self, p):
+        pattern = p("a/b/c")
+        assert sub_le(pattern, 1).output.label == "b"
+
+    def test_k_zero(self, p):
+        pattern = p("a[x]/b")
+        assert sub_le(pattern, 0) == p("a[x]")
+
+    def test_branches_below_k_in_branch_position_kept(self, p):
+        # Only the (k+1)-selection subtree is pruned; other deep branches
+        # hanging off earlier selection nodes survive.
+        pattern = p("a[x//y]/b/c")
+        assert sub_le(pattern, 1) == p("a[x//y]/b")
+
+
+class TestStrictVariants:
+    def test_sub_gt(self, p):
+        assert sub_gt(p("a/b/c"), 0) == p("b/c")
+
+    def test_sub_lt(self, p):
+        assert sub_lt(p("a/b/c"), 2) == p("a/b")
+
+    def test_sub_gt_range(self, p):
+        with pytest.raises(PatternStructureError):
+            sub_gt(p("a/b"), 1)  # k must be < depth
+
+    def test_sub_lt_range(self, p):
+        with pytest.raises(PatternStructureError):
+            sub_lt(p("a/b"), 0)
+
+
+class TestCombine:
+    def test_combine_attaches_with_descendant_edge(self, p):
+        combined = combine(p("a/b"), 1, p("c/d"))
+        assert combined == p("a/b[.//c/d]") or combined.depth == 3
+        # Output must be the lower pattern's output.
+        assert combined.output.label == "d"
+        axes = combined.selection_axes()
+        assert axes[1] is Axis.DESCENDANT
+
+    def test_paper_identity(self, p):
+        # If a descendant edge enters the k-node of P, then
+        # P<k =k-1⇒ P≥k is the same pattern as P (Section 3.1).
+        pattern = p("a/b//c/d")
+        k = 2  # descendant edge enters the 2-node "c"
+        rebuilt = combine(sub_lt(pattern, k), k - 1, sub_ge(pattern, k))
+        assert rebuilt == pattern
+
+    def test_combine_with_empty_raises(self, p):
+        with pytest.raises(PatternStructureError):
+            combine(p("a"), 0, Pattern.empty())
+
+    def test_inputs_copied(self, p):
+        upper, lower = p("a"), p("b")
+        combined = combine(upper, 0, lower)
+        assert combined.root is not upper.root
+        assert combined.output is not lower.output
+
+
+class TestPredicates:
+    def test_last_descendant_selection_depth(self, p):
+        assert last_descendant_selection_depth(p("a/b/c")) is None
+        assert last_descendant_selection_depth(p("a//b/c")) == 1
+        assert last_descendant_selection_depth(p("a//b//c")) == 2
+        assert last_descendant_selection_depth(p("a//b/c//d/e")) == 3
+
+    def test_branch_descendants_ignored(self, p):
+        assert last_descendant_selection_depth(p("a[.//x]/b")) is None
+
+    def test_selection_prefix_all_child(self, p):
+        pattern = p("a/b//c")
+        assert selection_prefix_all_child(pattern, 0)
+        assert selection_prefix_all_child(pattern, 1)
+        assert not selection_prefix_all_child(pattern, 2)
+
+
+class TestDecompositionProperties:
+    @given(patterns(max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_sub_ge_depth(self, pattern):
+        for k in range(pattern.depth + 1):
+            assert sub_ge(pattern, k).depth == pattern.depth - k
+
+    @given(patterns(max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_sub_le_depth(self, pattern):
+        for k in range(pattern.depth + 1):
+            assert sub_le(pattern, k).depth == k
+
+    @given(path_patterns(max_depth=4))
+    @settings(max_examples=50, deadline=None)
+    def test_sizes_partition_for_paths(self, pattern):
+        for k in range(pattern.depth + 1):
+            total = sub_ge(pattern, k).size() + sub_le(pattern, k).size()
+            assert total == pattern.size() + 1  # k-node counted twice

@@ -1,0 +1,101 @@
+"""Unit tests for stability (Prop 4.1) and GNF/∗ (Definition 5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.containment import equivalent, weakly_equivalent
+from repro.core.stability import gnf_witnesses, is_in_gnf, is_stable
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns
+
+
+class TestIsStable:
+    def test_non_wildcard_root(self, p):
+        assert is_stable(p("a/*//*"))
+
+    def test_depth_zero_wildcard(self, p):
+        assert is_stable(p("*"))
+        assert is_stable(p("*[a][b]"))
+
+    def test_wildcard_root_with_distinguishing_branch_label(self, p):
+        # Label c appears only off the root: stable by condition 3.
+        assert is_stable(p("*[c]/a/b"))
+
+    def test_wildcard_root_without_distinguishing_label(self, p):
+        assert not is_stable(p("*/a/b"))
+        assert not is_stable(p("*[a]/a/b"))
+
+    def test_wildcard_branches_do_not_distinguish(self, p):
+        assert not is_stable(p("*[*]/a"))
+
+    def test_empty_pattern(self):
+        assert not is_stable(Pattern.empty())
+
+    def test_semantic_meaning_on_example(self, p):
+        # The unstable pair: */b ≡w *//b yet */b ≢ *//b; and indeed
+        # */b is not certified stable.
+        assert weakly_equivalent(p("*/b"), p("*//b"))
+        assert not equivalent(p("*/b"), p("*//b"))
+        assert not is_stable(p("*/b"))
+
+    @given(patterns(max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_certified_stability_is_sound(self, pattern):
+        # For every certified-stable P and its root-relaxation P_r//
+        # (always weakly close), weak equivalence must imply equivalence.
+        from repro.core.transform import relax_root
+
+        if pattern.depth == 0:
+            return
+        if not is_stable(pattern):
+            return
+        relaxed = relax_root(pattern)
+        if weakly_equivalent(pattern, relaxed):
+            assert equivalent(pattern, relaxed)
+
+
+class TestGNF:
+    def test_linear_patterns_always_in_gnf(self, p):
+        assert is_in_gnf(p("a//*//*/b"))
+        assert is_in_gnf(p("*//*//*"))
+
+    def test_child_edges_always_in_gnf(self, p):
+        assert is_in_gnf(p("a[x]/b[y/z]/c"))
+
+    def test_stable_subpatterns_qualify(self, p):
+        # Descendant edge into a non-wildcard node: stable sub-pattern.
+        assert is_in_gnf(p("a[x]//b[y]/c"))
+
+    def test_failure_case(self, p):
+        # Descendant edge into a wildcard whose sub-pattern is neither
+        # stable nor linear.
+        assert not is_in_gnf(p("a//*[e]/e"))
+
+    def test_empty_pattern_vacuously_in_gnf(self):
+        assert is_in_gnf(Pattern.empty())
+
+    def test_depth_zero_vacuously_in_gnf(self, p):
+        assert is_in_gnf(p("a[x][y]"))
+
+
+class TestGNFWitnesses:
+    def test_witness_kinds(self, p):
+        pattern = p("a/b//c//*")
+        witnesses = gnf_witnesses(pattern)
+        assert witnesses[0] == "child-edge"
+        assert witnesses[1] == "stable"  # c is non-wildcard
+        assert witnesses[2] in ("stable", "linear")
+
+    def test_witness_none_on_failure(self, p):
+        witnesses = gnf_witnesses(p("a//*[e]/e"))
+        assert witnesses[0] is None
+
+    def test_length_matches_depth(self, p):
+        # One witness per selection depth 1..d.
+        assert len(gnf_witnesses(p("a/b/c"))) == 2
+        assert len(gnf_witnesses(p("a/b/c/d"))) == 3
+        assert gnf_witnesses(p("a")) == []

@@ -1,0 +1,137 @@
+"""Unit tests for pattern transformations (§4, §5.2, §5.3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.containment import contains, equivalent
+from repro.core.transform import extend, label_descendant, lift_output, relax_root
+from repro.errors import EmptyPatternError, PatternStructureError
+from repro.patterns.ast import Axis, Pattern, WILDCARD
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns
+
+
+class TestRelaxRoot:
+    def test_child_edges_become_descendant(self, p):
+        relaxed = relax_root(p("a/b[c]"))
+        assert relaxed == p("a//b[c]")
+
+    def test_all_root_edges_relaxed(self, p):
+        relaxed = relax_root(p("a[x]/b"))
+        assert all(axis is Axis.DESCENDANT for axis, _ in relaxed.root.edges)
+
+    def test_deeper_edges_untouched(self, p):
+        relaxed = relax_root(p("a/b/c"))
+        assert relaxed == p("a//b/c")
+
+    def test_idempotent(self, p):
+        pattern = p("a/b[c]")
+        assert relax_root(relax_root(pattern)) == relax_root(pattern)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPatternError):
+            relax_root(Pattern.empty())
+
+    @given(patterns(max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_property_q_contained_in_relaxed(self, pattern):
+        # Section 4: Q ⊑ Q_r// always.
+        assert contains(pattern, relax_root(pattern))
+
+
+class TestLabelDescendant:
+    def test_structure(self, p):
+        extended = label_descendant("l", p("a/b"))
+        assert extended == p("l//a/b")
+        assert extended.output.label == "b"
+
+    def test_wildcard_root(self, p):
+        assert label_descendant(WILDCARD, p("a")) == p("*//a")
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPatternError):
+            label_descendant("l", Pattern.empty())
+
+    def test_proposition_5_5(self, p):
+        # Prop 5.5: P1 ≡w P2 implies l//P1 ≡ l//P2.  The weakly (but not
+        # strongly) equivalent pair */b and *//b becomes fully equivalent
+        # under a descendant root.
+        p1, p2 = p("*/b"), p("*//b")
+        assert equivalent(label_descendant("l", p1), label_descendant("l", p2))
+        assert equivalent(label_descendant("*", p1), label_descendant("*", p2))
+
+
+class TestExtend:
+    def test_output_gets_label_child(self, p):
+        extended = extend(p("a/b"), "µ")
+        out = extended.output
+        assert out.label == "b"
+        assert any(c.label == "µ" for _, c in out.edges)
+
+    def test_leaves_get_wildcard_children(self, p):
+        extended = extend(p("a[x]/b"), "µ")
+        x = next(n for n in extended.nodes() if n.label == "x")
+        assert [c.label for _, c in x.edges] == [WILDCARD]
+
+    def test_output_leaf_gets_only_label_child(self, p):
+        extended = extend(p("a/b"), "µ")
+        out_children = [c.label for _, c in extended.output.edges]
+        assert out_children == ["µ"]
+
+    def test_non_leaf_output_keeps_children(self, p):
+        extended = extend(p("a/b[c]"), "µ")
+        labels = sorted(c.label for _, c in extended.output.edges)
+        assert labels == ["c", "µ"]
+
+    def test_new_edges_are_child_edges(self, p):
+        extended = extend(p("a[x]/b"), "µ")
+        for parent, axis, child in extended.edges():
+            if child.label in ("µ", WILDCARD) and not child.edges:
+                assert axis is Axis.CHILD
+
+    def test_depth_unchanged(self, p):
+        assert extend(p("a/b//c"), "µ").depth == 2
+
+    def test_proposition_5_8(self, p):
+        # P1 ≡ P2 iff P1+µ ≡ P2+µ.
+        p1, p2 = p("a//*/e"), p("a/*//e")
+        assert equivalent(p1, p2)
+        assert equivalent(extend(p1, "µ"), extend(p2, "µ"))
+        q1, q2 = p("a/b"), p("a//b")
+        assert not equivalent(extend(q1, "µ"), extend(q2, "µ"))
+
+
+class TestLiftOutput:
+    def test_lift_to_root(self, p):
+        lifted = lift_output(p("a/b/c"), 0)
+        assert lifted.output is lifted.root
+        assert lifted.depth == 0
+
+    def test_lift_is_identity_at_depth(self, p):
+        pattern = p("a/b/c")
+        assert lift_output(pattern, 2) == pattern
+
+    def test_old_tail_becomes_branch(self, p):
+        lifted = lift_output(p("a/b/c"), 1)
+        assert lifted == p("a/b[c]")
+
+    def test_out_of_range(self, p):
+        with pytest.raises(PatternStructureError):
+            lift_output(p("a/b"), 5)
+
+    def test_empty_raises(self):
+        with pytest.raises(EmptyPatternError):
+            lift_output(Pattern.empty(), 0)
+
+
+class TestCombinedSection53:
+    def test_extension_then_lift_shape(self, p):
+        pattern = p("a/b/c/d")
+        transformed = lift_output(extend(pattern, "µ"), 2)
+        assert transformed.depth == 2
+        assert transformed.output.label == "c"
+        # µ marks the old output below the new output's branch.
+        assert "µ" in transformed.labels()

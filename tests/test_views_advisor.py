@@ -1,0 +1,82 @@
+"""Tests for the view advisor (§6 open problem 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import RewriteSolver
+from repro.patterns.parse import parse_pattern
+from repro.views.advisor import advise_views
+from repro.xmltree.generate import dblp_like
+
+
+@pytest.fixture
+def workload(p):
+    return [
+        p("dblp/article[author]/title"),
+        p("dblp/article[author]/year"),
+        p("dblp/inproceedings/title"),
+        p("dblp/article[author]/author/name"),
+    ]
+
+
+@pytest.fixture
+def sample():
+    return dblp_like(entries=30, seed=2)
+
+
+class TestAdviseViews:
+    def test_covers_workload_within_budget(self, workload, sample):
+        result = advise_views(workload, max_views=2, sample=sample)
+        assert len(result.views) <= 2
+        assert result.uncovered == []
+        assert set(result.coverage) == set(range(len(workload)))
+
+    def test_shared_prefix_view_preferred(self, workload, sample):
+        result = advise_views(workload, max_views=2, sample=sample)
+        first = result.views[0].pattern
+        # The article[author] prefix answers three of the four queries.
+        assert first == parse_pattern("dblp/article[author]")
+        assert result.views[0].covered == {0, 1, 3}
+
+    def test_every_covered_query_is_rewritable(self, workload, sample):
+        solver = RewriteSolver()
+        result = advise_views(workload, max_views=3, sample=sample)
+        for query_index, view_index in result.coverage.items():
+            view = result.views[view_index].pattern
+            assert solver.solve(workload[query_index], view).found
+
+    def test_whole_document_views_rejected(self, workload, sample):
+        result = advise_views(workload, max_views=3, sample=sample)
+        for view in result.views:
+            assert view.cost <= 0.6 * sample.size()
+
+    def test_weights_steer_selection(self, workload, sample):
+        # Give the inproceedings query overwhelming weight with a budget
+        # of one: its view must win.
+        result = advise_views(
+            workload, weights=[1, 1, 100, 1], max_views=1, sample=sample
+        )
+        assert 2 in result.views[0].covered
+
+    def test_budget_zero(self, workload, sample):
+        result = advise_views(workload, max_views=0, sample=sample)
+        assert result.views == []
+        assert result.uncovered == [0, 1, 2, 3]
+
+    def test_without_sample(self, workload):
+        result = advise_views(workload, max_views=2)
+        assert result.views
+        assert result.uncovered == []
+
+    def test_weight_length_mismatch(self, workload):
+        with pytest.raises(ValueError):
+            advise_views(workload, weights=[1.0])
+
+    def test_unanswerable_queries_reported(self, p, sample):
+        # A query whose only candidate prefixes are itself/too-deep:
+        # pair it with unrelated queries and a tiny budget.
+        queries = [p("x//*/y"), p("dblp/article/title")]
+        result = advise_views(queries, max_views=1, sample=sample)
+        covered = set(result.coverage)
+        assert covered | set(result.uncovered) == {0, 1}

@@ -1,0 +1,96 @@
+"""Unit tests for the rewriting-backed view cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.patterns.parse import parse_pattern
+from repro.views.cache import ViewCache
+from repro.xmltree.parse import parse_sexpr
+
+
+@pytest.fixture
+def doc(t):
+    return t("a(b(c,d),b(c),b,e(b(c)))")
+
+
+class TestBasicCaching:
+    def test_miss_then_exact_hit(self, doc, p):
+        cache = ViewCache(doc)
+        first = cache.query(p("a/b"))
+        second = cache.query(p("a/b"))
+        assert first == second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_semantic_hit_via_rewriting(self, doc, p):
+        cache = ViewCache(doc)
+        cache.query(p("a/b"))  # cached view
+        result = cache.query(p("a/b/c"))  # rewritable over it
+        assert cache.stats.hits == 1
+        assert result == {
+            n for n in doc.nodes() if n.label == "c" and n.parent.label == "b"
+            and n.parent.parent is doc.root
+        }
+
+    def test_answers_match_direct_evaluation(self, doc, p):
+        from repro.core.embedding import evaluate
+
+        cache = ViewCache(doc)
+        cache.query(p("a/b"))
+        for text in ("a/b/c", "a/b[c]", "a/b[d]/c"):
+            assert cache.query(p(text)) == evaluate(p(text), doc)
+
+    def test_unrewritable_misses(self, doc, p):
+        cache = ViewCache(doc)
+        cache.query(p("a/b"))
+        cache.query(p("e/b"))  # different root: no rewriting
+        assert cache.stats.misses == 2
+
+    def test_seed(self, doc, p):
+        cache = ViewCache(doc)
+        cache.seed(p("a/b"))
+        cache.query(p("a/b/c"))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+
+class TestPolicy:
+    def test_capacity_eviction(self, doc, p):
+        cache = ViewCache(doc, capacity=2)
+        cache.query(p("a/b"))
+        cache.query(p("e/b"))
+        cache.query(p("a/e"))
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+
+    def test_lru_order_updated_on_hit(self, doc, p):
+        cache = ViewCache(doc, capacity=2)
+        cache.query(p("a/b"))
+        cache.query(p("e/b"))
+        cache.query(p("a/b/c"))  # hit on a/b view: refreshes it
+        cache.query(p("a/e"))  # evicts e/b, not a/b
+        patterns = [entry.pattern for entry in cache.entries()]
+        assert p("a/b") in patterns
+
+    def test_no_admission(self, doc, p):
+        cache = ViewCache(doc, admit=False)
+        cache.query(p("a/b"))
+        assert len(cache) == 0
+
+    def test_capacity_validation(self, doc):
+        with pytest.raises(ValueError):
+            ViewCache(doc, capacity=0)
+
+    def test_hit_ratio(self, doc, p):
+        cache = ViewCache(doc)
+        assert cache.stats.hit_ratio == 0.0
+        cache.query(p("a/b"))
+        cache.query(p("a/b"))
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_stats_reset(self, doc, p):
+        cache = ViewCache(doc)
+        cache.query(p("a/b"))
+        cache.stats.reset()
+        assert cache.stats.lookups == 0

@@ -1,0 +1,83 @@
+"""Unit tests for the materialized view store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownViewError, ViewEngineError
+from repro.patterns.parse import parse_pattern
+from repro.views.store import ViewStore
+from repro.xmltree.parse import parse_sexpr
+
+
+@pytest.fixture
+def store(t):
+    store = ViewStore()
+    store.add_document("doc1", t("a(b(c),b,x(b(c)))"))
+    return store
+
+
+class TestDocuments:
+    def test_add_and_get(self, store, t):
+        assert store.document("doc1").root.label == "a"
+
+    def test_duplicate_rejected(self, store, t):
+        with pytest.raises(ViewEngineError):
+            store.add_document("doc1", t("a"))
+
+    def test_unknown_document(self, store):
+        with pytest.raises(ViewEngineError):
+            store.document("nope")
+
+    def test_listing(self, store, t):
+        store.add_document("doc2", t("a"))
+        assert store.documents() == ["doc1", "doc2"]
+
+
+class TestViews:
+    def test_define_materializes_existing_docs(self, store, p):
+        view = store.define_view("bs", p("a/b"))
+        assert view.answer_count("doc1") == 2
+
+    def test_new_document_materializes_existing_views(self, store, p, t):
+        store.define_view("bs", p("a/b"))
+        store.add_document("doc2", t("a(b,b,b)"))
+        assert store.view("bs").answer_count("doc2") == 3
+
+    def test_duplicate_view_rejected(self, store, p):
+        store.define_view("v", p("a"))
+        with pytest.raises(ViewEngineError):
+            store.define_view("v", p("a/b"))
+
+    def test_unknown_view(self, store):
+        with pytest.raises(UnknownViewError):
+            store.view("nope")
+
+    def test_drop_view(self, store, p):
+        store.define_view("v", p("a"))
+        store.drop_view("v")
+        with pytest.raises(UnknownViewError):
+            store.view("v")
+
+    def test_view_answers_are_document_nodes(self, store, p):
+        store.define_view("bs", p("a/b"))
+        answers = store.view_answers("bs", "doc1")
+        doc_nodes = set(store.document("doc1").nodes())
+        assert all(node in doc_nodes for node in answers)
+
+    def test_views_sorted(self, store, p):
+        store.define_view("zeta", p("a"))
+        store.define_view("alpha", p("a/b"))
+        assert [v.name for v in store.views()] == ["alpha", "zeta"]
+
+    def test_answer_count_total(self, store, p, t):
+        store.define_view("bs", p("a/b"))
+        store.add_document("doc2", t("a(b)"))
+        assert store.view("bs").answer_count() == 3
+
+    def test_refresh_after_mutation(self, store, p):
+        store.define_view("bs", p("a/b"))
+        doc = store.document("doc1")
+        doc.root.new_child("b")
+        store.refresh("doc1")
+        assert store.view("bs").answer_count("doc1") == 3

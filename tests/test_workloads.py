@@ -1,0 +1,113 @@
+"""Unit tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import RewriteSolver, RewriteStatus
+from repro.errors import WorkloadError
+from repro.patterns.ast import Axis
+from repro.workloads.instances import (
+    InstanceConfig,
+    condition_instance,
+    make_instances,
+)
+from repro.workloads.streams import StreamConfig, query_stream
+
+
+class TestMakeInstances:
+    def test_count_and_shape(self):
+        instances = make_instances(InstanceConfig(count=10), seed=1)
+        assert len(instances) == 10
+        for query, view, mutated in instances:
+            assert view.depth <= query.depth
+            assert isinstance(mutated, bool)
+
+    def test_deterministic(self):
+        left = make_instances(InstanceConfig(count=5), seed=2)
+        right = make_instances(InstanceConfig(count=5), seed=2)
+        assert [(q, v) for q, v, _ in left] == [(q, v) for q, v, _ in right]
+
+    def test_mutate_ratio_zero(self):
+        instances = make_instances(
+            InstanceConfig(count=10, mutate_ratio=0.0), seed=3
+        )
+        assert not any(mutated for _, _, mutated in instances)
+
+    def test_unmutated_always_rewritable(self):
+        solver = RewriteSolver()
+        instances = make_instances(
+            InstanceConfig(count=8, mutate_ratio=0.0), seed=4
+        )
+        for query, view, _ in instances:
+            assert solver.solve(query, view).status is RewriteStatus.FOUND
+
+
+class TestConditionInstance:
+    @pytest.mark.parametrize(
+        "condition",
+        ["thm-4.3", "thm-4.4", "thm-4.9", "thm-4.10", "thm-4.16", "gnf"],
+    )
+    def test_instances_are_decidable(self, condition):
+        solver = RewriteSolver(use_fallback=False)
+        for seed in range(5):
+            query, view = condition_instance(condition, seed=seed)
+            result = solver.solve(query, view)
+            assert result.status in (
+                RewriteStatus.FOUND,
+                RewriteStatus.NO_REWRITING,
+            ), f"{condition} seed={seed} undecided"
+
+    def test_thm_4_4_prefix_all_child(self):
+        query, view = condition_instance("thm-4.4", seed=7)
+        k = view.depth
+        assert all(a is Axis.CHILD for a in query.selection_axes()[:k])
+
+    def test_thm_4_9_descendant_into_view_output(self):
+        query, view = condition_instance("thm-4.9", seed=7)
+        assert view.selection_axes()[-1] is Axis.DESCENDANT
+
+    def test_thm_4_10_view_all_child(self):
+        query, view = condition_instance("thm-4.10", seed=7)
+        assert all(a is Axis.CHILD for a in view.selection_axes())
+
+    def test_gnf_linear(self):
+        query, view = condition_instance("gnf", seed=7)
+        assert query.is_linear()
+
+    def test_unknown_condition(self):
+        with pytest.raises(WorkloadError):
+            condition_instance("thm-9.9", seed=1)
+
+    def test_bad_depths(self):
+        with pytest.raises(WorkloadError):
+            condition_instance("thm-4.4", depth=2, view_depth=3)
+
+
+class TestQueryStream:
+    def test_length(self):
+        stream = query_stream(StreamConfig(length=40), seed=5)
+        assert len(stream) == 40
+
+    def test_deterministic(self):
+        left = query_stream(StreamConfig(length=20), seed=6)
+        right = query_stream(StreamConfig(length=20), seed=6)
+        assert left == right
+
+    def test_repeats_present(self):
+        stream = query_stream(
+            StreamConfig(length=60, repeat_prob=0.7, specialize_prob=0.0),
+            seed=7,
+        )
+        keys = [pattern.canonical_key() for pattern in stream]
+        assert len(set(keys)) < len(keys)
+
+    def test_specializations_deepen_or_branch(self):
+        config = StreamConfig(
+            length=50, templates=3, repeat_prob=0.0, specialize_prob=1.0
+        )
+        stream = query_stream(config, seed=8)
+        assert all(pattern.size() >= 1 for pattern in stream)
+        # Specializations are strictly larger than the 1-node minimum of
+        # their template pool; smoke-check sizes vary.
+        assert len({pattern.size() for pattern in stream}) > 1

@@ -1,0 +1,101 @@
+"""Unit tests for repro.xmltree.generate (document generators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.generate import (
+    deep_path_tree,
+    dblp_like,
+    random_forest,
+    random_tree,
+    xmark_like,
+)
+from repro.xmltree.parse import to_sexpr
+
+
+class TestRandomTree:
+    def test_exact_size(self):
+        for size in (1, 5, 40):
+            assert random_tree(size, seed=1).size() == size
+
+    def test_deterministic_by_seed(self):
+        left = random_tree(30, seed=42)
+        right = random_tree(30, seed=42)
+        assert to_sexpr(left) == to_sexpr(right)
+
+    def test_different_seeds_differ(self):
+        left = random_tree(30, seed=1)
+        right = random_tree(30, seed=2)
+        assert to_sexpr(left) != to_sexpr(right)
+
+    def test_alphabet_respected(self):
+        tree = random_tree(50, alphabet=("x", "y"), seed=3)
+        assert tree.labels() <= {"x", "y"}
+
+    def test_root_label_override(self):
+        tree = random_tree(10, root_label="root", seed=4)
+        assert tree.root.label == "root"
+
+    def test_max_children_soft_bound(self):
+        tree = random_tree(60, max_children=2, seed=5)
+        assert all(len(n.children) <= 2 for n in tree.nodes())
+
+    def test_size_zero_raises(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+
+class TestRandomForest:
+    def test_count_and_sizes(self):
+        forest = random_forest(4, 10, seed=6)
+        assert len(forest) == 4
+        assert all(t.size() == 10 for t in forest)
+
+    def test_trees_differ_within_forest(self):
+        forest = random_forest(2, 20, seed=7)
+        assert to_sexpr(forest[0]) != to_sexpr(forest[1])
+
+
+class TestDeepPathTree:
+    def test_depth_and_labels(self):
+        tree = deep_path_tree(5, label="x")
+        assert tree.height() == 5
+        assert tree.labels() == {"x"}
+
+    def test_tail_label(self):
+        tree = deep_path_tree(3, label="x", tail_label="end")
+        deepest = tree.find_by_label("end")
+        assert len(deepest) == 1
+        assert deepest[0].depth == 3
+
+    def test_alphabet_mode(self):
+        tree = deep_path_tree(10, alphabet=("p", "q"), seed=8)
+        assert tree.labels() <= {"p", "q"}
+
+
+class TestDomainDocuments:
+    def test_dblp_shape(self):
+        doc = dblp_like(entries=20, seed=9)
+        assert doc.root.label == "dblp"
+        assert len(doc.root.children) == 20
+        assert all(e.children for e in doc.root.children), "entries have fields"
+        # every entry has at least one author with a name
+        for entry in doc.root.children:
+            authors = [c for c in entry.children if c.label == "author"]
+            assert authors
+            assert all(a.children[0].label == "name" for a in authors)
+
+    def test_dblp_deterministic(self):
+        assert to_sexpr(dblp_like(entries=5, seed=1)) == to_sexpr(
+            dblp_like(entries=5, seed=1)
+        )
+
+    def test_xmark_shape(self):
+        doc = xmark_like(items=10, people=5, auctions=4, seed=10)
+        assert doc.root.label == "site"
+        top = [c.label for c in doc.root.children]
+        assert top == ["regions", "people", "open_auctions"]
+        assert len(doc.find_by_label("item")) == 10
+        assert len(doc.find_by_label("person")) == 5
+        assert len(doc.find_by_label("open_auction")) == 4

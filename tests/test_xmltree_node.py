@@ -1,0 +1,157 @@
+"""Unit tests for repro.xmltree.node (TNode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.node import BOTTOM_LABEL, TNode
+
+
+class TestConstruction:
+    def test_single_node(self):
+        node = TNode("a")
+        assert node.label == "a"
+        assert node.parent is None
+        assert node.children == []
+
+    def test_children_are_reparented(self):
+        child = TNode("b")
+        parent = TNode("a", [child])
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_new_child_returns_child(self):
+        root = TNode("a")
+        child = root.new_child("b")
+        assert child.label == "b"
+        assert child.parent is root
+
+    def test_add_child_moves_between_parents(self):
+        first = TNode("a")
+        second = TNode("x")
+        child = first.new_child("b")
+        second.add_child(child)
+        assert child.parent is second
+        assert child not in first.children
+
+    def test_detach_removes_from_parent(self):
+        root = TNode("a")
+        child = root.new_child("b")
+        child.detach()
+        assert child.parent is None
+        assert root.children == []
+
+    def test_detach_root_is_noop(self):
+        root = TNode("a")
+        assert root.detach() is root
+
+
+class TestNavigation:
+    @pytest.fixture
+    def tree(self):
+        #      a
+        #     / \
+        #    b   c
+        #   /   / \
+        #  d   e   f
+        a = TNode("a")
+        b = a.new_child("b")
+        c = a.new_child("c")
+        d = b.new_child("d")
+        e = c.new_child("e")
+        f = c.new_child("f")
+        return a, b, c, d, e, f
+
+    def test_iter_subtree_preorder(self, tree):
+        a, b, c, d, e, f = tree
+        assert [n.label for n in a.iter_subtree()] == ["a", "b", "d", "c", "e", "f"]
+
+    def test_iter_descendants_excludes_self(self, tree):
+        a, *_ = tree
+        assert "a" not in [n.label for n in a.iter_descendants()]
+        assert len(list(a.iter_descendants())) == 5
+
+    def test_iter_ancestors(self, tree):
+        a, b, c, d, e, f = tree
+        assert [n.label for n in d.iter_ancestors()] == ["b", "a"]
+        assert list(a.iter_ancestors()) == []
+
+    def test_is_ancestor_of(self, tree):
+        a, b, c, d, e, f = tree
+        assert a.is_ancestor_of(d)
+        assert b.is_ancestor_of(d)
+        assert not d.is_ancestor_of(a)
+        assert not a.is_ancestor_of(a), "proper ancestry excludes self"
+        assert not b.is_ancestor_of(e)
+
+    def test_root(self, tree):
+        a, b, c, d, e, f = tree
+        assert d.root() is a
+        assert a.root() is a
+
+    def test_depth(self, tree):
+        a, b, c, d, e, f = tree
+        assert a.depth == 0
+        assert b.depth == 1
+        assert d.depth == 2
+
+
+class TestMeasures:
+    def test_size(self):
+        a = TNode("a")
+        a.new_child("b").new_child("c")
+        assert a.size() == 3
+
+    def test_height_leaf(self):
+        assert TNode("a").height() == 0
+
+    def test_height_path(self):
+        a = TNode("a")
+        a.new_child("b").new_child("c")
+        assert a.height() == 2
+
+    def test_labels(self):
+        a = TNode("a")
+        a.new_child("b")
+        a.new_child("b")
+        assert a.labels() == {"a", "b"}
+
+    def test_bottom_label_constant(self):
+        assert BOTTOM_LABEL == "⊥"
+
+
+class TestCopyAndCompare:
+    def test_deep_copy_structure(self):
+        a = TNode("a")
+        a.new_child("b").new_child("c")
+        copy = a.deep_copy()
+        assert copy is not a
+        assert copy.structurally_equal(a)
+        assert copy.children[0] is not a.children[0]
+
+    def test_structure_key_order_independent(self):
+        left = TNode("a")
+        left.new_child("b")
+        left.new_child("c")
+        right = TNode("a")
+        right.new_child("c")
+        right.new_child("b")
+        assert left.structure_key() == right.structure_key()
+
+    def test_structure_key_distinguishes_depth(self):
+        flat = TNode("a")
+        flat.new_child("b")
+        flat.new_child("c")
+        nested = TNode("a")
+        nested.new_child("b").new_child("c")
+        assert flat.structure_key() != nested.structure_key()
+
+    def test_structurally_equal_negative(self):
+        assert not TNode("a").structurally_equal(TNode("b"))
+
+
+class TestRender:
+    def test_render_indents(self):
+        a = TNode("a")
+        a.new_child("b")
+        assert a.render() == "a\n  b"

@@ -1,0 +1,76 @@
+"""Unit tests for repro.xmltree.parse (XML and s-expression round trips)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import DocumentSyntaxError
+from repro.xmltree.parse import parse_sexpr, parse_xml, to_sexpr, to_xml
+
+from .strategies import trees
+
+
+class TestParseXML:
+    def test_simple_document(self):
+        tree = parse_xml("<a><b/><c><d/></c></a>")
+        assert tree.size() == 4
+        assert tree.root.label == "a"
+
+    def test_attributes_and_text_ignored(self):
+        tree = parse_xml('<a x="1">hello<b/>world</a>')
+        assert tree.size() == 2
+        assert [n.label for n in tree.nodes()] == ["a", "b"]
+
+    def test_malformed_raises(self):
+        with pytest.raises(DocumentSyntaxError):
+            parse_xml("<a><b></a>")
+
+    def test_round_trip_compact(self):
+        text = "<a><b/><c><d/></c></a>"
+        assert to_xml(parse_xml(text)) == text
+
+    def test_pretty_print(self):
+        pretty = to_xml(parse_xml("<a><b/></a>"), indent=True)
+        assert pretty == "<a>\n  <b/>\n</a>"
+
+    def test_leaf_serialization(self):
+        assert to_xml(parse_xml("<a/>")) == "<a/>"
+
+
+class TestSexpr:
+    def test_leaf(self):
+        assert parse_sexpr("a").size() == 1
+
+    def test_nested(self):
+        tree = parse_sexpr("a(b,c(d,e))")
+        assert tree.size() == 5
+        assert [n.label for n in tree.nodes()] == ["a", "b", "c", "d", "e"]
+
+    def test_whitespace_tolerated(self):
+        tree = parse_sexpr(" a ( b , c ) ")
+        assert tree.size() == 3
+
+    def test_round_trip(self):
+        text = "a(b,c(d,e),f)"
+        assert to_sexpr(parse_sexpr(text)) == text
+
+    def test_unclosed_raises(self):
+        with pytest.raises(DocumentSyntaxError):
+            parse_sexpr("a(b,c")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(DocumentSyntaxError):
+            parse_sexpr("a(b))")
+
+    def test_missing_label_raises(self):
+        with pytest.raises(DocumentSyntaxError):
+            parse_sexpr("a(,b)")
+
+    @given(trees(max_size=8))
+    def test_property_round_trip(self, tree):
+        assert parse_sexpr(to_sexpr(tree)).structurally_equal(tree)
+
+    @given(trees(max_size=6))
+    def test_property_xml_round_trip(self, tree):
+        assert parse_xml(to_xml(tree)).structurally_equal(tree)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.xmltree.tree (XMLTree and literal builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.node import TNode
+from repro.xmltree.tree import XMLTree, build_tree, tree_from_tuples
+
+
+class TestXMLTree:
+    def test_constructor_detaches_root(self):
+        parent = TNode("p")
+        child = parent.new_child("a")
+        tree = XMLTree(child)
+        assert tree.root.parent is None
+
+    def test_single(self):
+        tree = XMLTree.single("a")
+        assert tree.size() == 1
+        assert tree.root.label == "a"
+
+    def test_path(self):
+        tree = XMLTree.path(["a", "b", "c"])
+        assert tree.height() == 2
+        assert [n.label for n in tree.nodes()] == ["a", "b", "c"]
+
+    def test_path_empty_raises(self):
+        with pytest.raises(ValueError):
+            XMLTree.path([])
+
+    def test_find_by_label(self):
+        tree = build_tree({"a": ["b", {"c": ["b"]}]})
+        assert len(tree.find_by_label("b")) == 2
+
+    def test_find_all_predicate(self):
+        tree = build_tree({"a": ["b", {"c": ["d"]}]})
+        leaves = tree.find_all(lambda n: not n.children)
+        assert sorted(n.label for n in leaves) == ["b", "d"]
+
+    def test_subtree_is_a_copy(self):
+        tree = build_tree({"a": [{"b": ["c"]}]})
+        b = tree.find_by_label("b")[0]
+        sub = tree.subtree(b)
+        assert sub.root is not b
+        assert sub.root.structurally_equal(b)
+
+    def test_labels(self):
+        tree = build_tree({"a": ["b", "b"]})
+        assert tree.labels() == {"a", "b"}
+
+    def test_structural_equality_ignores_order(self):
+        left = build_tree({"a": ["b", {"c": ["d"]}]})
+        right = build_tree({"a": [{"c": ["d"]}, "b"]})
+        assert left.structurally_equal(right)
+
+    def test_copy_has_fresh_identity(self):
+        tree = build_tree({"a": ["b"]})
+        copy = tree.copy()
+        assert copy.root is not tree.root
+        assert copy.structurally_equal(tree)
+
+    def test_render(self):
+        tree = build_tree({"a": ["b"]})
+        assert tree.render() == "a\n  b"
+
+
+class TestBuildTree:
+    def test_leaf_string(self):
+        assert build_tree("a").size() == 1
+
+    def test_nested(self):
+        tree = build_tree({"a": ["b", {"c": ["d", "e"]}]})
+        assert tree.size() == 5
+        assert tree.height() == 2
+
+    def test_bad_dict_raises(self):
+        with pytest.raises(ValueError):
+            build_tree({"a": [], "b": []})
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            build_tree(42)  # type: ignore[arg-type]
+
+
+class TestTreeFromTuples:
+    def test_leaf(self):
+        assert tree_from_tuples("a").size() == 1
+
+    def test_nested(self):
+        tree = tree_from_tuples(("a", "b", ("c", "d")))
+        assert tree.size() == 4
+        assert [n.label for n in tree.nodes()] == ["a", "b", "c", "d"]
+
+    def test_matches_build_tree(self):
+        left = tree_from_tuples(("a", ("b", "c"), "d"))
+        right = build_tree({"a": [{"b": ["c"]}, "d"]})
+        assert left.structurally_equal(right)
