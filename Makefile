@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-all
+
+## Tier-1 test suite (the driver's gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Perf guard: records ops/sec + speedup-vs-seed to BENCH_containment.json.
+## Compare the JSON against the committed baseline before/after a PR.
+bench:
+	$(PYTHON) benchmarks/bench_perf_guard.py
+
+## Full paper-claims benchmark battery (pytest-benchmark based).
+bench-all:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q

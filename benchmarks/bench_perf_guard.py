@@ -1,0 +1,139 @@
+"""Perf guard — ops/sec for the containment hot path, recorded to JSON.
+
+Runs a fixed pattern corpus through :func:`repro.core.containment.contains`
+and the canonical engine, measures operations per second, and measures the
+bitset engine's speedup over the preserved seed implementation
+(:mod:`repro.core.embedding_reference`) on patterns with ≥ 4 descendant
+edges.  Results are written to ``BENCH_containment.json`` at the repo
+root so future PRs can diff against this PR's baseline:
+
+    make bench            # or: PYTHONPATH=src python benchmarks/bench_perf_guard.py
+
+The pytest wrapper (``pytest benchmarks/bench_perf_guard.py``) runs the
+same measurements with soft assertions (agreement is exact; the speedup
+threshold is deliberately below the recorded value to avoid flaking on
+slow machines).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.containment import (
+    canonical_containment,
+    clear_cache,
+    contains,
+)
+from repro.core.embedding_reference import reference_canonical_containment
+from repro.patterns.parse import parse_pattern
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_containment.json"
+
+#: Fixed corpus for the ``contains`` ops/sec smoke number: a mix of
+#: hom-complete pairs (PTIME path) and coNP pairs (canonical engine).
+CONTAINS_CORPUS = [
+    ("a/b/c", "a//c"),
+    ("a[b]/c", "a/c"),
+    ("a[b][c]/d", "a[c]/d"),
+    ("a//*/e", "a/*//e"),
+    ("a//b[c]", "a//b"),
+    ("a/*//e", "a//*/e"),
+    ("a//*/*/e", "a/*/*//e"),
+    ("a[.//x]/b", "a/b"),
+    ("a//b//c[d]", "a//c[d]"),
+    ("a//a", "a//*"),
+]
+
+#: Canonical-engine cases with ≥ 4 descendant edges — the acceptance
+#: target for the bitset engine's speedup over the seed implementation.
+SPEEDUP_CASES = {
+    "4-desc-edges-bound-2": ("a//*//*//*//*/e[x]", "a//e[x]"),
+    "4-desc-edges-bound-5": ("a//b//c//d//e[x]", "a//*/*/*/e[x]"),
+    "5-desc-edges-bound-4": ("a//b[c//d]//e//f//g", "a//*/*/g"),
+}
+
+
+def _ops_per_sec(fn, min_seconds: float = 1.0, min_rounds: int = 3) -> float:
+    fn()  # warmup
+    rounds = 0
+    start = time.perf_counter()
+    while True:
+        fn()
+        rounds += 1
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds and rounds >= min_rounds:
+            return rounds / elapsed
+
+
+def measure_contains_corpus() -> float:
+    """Uncached ``contains`` throughput over the fixed corpus."""
+    pairs = [
+        (parse_pattern(a), parse_pattern(b)) for a, b in CONTAINS_CORPUS
+    ]
+
+    def run() -> None:
+        clear_cache()
+        for p1, p2 in pairs:
+            contains(p1, p2)
+
+    per_corpus = _ops_per_sec(run)
+    return per_corpus * len(pairs)
+
+
+def measure_speedups() -> dict[str, dict[str, float]]:
+    """Bitset vs seed canonical containment on the ≥4-descendant cases."""
+    results: dict[str, dict[str, float]] = {}
+    for name, (a, b) in SPEEDUP_CASES.items():
+        p1, p2 = parse_pattern(a), parse_pattern(b)
+        expected = reference_canonical_containment(p1, p2)
+        actual = canonical_containment(p1, p2)
+        assert actual == expected, f"engine disagreement on {name}"
+        bitset = _ops_per_sec(lambda: canonical_containment(p1, p2))
+        seed = _ops_per_sec(lambda: reference_canonical_containment(p1, p2))
+        results[name] = {
+            "bitset_ops_per_sec": round(bitset, 2),
+            "seed_ops_per_sec": round(seed, 2),
+            "speedup": round(bitset / seed, 2),
+        }
+    return results
+
+
+def run_guard() -> dict:
+    report = {
+        "generated_by": "benchmarks/bench_perf_guard.py",
+        "python": platform.python_version(),
+        "contains_corpus_ops_per_sec": round(measure_contains_corpus(), 2),
+        "speedup_vs_seed": measure_speedups(),
+    }
+    return report
+
+
+def write_report(report: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest wrapper (soft smoke assertions)
+# ----------------------------------------------------------------------
+
+def test_perf_guard(report=None):
+    guard = run_guard()
+    write_report(guard)
+    if report is not None:
+        report(json.dumps(guard, indent=2))
+    for name, row in guard["speedup_vs_seed"].items():
+        # Recorded speedups are 5–17×; assert a conservative floor so the
+        # guard flags real regressions without flaking under load.
+        assert row["speedup"] >= 3.0, (name, row)
+    assert guard["contains_corpus_ops_per_sec"] > 100
+
+
+if __name__ == "__main__":
+    result = run_guard()
+    write_report(result)
+    print(json.dumps(result, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")

@@ -81,6 +81,7 @@ from .core import (
     canonical_models,
     compose,
     contains,
+    contains_all,
     equivalent,
     evaluate,
     evaluate_forest,
@@ -155,6 +156,7 @@ __all__ = [
     "canonical_models",
     "compose",
     "contains",
+    "contains_all",
     "equivalent",
     "evaluate",
     "evaluate_forest",

@@ -18,6 +18,7 @@ Sub-modules map to paper sections:
 
 from .embedding import (
     Matcher,
+    TreeIndex,
     evaluate,
     evaluate_forest,
     find_embedding,
@@ -25,8 +26,10 @@ from .embedding import (
     weak_output_images,
 )
 from .canonical import (
+    CanonicalEngine,
     CanonicalModel,
     canonical_models,
+    incremental_models,
     count_canonical_models,
     star_length,
     tau,
@@ -34,10 +37,13 @@ from .canonical import (
 from .containment import (
     STATS,
     ContainmentStats,
+    cache_limit,
     canonical_containment,
     clear_cache,
     contains,
+    contains_all,
     equivalent,
+    set_cache_limit,
     expansion_bound,
     hom_containment,
     hom_exists,
@@ -77,24 +83,30 @@ from .contained import (
 __all__ = [
     # embedding
     "Matcher",
+    "TreeIndex",
     "evaluate",
     "evaluate_forest",
     "find_embedding",
     "is_model",
     "weak_output_images",
     # canonical
+    "CanonicalEngine",
     "CanonicalModel",
     "canonical_models",
+    "incremental_models",
     "count_canonical_models",
     "star_length",
     "tau",
     # containment
     "STATS",
     "ContainmentStats",
+    "cache_limit",
     "canonical_containment",
     "clear_cache",
     "contains",
+    "contains_all",
     "equivalent",
+    "set_cache_limit",
     "expansion_bound",
     "hom_containment",
     "hom_exists",

@@ -10,6 +10,32 @@ Canonical models come with a distinguished node: the image of the
 pattern's output node.  Containment testing (Section 2.2, after [14])
 quantifies over canonical models whose expansion lengths are bounded by a
 function of the containing pattern — see :mod:`repro.core.containment`.
+
+Incremental enumeration
+-----------------------
+Two enumerators are provided:
+
+* :func:`canonical_models` — the simple generator: one fresh tree per
+  expansion vector, in lexicographic (``itertools.product``) order.
+  Models are independent objects; keep as many as you like.
+* :class:`CanonicalEngine` — the hot-path enumerator behind the
+  containment engine.  It builds the **maximal** canonical tree (every
+  ⊥-chain at full length) exactly once, numbers it in postorder, and then
+  walks the expansion vectors in **reflected-Gray-code order**: each step
+  changes a single ⊥-chain by one node, which is realized by an O(1)
+  splice of the live tree plus an O(1) patch of the dynamic
+  parent/child-mask tables.  Because splicing interior chain nodes never
+  reorders the surviving nodes, the postorder numbering, the contiguous
+  strict-descendant ranges and the per-node ancestor masks computed from
+  the maximal tree remain valid for every model — only an ``active``
+  bitmask changes.  Candidate embeddings of a container pattern are then
+  decided by the bitset DP of :meth:`CanonicalEngine.embeds`, with the
+  output image pinned to the distinguished node.
+
+  Gray-code order starts at the all-ones vector, i.e. the minimal model
+  ``τ(P)`` is always checked first — the cheapest model and empirically
+  the most likely counterexample — and cheap (small) vectors cluster
+  early, giving the containment test its early-termination ordering.
 """
 
 from __future__ import annotations
@@ -21,12 +47,16 @@ from typing import Iterator
 from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
 from ..xmltree.node import BOTTOM_LABEL, TNode
 from ..xmltree.tree import XMLTree
+from .embedding import TreeIndex, iter_bits, pattern_postorder
 
 __all__ = [
     "CanonicalModel",
+    "CanonicalEngine",
     "tau",
     "canonical_models",
+    "incremental_models",
     "count_canonical_models",
+    "gray_vectors",
     "star_length",
 ]
 
@@ -57,15 +87,27 @@ class CanonicalModel:
 def _instantiate(
     pattern: Pattern, lengths: dict[tuple[int, int], int]
 ) -> CanonicalModel:
-    """Build the canonical model for the given descendant-edge lengths."""
-    node_map: dict[PNode, TNode] = {}
+    """Build the canonical model for the given descendant-edge lengths.
 
-    def rec(pnode: PNode) -> TNode:
-        label = BOTTOM_LABEL if pnode.label == WILDCARD else pnode.label
-        tnode = TNode(label)
-        node_map[pnode] = tnode
+    Iterative, so deep chain patterns never hit the recursion limit.
+    """
+    node_map: dict[PNode, TNode] = {}
+    root_p = pattern.root
+    assert root_p is not None
+    # Each stack entry: (pattern node, tree node to attach it under or
+    # None for the root).  Attachment anchors already account for the
+    # ⊥-interior of descendant edges.
+    label = BOTTOM_LABEL if root_p.label == WILDCARD else root_p.label
+    root_t = TNode(label)
+    node_map[root_p] = root_t
+    stack: list[PNode] = [root_p]
+    while stack:
+        pnode = stack.pop()
+        tnode = node_map[pnode]
         for axis, pchild in pnode.edges:
-            sub = rec(pchild)
+            sub_label = BOTTOM_LABEL if pchild.label == WILDCARD else pchild.label
+            sub = TNode(sub_label)
+            node_map[pchild] = sub
             if axis is Axis.CHILD:
                 tnode.add_child(sub)
             else:
@@ -74,11 +116,9 @@ def _instantiate(
                 for _ in range(length - 1):
                     anchor = anchor.new_child(BOTTOM_LABEL)
                 anchor.add_child(sub)
-        return tnode
-
-    root = rec(pattern.root)  # type: ignore[arg-type]
+            stack.append(pchild)
     return CanonicalModel(
-        tree=XMLTree(root),
+        tree=XMLTree(root_t),
         output=node_map[pattern.output],  # type: ignore[index]
         node_map=node_map,
         expansion=dict(lengths),
@@ -116,7 +156,10 @@ def canonical_models(
     """Enumerate canonical models with expansions in ``1..max_length``.
 
     The number of models is ``max_length ** (#descendant edges)`` — the
-    exponential heart of the coNP containment test.
+    exponential heart of the coNP containment test.  Every yielded model
+    is an independent tree; for the zero-copy enumerator used by the
+    containment hot path see :class:`CanonicalEngine` and
+    :func:`incremental_models`.
     """
     pattern._require_nonempty()
     if max_length < 1:
@@ -134,6 +177,306 @@ def count_canonical_models(pattern: Pattern, max_length: int) -> int:
     return max_length ** len(descendant_edges(pattern))
 
 
+def gray_vectors(digits: int, base: int) -> Iterator[tuple[int, ...]]:
+    """All vectors of ``{0..base-1}**digits`` in reflected-Gray order.
+
+    Successive vectors differ in exactly one digit, by exactly ±1; the
+    first vector is all zeros.  This is Knuth's loopless mixed-radix
+    reflected Gray code (TAOCP 7.2.1.1, Algorithm H) specialised to a
+    uniform radix.
+    """
+    if digits == 0:
+        yield ()
+        return
+    if base < 1:
+        raise ValueError("base must be >= 1")
+    if base == 1:
+        # Algorithm H needs radix >= 2; the single-vector case is trivial.
+        yield (0,) * digits
+        return
+    a = [0] * digits
+    d = [1] * digits
+    f = list(range(digits + 1))
+    while True:
+        yield tuple(a)
+        j = f[0]
+        f[0] = 0
+        if j == digits:
+            return
+        a[j] += d[j]
+        if a[j] == 0 or a[j] == base - 1:
+            d[j] = -d[j]
+            f[j] = f[j + 1]
+            f[j + 1] = j + 1
+
+
+class CanonicalEngine:
+    """Incremental canonical-model enumerator with a bitset embed test.
+
+    Builds the maximal canonical tree of ``pattern`` (all ⊥-chains at
+    ``max_length``) once, then steps through expansion vectors in Gray
+    order, splicing one ⊥ node in or out of the live tree per step.  The
+    fixed postorder numbering of the maximal tree supplies contiguous
+    strict-descendant ranges and ancestor masks that stay valid across
+    every model; only the ``active`` mask, the dynamic parent array and a
+    couple of child-mask rows change per step.
+
+    Use :meth:`models` to drive the enumeration and :meth:`embeds` to ask
+    whether a container pattern (weakly) embeds into the *current* model
+    with its output pinned to the distinguished node.
+    """
+
+    __slots__ = (
+        "pattern",
+        "max_length",
+        "total",
+        "_edges",
+        "_edge_keys",
+        "_lengths",
+        "_node_map",
+        "_tree",
+        "_index",
+        "_slots",
+        "_u_idx",
+        "_c_idx",
+        "_active",
+        "_parent_dyn",
+        "_child_mask_dyn",
+        "_output_idx",
+        "_root_bit",
+        "_q_cache",
+    )
+
+    def __init__(self, pattern: Pattern, max_length: int):
+        pattern._require_nonempty()
+        if max_length < 1:
+            raise ValueError("max_length must be >= 1")
+        self.pattern = pattern
+        self.max_length = max_length
+        self._edges = descendant_edges(pattern)
+        self._edge_keys = [(id(p), id(c)) for p, c in self._edges]
+        self.total = max_length ** len(self._edges)
+
+        # Maximal tree: every descendant edge expanded to ``max_length``.
+        node_map: dict[PNode, TNode] = {}
+        chain_nodes: dict[tuple[int, int], list[TNode]] = {}
+        root_p = pattern.root
+        assert root_p is not None
+        label = BOTTOM_LABEL if root_p.label == WILDCARD else root_p.label
+        root_t = TNode(label)
+        node_map[root_p] = root_t
+        stack: list[PNode] = [root_p]
+        while stack:
+            pnode = stack.pop()
+            tnode = node_map[pnode]
+            for axis, pchild in pnode.edges:
+                sub_label = (
+                    BOTTOM_LABEL if pchild.label == WILDCARD else pchild.label
+                )
+                sub = TNode(sub_label)
+                node_map[pchild] = sub
+                if axis is Axis.CHILD:
+                    tnode.add_child(sub)
+                else:
+                    interior: list[TNode] = []
+                    anchor = tnode
+                    for _ in range(max_length - 1):
+                        anchor = anchor.new_child(BOTTOM_LABEL)
+                        interior.append(anchor)
+                    anchor.add_child(sub)
+                    chain_nodes[(id(pnode), id(pchild))] = interior
+                stack.append(pchild)
+
+        self._node_map = node_map
+        self._tree = XMLTree(root_t)
+        index = TreeIndex(root_t)
+        self._index = index
+        self._slots = [
+            [index.index[id(node)] for node in chain_nodes[key]]
+            for key in self._edge_keys
+        ]
+        self._u_idx = [index.index[id(node_map[p])] for p, _ in self._edges]
+        self._c_idx = [index.index[id(node_map[c])] for _, c in self._edges]
+        self._output_idx = index.index[id(node_map[pattern.output])]  # type: ignore[index]
+        self._root_bit = 1 << (index.n - 1)
+        self._q_cache: dict[int, tuple[Pattern, list[PNode]]] = {}
+        self._reset()
+
+    # ------------------------------------------------------------------
+    # Dynamic structure
+    # ------------------------------------------------------------------
+    def _reset(self) -> None:
+        """(Re)initialize the live structure to the all-ones vector τ."""
+        index = self._index
+        self._active = index.all_mask
+        self._parent_dyn = list(index.parent)
+        self._child_mask_dyn = list(index.child_mask)
+        self._lengths = [self.max_length] * len(self._edges)
+        for j in range(len(self._edges)):
+            while self._lengths[j] > 1:
+                self._shrink(j)
+
+    def _grow(self, j: int) -> None:
+        """Expansion length of edge ``j``: ℓ → ℓ + 1 (activate one slot)."""
+        length = self._lengths[j]
+        slots = self._slots[j]
+        new_slot = slots[length - 1]
+        prev_last = slots[length - 2] if length >= 2 else self._u_idx[j]
+        c = self._c_idx[j]
+        bit_c = 1 << c
+        self._child_mask_dyn[prev_last] = (
+            self._child_mask_dyn[prev_last] & ~bit_c
+        ) | (1 << new_slot)
+        self._child_mask_dyn[new_slot] = bit_c
+        self._parent_dyn[new_slot] = prev_last
+        self._parent_dyn[c] = new_slot
+        self._active |= 1 << new_slot
+        self._lengths[j] = length + 1
+        # Splice the live tree: prev_last → new_slot → c.
+        post = self._index.post
+        new_t, prev_t, c_t = post[new_slot], post[prev_last], post[c]
+        new_t.add_child(c_t)
+        prev_t.add_child(new_t)
+
+    def _shrink(self, j: int) -> None:
+        """Expansion length of edge ``j``: ℓ → ℓ - 1 (deactivate one slot)."""
+        length = self._lengths[j]
+        slots = self._slots[j]
+        dead_slot = slots[length - 2]
+        prev = self._parent_dyn[dead_slot]
+        c = self._c_idx[j]
+        self._child_mask_dyn[prev] = (
+            self._child_mask_dyn[prev] & ~(1 << dead_slot)
+        ) | (1 << c)
+        self._parent_dyn[c] = prev
+        self._active &= ~(1 << dead_slot)
+        self._lengths[j] = length - 1
+        # Splice the live tree: prev adopts c, the dead slot detaches.
+        post = self._index.post
+        post[prev].add_child(post[c])
+        post[dead_slot].detach()
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def models(self) -> Iterator["CanonicalEngine"]:
+        """Step through all expansion vectors (Gray order, τ first).
+
+        Yields ``self`` after each mutation; the engine's state (and the
+        live tree from :meth:`current_model`) is only valid until the
+        next step.  Restartable: each call re-enumerates from τ.
+        """
+        self._reset()
+        previous: tuple[int, ...] | None = None
+        for vector in gray_vectors(len(self._edges), self.max_length):
+            if previous is not None:
+                for j, (old, new) in enumerate(zip(previous, vector)):
+                    if old != new:
+                        if new > old:
+                            self._grow(j)
+                        else:
+                            self._shrink(j)
+                        break
+            previous = vector
+            yield self
+
+    def current_model(self) -> CanonicalModel:
+        """A :class:`CanonicalModel` view of the current state.
+
+        The returned ``tree``/``node_map`` alias the engine's live tree:
+        they are valid only until the next enumeration step (copy them if
+        you need persistence).
+        """
+        return CanonicalModel(
+            tree=self._tree,
+            output=self._node_map[self.pattern.output],  # type: ignore[index]
+            node_map=self._node_map,
+            expansion={
+                key: length
+                for key, length in zip(self._edge_keys, self._lengths)
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Bitset embedding test
+    # ------------------------------------------------------------------
+    def _postorder_of(self, q: Pattern) -> list[PNode]:
+        # The cache entry holds ``q`` itself: keying by id() alone would
+        # let a garbage-collected pattern's address be reused by a new
+        # one, serving a stale postorder (and a wrong verdict).
+        cached = self._q_cache.get(id(q))
+        if cached is None or cached[0] is not q:
+            cached = (q, pattern_postorder(q.root))  # type: ignore[arg-type]
+            self._q_cache[id(q)] = cached
+        return cached[1]
+
+    def embeds(self, q: Pattern, weak: bool = False) -> bool:
+        """Does ``q`` embed into the current model producing its output?
+
+        Root-preserving unless ``weak``; the image of ``q``'s output node
+        is pinned to the model's distinguished node, which is exactly the
+        per-model condition of the canonical containment test.
+        """
+        if q.is_empty:
+            return False
+        index = self._index
+        active = self._active
+        parent_dyn = self._parent_dyn
+        anc_mask = index.anc_mask
+        out_bit = 1 << self._output_idx
+        output_node = q.output
+        sat: dict[int, int] = {}
+        for pnode in self._postorder_of(q):
+            if pnode.label == WILDCARD:
+                cand = active
+            else:
+                cand = index.label_mask.get(pnode.label, 0) & active
+            if pnode is output_node:
+                cand &= out_bit
+            for axis, pchild in pnode.edges:
+                if not cand:
+                    break
+                child_sat = sat[id(pchild)]
+                if not child_sat:
+                    cand = 0
+                    break
+                acc = 0
+                if axis is Axis.CHILD:
+                    for u in iter_bits(child_sat):
+                        p = parent_dyn[u]
+                        if p >= 0:
+                            acc |= 1 << p
+                else:
+                    # Ancestor masks of the maximal tree stay correct:
+                    # splicing ⊥ interiors preserves ancestry among the
+                    # surviving nodes, and ``cand`` is already restricted
+                    # to active nodes.
+                    for u in iter_bits(child_sat):
+                        acc |= anc_mask[u]
+                cand &= acc
+            sat[id(pnode)] = cand
+        root_sat = sat[id(q.root)]
+        if weak:
+            return bool(root_sat)
+        return bool(root_sat & self._root_bit)
+
+
+def incremental_models(
+    pattern: Pattern, max_length: int
+) -> Iterator[CanonicalModel]:
+    """Zero-copy canonical-model enumeration (Gray order, τ first).
+
+    Yields :class:`CanonicalModel` views over **one shared mutable tree**
+    that is spliced in place between yields — each yielded model is valid
+    only until the next iteration step.  Use :func:`canonical_models`
+    when models must outlive the loop.
+    """
+    pattern._require_nonempty()
+    engine = CanonicalEngine(pattern, max_length)
+    for state in engine.models():
+        yield state.current_model()
+
+
 def star_length(pattern: Pattern) -> int:
     """The longest chain of wildcard nodes joined by child edges.
 
@@ -146,11 +489,9 @@ def star_length(pattern: Pattern) -> int:
         return 0
     best = 0
     chain: dict[int, int] = {}
-
-    def rec(node: PNode) -> None:
-        nonlocal best
-        for _, child in node.edges:
-            rec(child)
+    root = pattern.root
+    assert root is not None
+    for node in pattern_postorder(root):
         if node.label == WILDCARD:
             longest_child = 0
             for axis, child in node.edges:
@@ -160,6 +501,4 @@ def star_length(pattern: Pattern) -> int:
             best = max(best, chain[id(node)])
         else:
             chain[id(node)] = 0
-
-    rec(pattern.root)  # type: ignore[arg-type]
     return best

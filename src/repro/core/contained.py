@@ -34,11 +34,10 @@ from typing import Sequence
 
 from ..errors import RewriteBudgetError
 from ..patterns.ast import Pattern
-from .canonical import canonical_models, count_canonical_models, star_length
+from .canonical import CanonicalEngine, count_canonical_models
 from .composition import compose
 from .containment import contains, expansion_bound
 from .decide import enumerate_candidates
-from .embedding import Matcher
 
 __all__ = [
     "union_contains",
@@ -59,6 +58,10 @@ def union_contains(
     *largest* member bound) must have its distinguished output produced
     by at least one union member.  With a single member this coincides
     with :func:`repro.core.containment.contains`.
+
+    Models are enumerated incrementally (Gray order, one ⊥-chain splice
+    per step) by :class:`repro.core.canonical.CanonicalEngine`, and the
+    per-model setup is shared across *all* union members.
     """
     members = [q for q in union if not q.is_empty]
     if pattern.is_empty:
@@ -72,11 +75,9 @@ def union_contains(
             f"union containment needs {total} canonical models "
             f"(budget {max_models})"
         )
-    for model in canonical_models(pattern, bound):
-        if not any(
-            model.output in Matcher(q, model.tree).output_images()
-            for q in members
-        ):
+    engine = CanonicalEngine(pattern, bound)
+    for state in engine.models():
+        if not any(state.embeds(q) for q in members):
             return False
     return True
 

@@ -21,22 +21,50 @@ Two engines are provided:
   of the contained pattern.
 
 :func:`contains` dispatches automatically and memoizes results.
+
+Performance architecture
+------------------------
+Both engines run on **integer bitsets** (see
+:mod:`repro.core.embedding`): ``hom_exists`` numbers the target pattern
+in postorder so subtree ranges are contiguous, and the canonical engine
+(:class:`repro.core.canonical.CanonicalEngine`) enumerates expansion
+vectors in Gray-code order over a single pre-built maximal tree — the
+minimal model ``τ(P1)`` is always checked first, each further model costs
+one O(1) splice plus a bitset DP, and per-node descendant/ancestor masks
+are computed exactly once per test (or once per *batch*, see below).
+
+The memoization layer keys results by :meth:`Pattern.memo_key` —
+process-interned integer tokens, so lookups are O(1) after a pattern's
+first use — and is a **bounded LRU** (default 65 536 entries, see
+:func:`set_cache_limit`); evictions are counted in
+:class:`ContainmentStats`.
+
+:func:`contains_all` is the batched entry point: it decides
+``[p ⊑ v for v in views]`` while sharing all ``p``-side setup (the
+maximal canonical tree, its postorder numbering, descendant ranges and
+ancestor masks) across every view with the same expansion bound.  The
+rewriting solver and the view-answering engine use it to amortize
+per-view setup.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..errors import ContainmentBudgetError
 from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
 from ..patterns.fragments import homomorphism_complete
-from .canonical import canonical_models, count_canonical_models, star_length
-from .embedding import Matcher
+from .canonical import CanonicalEngine, count_canonical_models, star_length
+from .embedding import iter_bits, pattern_postorder
 
 __all__ = [
+    "ContainmentBatch",
     "ContainmentStats",
     "STATS",
     "contains",
+    "contains_all",
     "equivalent",
     "weakly_contains",
     "weakly_equivalent",
@@ -44,6 +72,8 @@ __all__ = [
     "canonical_containment",
     "hom_exists",
     "clear_cache",
+    "set_cache_limit",
+    "cache_limit",
     "expansion_bound",
 ]
 
@@ -56,12 +86,14 @@ class ContainmentStats:
     canonical_tests: int = 0
     canonical_models_checked: int = 0
     cache_hits: int = 0
+    cache_evictions: int = 0
 
     def reset(self) -> None:
         self.hom_tests = 0
         self.canonical_tests = 0
         self.canonical_models_checked = 0
         self.cache_hits = 0
+        self.cache_evictions = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -69,19 +101,62 @@ class ContainmentStats:
             "canonical_tests": self.canonical_tests,
             "canonical_models_checked": self.canonical_models_checked,
             "cache_hits": self.cache_hits,
+            "cache_evictions": self.cache_evictions,
         }
 
 
 #: Module-level statistics, reset via ``STATS.reset()``.
 STATS = ContainmentStats()
 
-# Result cache keyed by (key1, key2, weak).
-_CACHE: dict[tuple, bool] = {}
+#: Default bound on the number of memoized containment results.
+DEFAULT_CACHE_LIMIT = 65_536
+
+# Result cache keyed by (memo_key(p1), memo_key(p2), weak), LRU-bounded.
+_CACHE: OrderedDict[tuple, bool] = OrderedDict()
+_CACHE_LIMIT = DEFAULT_CACHE_LIMIT
 
 
 def clear_cache() -> None:
     """Drop all memoized containment results."""
     _CACHE.clear()
+
+
+def set_cache_limit(limit: int) -> None:
+    """Bound the containment-result LRU to ``limit`` entries.
+
+    The views workloads issue millions of containment probes against a
+    bounded set of distinct pairs; an unbounded cache was a memory leak.
+    Lowering the limit evicts immediately (counted in
+    ``STATS.cache_evictions``).
+    """
+    global _CACHE_LIMIT
+    if limit < 1:
+        raise ValueError("cache limit must be >= 1")
+    _CACHE_LIMIT = limit
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        STATS.cache_evictions += 1
+
+
+def cache_limit() -> int:
+    """The current containment-result LRU bound."""
+    return _CACHE_LIMIT
+
+
+def _cache_get(key: tuple) -> bool | None:
+    result = _CACHE.get(key)
+    if result is not None:
+        _CACHE.move_to_end(key)
+        STATS.cache_hits += 1
+    return result
+
+
+def _cache_put(key: tuple, value: bool) -> None:
+    _CACHE[key] = value
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_LIMIT:
+        _CACHE.popitem(last=False)
+        STATS.cache_evictions += 1
 
 
 # ----------------------------------------------------------------------
@@ -101,65 +176,77 @@ def hom_exists(src: Pattern, dst: Pattern, require_root: bool = True) -> bool:
       to the root unless ``require_root`` is False (the *weak* variant).
 
     Existence implies ``dst ⊑ src``.
+
+    The test runs on bitsets over a postorder numbering of ``dst`` (so
+    "strictly below ``v``" is a contiguous index range) and all
+    traversals are iterative — chain patterns deeper than the interpreter
+    recursion limit are handled.
     """
     if src.is_empty or dst.is_empty:
         # Υ has no nodes: vacuous homomorphism exists only from Υ.
         return src.is_empty
-    dst_nodes = list(dst.nodes())
-    dst_children: dict[int, list[PNode]] = {}
-    for parent, axis, child in dst.edges():
-        if axis is Axis.CHILD:
-            dst_children.setdefault(id(parent), []).append(child)
-    # strict_below[v] = all nodes strictly below v (any edge types).
-    strict_below: dict[int, set[int]] = {}
+    dst_post = pattern_postorder(dst.root)  # type: ignore[arg-type]
+    n = len(dst_post)
+    index = {id(node): i for i, node in enumerate(dst_post)}
+    # cparent[i]: parent index when connected by a *child* edge, else -1.
+    # anc_mask[i]: all proper ancestors (any edge types).
+    cparent = [-1] * n
+    parent = [-1] * n
+    label_mask: dict[str, int] = {}
+    for i, node in enumerate(dst_post):
+        label_mask[node.label] = label_mask.get(node.label, 0) | (1 << i)
+        for axis, child in node.edges:
+            j = index[id(child)]
+            parent[j] = i
+            if axis is Axis.CHILD:
+                cparent[j] = i
+    anc_mask = [0] * n
+    for i in range(n - 2, -1, -1):  # root (index n-1) has no ancestors
+        p = parent[i]
+        anc_mask[i] = anc_mask[p] | (1 << p)
+    all_mask = (1 << n) - 1
+    out_bit = 1 << index[id(dst.output)]
+    root_bit = 1 << (n - 1)
 
-    def below(node: PNode) -> set[int]:
-        result: set[int] = set()
-        for _, child in node.edges:
-            result.add(id(child))
-            result |= below(child)
-        strict_below[id(node)] = result
-        return result
-
-    below(dst.root)  # type: ignore[arg-type]
-
-    def compat(n: PNode, v: PNode) -> bool:
-        # The output of src must land on the output of dst; other nodes
-        # are unconstrained (they may share dst's output).
-        if n is src.output and v is not dst.output:
-            return False
-        return n.label == WILDCARD or n.label == v.label
-
-    sat: dict[int, set[int]] = {}
-
-    def rec(n: PNode) -> None:
-        for _, child in n.edges:
-            rec(child)
-        ok: set[int] = set()
-        for v in dst_nodes:
-            if not compat(n, v):
-                continue
-            good = True
-            for axis, child in n.edges:
-                child_sat = sat[id(child)]
-                if axis is Axis.CHILD:
-                    if not any(
-                        id(u) in child_sat for u in dst_children.get(id(v), [])
-                    ):
-                        good = False
-                        break
-                else:
-                    if not (strict_below[id(v)] & child_sat):
-                        good = False
-                        break
-            if good:
-                ok.add(id(v))
-        sat[id(n)] = ok
-
-    rec(src.root)  # type: ignore[arg-type]
+    sat: dict[int, int] = {}
+    src_output = src.output
+    for pnode in pattern_postorder(src.root):  # type: ignore[arg-type]
+        if pnode.label == WILDCARD:
+            cand = all_mask
+        else:
+            cand = label_mask.get(pnode.label, 0)
+        if pnode is src_output:
+            # The output of src must land on the output of dst; other
+            # nodes are unconstrained (they may share dst's output).
+            cand &= out_bit
+        for axis, pchild in pnode.edges:
+            if not cand:
+                break
+            child_sat = sat[id(pchild)]
+            if not child_sat:
+                cand = 0
+                break
+            acc = 0
+            if axis is Axis.CHILD:
+                for u in iter_bits(child_sat):
+                    p = cparent[u]
+                    if p >= 0:
+                        acc |= 1 << p
+            else:
+                for u in iter_bits(child_sat):
+                    acc |= anc_mask[u]
+            cand &= acc
+        sat[id(pnode)] = cand
+    root_sat = sat[id(src.root)]
     if require_root:
-        return id(dst.root) in sat[id(src.root)]
-    return bool(sat[id(src.root)])
+        return bool(root_sat & root_bit)
+    return bool(root_sat)
+
+
+def _hom_test(src: Pattern, dst: Pattern, require_root: bool = True) -> bool:
+    """Counted homomorphism test: the single place ``hom_tests`` bumps."""
+    STATS.hom_tests += 1
+    return hom_exists(src, dst, require_root=require_root)
 
 
 def hom_containment(p1: Pattern, p2: Pattern) -> bool:
@@ -168,12 +255,13 @@ def hom_containment(p1: Pattern, p2: Pattern) -> bool:
     Sound always; complete iff the patterns jointly fit one of the three
     sub-fragments (use :func:`repro.patterns.homomorphism_complete`).
     """
-    STATS.hom_tests += 1
     if p1.is_empty:
+        STATS.hom_tests += 1
         return True
     if p2.is_empty:
+        STATS.hom_tests += 1
         return False
-    return hom_exists(p2, p1)
+    return _hom_test(p2, p1)
 
 
 # ----------------------------------------------------------------------
@@ -190,6 +278,25 @@ def expansion_bound(container: Pattern) -> int:
     return star_length(container) + 2
 
 
+def _canonical_check(
+    engine: CanonicalEngine,
+    p2: Pattern,
+    weak: bool,
+    max_models: int | None,
+) -> bool:
+    """Run the canonical-model quantifier for one (engine, container) pair."""
+    if max_models is not None and engine.total > max_models:
+        raise ContainmentBudgetError(
+            f"containment test needs {engine.total} canonical models "
+            f"(budget {max_models})"
+        )
+    for state in engine.models():
+        STATS.canonical_models_checked += 1
+        if not state.embeds(p2, weak=weak):
+            return False
+    return True
+
+
 def canonical_containment(
     p1: Pattern,
     p2: Pattern,
@@ -201,7 +308,10 @@ def canonical_containment(
     Enumerates the canonical models of ``p1`` with expansions bounded by
     :func:`expansion_bound` of ``p2`` and requires, for each model with
     distinguished output ``o``, an embedding of ``p2`` producing ``o``
-    (a weak embedding when ``weak=True``).
+    (a weak embedding when ``weak=True``).  The minimal model ``τ(p1)``
+    is checked first and each further model is derived from its
+    predecessor by a single ⊥-chain splice (Gray-code enumeration via
+    :class:`repro.core.canonical.CanonicalEngine`).
 
     Raises
     ------
@@ -214,23 +324,55 @@ def canonical_containment(
     if p2.is_empty:
         return False
     bound = expansion_bound(p2)
-    total = count_canonical_models(p1, bound)
-    if max_models is not None and total > max_models:
-        raise ContainmentBudgetError(
-            f"containment test needs {total} canonical models "
-            f"(budget {max_models})"
-        )
-    for model in canonical_models(p1, bound):
-        STATS.canonical_models_checked += 1
-        images = Matcher(p2, model.tree).output_images(weak=weak)
-        if model.output not in images:
-            return False
-    return True
+    if max_models is not None:
+        total = count_canonical_models(p1, bound)
+        if total > max_models:
+            raise ContainmentBudgetError(
+                f"containment test needs {total} canonical models "
+                f"(budget {max_models})"
+            )
+    engine = CanonicalEngine(p1, bound)
+    return _canonical_check(engine, p2, weak=weak, max_models=max_models)
 
 
 # ----------------------------------------------------------------------
 # Public dispatching API
 # ----------------------------------------------------------------------
+
+def _decide(
+    p1: Pattern,
+    p2: Pattern,
+    weak: bool,
+    max_models: int | None,
+    engines: dict[int, CanonicalEngine] | None = None,
+) -> bool:
+    """Uncached dispatch for one pair (shared by contains/contains_all).
+
+    ``engines`` is an optional per-batch cache of
+    :class:`CanonicalEngine` instances keyed by expansion bound, so a
+    batch of containers reuses all ``p1``-side setup.
+    """
+    if not weak:
+        if homomorphism_complete(p1, p2):
+            return hom_containment(p1, p2)
+        if hom_containment(p1, p2):
+            return True
+    else:
+        # Sound fast path: a root-free homomorphism p2 → p1 composes with
+        # any weak embedding of p1 to give a weak embedding of p2.
+        if _hom_test(p2, p1, require_root=False):
+            return True
+    STATS.canonical_tests += 1
+    bound = expansion_bound(p2)
+    if engines is not None:
+        engine = engines.get(bound)
+        if engine is None:
+            engine = CanonicalEngine(p1, bound)
+            engines[bound] = engine
+    else:
+        engine = CanonicalEngine(p1, bound)
+    return _canonical_check(engine, p2, weak=weak, max_models=max_models)
+
 
 def contains(
     p1: Pattern,
@@ -243,25 +385,96 @@ def contains(
     Strategy: if the pair fits a homomorphism-complete sub-fragment the
     PTIME test decides; otherwise the homomorphism test is tried as a
     sufficient condition before falling back to the canonical-model
-    procedure.
+    procedure (τ-first, Gray-code incremental — see
+    :func:`canonical_containment`).
     """
     if p1.is_empty:
         return True
     if p2.is_empty:
         return False
-    key = (p1.canonical_key(), p2.canonical_key(), False)
-    if use_cache and key in _CACHE:
-        STATS.cache_hits += 1
-        return _CACHE[key]
-    if homomorphism_complete(p1, p2):
-        result = hom_containment(p1, p2)
-    elif hom_containment(p1, p2):
-        result = True
-    else:
-        result = canonical_containment(p1, p2, weak=False, max_models=max_models)
+    key = (p1.memo_key(), p2.memo_key(), False)
     if use_cache:
-        _CACHE[key] = result
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
+    result = _decide(p1, p2, weak=False, max_models=max_models)
+    if use_cache:
+        _cache_put(key, result)
     return result
+
+
+class ContainmentBatch:
+    """Lazily decide ``p1 ⊑ v`` for many containers ``v``.
+
+    Shares all ``p1``-side setup (the maximal canonical tree, postorder
+    numbering, descendant ranges, ancestor masks) across every query
+    with the same expansion bound, while letting the caller stop early —
+    the rewriting solver tests its second natural candidate only when
+    the first one fails.
+    """
+
+    __slots__ = ("p1", "max_models", "use_cache", "weak", "_engines", "_key1")
+
+    def __init__(
+        self,
+        p1: Pattern,
+        max_models: int | None = None,
+        use_cache: bool = True,
+        weak: bool = False,
+    ):
+        self.p1 = p1
+        self.max_models = max_models
+        self.use_cache = use_cache
+        self.weak = weak
+        self._engines: dict[int, CanonicalEngine] = {}
+        self._key1 = (
+            p1.memo_key() if use_cache and not p1.is_empty else 0
+        )
+
+    def contains(self, view: Pattern) -> bool:
+        """``p1 ⊑ view`` (or ``⊑w`` when the batch is weak)."""
+        if self.p1.is_empty:
+            return True
+        if view.is_empty:
+            return False
+        key = (self._key1, view.memo_key(), self.weak)
+        if self.use_cache:
+            cached = _cache_get(key)
+            if cached is not None:
+                return cached
+        decided = _decide(
+            self.p1,
+            view,
+            weak=self.weak,
+            max_models=self.max_models,
+            engines=self._engines,
+        )
+        if self.use_cache:
+            _cache_put(key, decided)
+        return decided
+
+
+def contains_all(
+    p1: Pattern,
+    views: Sequence[Pattern],
+    max_models: int | None = None,
+    use_cache: bool = True,
+    weak: bool = False,
+) -> list[bool]:
+    """Batched containment: ``[p1 ⊑ v for v in views]``.
+
+    Semantically identical to calling :func:`contains` (or
+    :func:`weakly_contains`) per view, but all ``p1``-side setup — the
+    maximal canonical tree, postorder numbering, descendant ranges,
+    ancestor masks — is built once per distinct expansion bound and
+    shared across the batch.  The rewriting solver and the view engine
+    use this to amortize per-view cost; for early-exit consumers use
+    :class:`ContainmentBatch` directly.
+    """
+    batch = ContainmentBatch(
+        p1, max_models=max_models, use_cache=use_cache, weak=weak
+    )
+    return [batch.contains(view) for view in views]
 
 
 def weakly_contains(
@@ -280,19 +493,14 @@ def weakly_contains(
         return True
     if p2.is_empty:
         return False
-    key = (p1.canonical_key(), p2.canonical_key(), True)
-    if use_cache and key in _CACHE:
-        STATS.cache_hits += 1
-        return _CACHE[key]
-    # Sound fast path: a root-free homomorphism p2 → p1 composes with any
-    # weak embedding of p1 to give a weak embedding of p2.
-    STATS.hom_tests += 1
-    if hom_exists(p2, p1, require_root=False):
-        result = True
-    else:
-        result = canonical_containment(p1, p2, weak=True, max_models=max_models)
+    key = (p1.memo_key(), p2.memo_key(), True)
     if use_cache:
-        _CACHE[key] = result
+        cached = _cache_get(key)
+        if cached is not None:
+            return cached
+    result = _decide(p1, p2, weak=True, max_models=max_models)
+    if use_cache:
+        _cache_put(key, result)
     return result
 
 

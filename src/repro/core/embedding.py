@@ -8,31 +8,202 @@ rooted at images of the output node; we represent each such subtree by
 its root :class:`~repro.xmltree.node.TNode` (node identity), which makes
 Proposition 2.4 (``R ∘ V (t) = R(V(t))``) directly testable.
 
+Bitset engine
+-------------
 The implementation is the standard O(|P|·|t|) bottom-up dynamic program
-for tree-pattern matching, extended with a forward pass along the
-selection path to compute the achievable output images.
+for tree-pattern matching, but all ``sat`` rows are **Python-int bitsets**
+over a postorder numbering of the tree (:class:`TreeIndex`):
+
+* ``sat[pnode]`` is an int whose bit ``i`` is set iff the pattern subtree
+  at ``pnode`` embeds with ``pnode ↦ post[i]``;
+* a postorder numbering makes every subtree a *contiguous* index range,
+  so the strict-descendant mask of a node is two shifts and a subtraction
+  — no per-model set recomputation;
+* per-node ancestor masks are precomputed once, so "some satisfying node
+  strictly below ``v``" for a whole ``sat`` row is a union of ancestor
+  masks followed by a single AND.
+
+Per-edge work is therefore proportional to the *popcount* of the child's
+``sat`` row (in machine-word chunks), instead of a Python-level loop over
+all tree nodes with set lookups.  On the containment hot path this is a
+large constant-factor win; see ``benchmarks/bench_perf_guard.py`` and the
+committed ``BENCH_containment.json`` for measured numbers against the
+seed set-based engine (preserved in
+:mod:`repro.core.embedding_reference`).
+
+All traversals are iterative, so chain patterns/trees deeper than the
+interpreter recursion limit are handled.  A :class:`Matcher` can also be
+**re-run against a mutated tree** via :meth:`Matcher.rematch` — the
+pattern-side precomputation (postorder, selection path) is reused and
+only the tree tables and ``sat`` rows are rebuilt.  The canonical-model
+enumerator (:mod:`repro.core.canonical`) goes one step further and keeps
+a fixed numbering across mutations.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
 from ..xmltree.node import TNode
 from ..xmltree.tree import XMLTree
 
 __all__ = [
+    "TreeIndex",
     "Matcher",
+    "iter_bits",
     "evaluate",
     "evaluate_forest",
     "is_model",
     "weak_output_images",
     "find_embedding",
+    "pattern_postorder",
 ]
 
 
-def _label_ok(pnode: PNode, tnode: TNode) -> bool:
-    return pnode.label == WILDCARD or pnode.label == tnode.label
+def iter_bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def pattern_postorder(root: PNode) -> list[PNode]:
+    """Postorder of a pattern subtree, iteratively (deep-chain safe)."""
+    order: list[PNode] = []
+    stack: list[tuple[PNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+        else:
+            stack.append((node, True))
+            for _, child in reversed(node.edges):
+                stack.append((child, False))
+    return order
+
+
+class TreeIndex:
+    """Bitset tables for one tree: postorder numbering plus masks.
+
+    Attributes
+    ----------
+    post:
+        Tree nodes in postorder; ``post[i]`` is node ``i``.  The root is
+        always the last index (``n - 1``).
+    index:
+        ``id(node) -> i`` for every node.
+    parent:
+        ``parent[i]`` is the index of node ``i``'s parent (-1 for root).
+    child_mask:
+        Bit ``j`` of ``child_mask[i]`` iff node ``j`` is a child of ``i``.
+    start:
+        Postorder start of node ``i``'s subtree: the descendants of ``i``
+        are exactly indices ``start[i] .. i - 1`` (contiguous).
+    anc_mask:
+        Bits of all *proper* ancestors of node ``i``.
+    label_mask:
+        label -> bits of the nodes carrying that label.
+    """
+
+    __slots__ = (
+        "root",
+        "post",
+        "index",
+        "parent",
+        "child_mask",
+        "start",
+        "anc_mask",
+        "label_mask",
+        "n",
+        "all_mask",
+    )
+
+    def __init__(self, root: TNode):
+        self.root = root
+        # Iterative postorder (deep-chain safe).
+        post: list[TNode] = []
+        stack: list[tuple[TNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                post.append(node)
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+        index: dict[int, int] = {id(node): i for i, node in enumerate(post)}
+        n = len(post)
+        parent = [-1] * n
+        child_mask = [0] * n
+        for i, node in enumerate(post):
+            for child in node.children:
+                j = index[id(child)]
+                parent[j] = i
+                child_mask[i] |= 1 << j
+        starts = [0] * n
+        for i, node in enumerate(post):
+            if node.children:
+                starts[i] = starts[index[id(node.children[0])]]
+            else:
+                starts[i] = i
+        # Ancestor masks: parents appear *after* children in postorder, so
+        # fill root-first by descending index order via parent pointers.
+        anc_mask = [0] * n
+        for i in range(n - 1, -1, -1):
+            p = parent[i]
+            if p >= 0:
+                anc_mask[i] = anc_mask[p] | (1 << p)
+        label_mask: dict[str, int] = {}
+        for i, node in enumerate(post):
+            label_mask[node.label] = label_mask.get(node.label, 0) | (1 << i)
+
+        self.post = post
+        self.index = index
+        self.parent = parent
+        self.child_mask = child_mask
+        self.start = starts
+        self.anc_mask = anc_mask
+        self.label_mask = label_mask
+        self.n = n
+        self.all_mask = (1 << n) - 1
+
+    # ------------------------------------------------------------------
+    # Mask helpers
+    # ------------------------------------------------------------------
+    def desc_range(self, i: int) -> int:
+        """Bits of the *proper* descendants of node ``i`` (contiguous)."""
+        return ((1 << i) - 1) ^ ((1 << self.start[i]) - 1)
+
+    def candidates(self, label: str) -> int:
+        """Bits of the nodes a pattern node with ``label`` may map to."""
+        if label == WILDCARD:
+            return self.all_mask
+        return self.label_mask.get(label, 0)
+
+    def parents_of(self, mask: int) -> int:
+        """Bits of nodes with at least one child in ``mask``."""
+        result = 0
+        parent = self.parent
+        for u in iter_bits(mask):
+            p = parent[u]
+            if p >= 0:
+                result |= 1 << p
+        return result
+
+    def ancestors_of(self, mask: int) -> int:
+        """Bits of nodes with at least one *proper* descendant in ``mask``."""
+        result = 0
+        anc = self.anc_mask
+        for u in iter_bits(mask):
+            result |= anc[u]
+        return result
+
+    def members(self, mask: int) -> set[TNode]:
+        """The tree nodes whose bits are set in ``mask``."""
+        post = self.post
+        return {post[i] for i in iter_bits(mask)}
 
 
 class Matcher:
@@ -43,97 +214,77 @@ class Matcher:
     On top of ``sat``, :meth:`output_images` runs a forward pass along the
     selection path to find all nodes ``o`` such that some (weak) embedding
     maps the output node to ``o``.
+
+    The tables are bitsets over :class:`TreeIndex`; the pattern-side
+    precomputation (postorder, selection path, on-path ids) survives a
+    :meth:`rematch`, which rebuilds only the tree tables after the
+    underlying tree object was mutated.
     """
 
     def __init__(self, pattern: Pattern, tree: XMLTree | TNode):
         self.pattern = pattern
         self.tree_root = tree.root if isinstance(tree, XMLTree) else tree
-        # sat[pnode id] = set of satisfying tree nodes (hashed by identity).
-        self._sat: dict[int, set[TNode]] = {}
-        self._tree_post: list[TNode] = []
-        self._partial_cache: dict[int, set[TNode]] = {}
+        self._sat: dict[int, int] = {}
+        self._partial_cache: dict[int, int] = {}
+        self.tree_index: TreeIndex | None = None
         if not pattern.is_empty:
-            self._tree_post = self._tree_postorder()
+            self._pattern_post = pattern_postorder(pattern.root)  # type: ignore[arg-type]
+            self._on_path = set(map(id, pattern.selection_path()))
+            self.tree_index = TreeIndex(self.tree_root)
             self._compute_sat()
 
     # ------------------------------------------------------------------
     # Core tables
     # ------------------------------------------------------------------
-    def _postorder(self) -> list[PNode]:
-        order: list[PNode] = []
-
-        def rec(node: PNode) -> None:
-            for _, child in node.edges:
-                rec(child)
-            order.append(node)
-
-        rec(self.pattern.root)  # type: ignore[arg-type]
-        return order
-
     def _compute_sat(self) -> None:
-        tree_postorder = self._tree_post
-        for pnode in self._postorder():
-            satisfying: set[TNode] = set()
-            # For descendant-edge children we need, per tree node v,
-            # whether S_c intersects the strict subtree below v.
-            below: dict[int, set[TNode]] = {}
+        ti = self.tree_index
+        assert ti is not None
+        sat = self._sat
+        for pnode in self._pattern_post:
+            cand = ti.candidates(pnode.label)
             for axis, pchild in pnode.edges:
-                if axis is Axis.DESCENDANT:
-                    below[id(pchild)] = self._exists_below(
-                        self._sat[id(pchild)], tree_postorder
-                    )
-            for tnode in tree_postorder:
-                if not _label_ok(pnode, tnode):
-                    continue
-                ok = True
-                for axis, pchild in pnode.edges:
-                    child_sat = self._sat[id(pchild)]
-                    if axis is Axis.CHILD:
-                        if not any(u in child_sat for u in tnode.children):
-                            ok = False
-                            break
-                    else:
-                        if tnode not in below[id(pchild)]:
-                            ok = False
-                            break
-                if ok:
-                    satisfying.add(tnode)
-            self._sat[id(pnode)] = satisfying
+                if not cand:
+                    break
+                child_sat = sat[id(pchild)]
+                if axis is Axis.CHILD:
+                    cand &= ti.parents_of(child_sat)
+                else:
+                    cand &= ti.ancestors_of(child_sat)
+            sat[id(pnode)] = cand
 
-    def _tree_postorder(self) -> list[TNode]:
-        order: list[TNode] = []
+    def rematch(self) -> "Matcher":
+        """Recompute the tables after the tree was mutated in place.
 
-        def rec(node: TNode) -> None:
-            for child in node.children:
-                rec(child)
-            order.append(node)
-
-        rec(self.tree_root)
-        return order
-
-    @staticmethod
-    def _exists_below(
-        target: set[TNode], tree_postorder: list[TNode]
-    ) -> set[TNode]:
-        """Tree nodes whose *strict* subtree intersects ``target``."""
-        result: set[TNode] = set()
-        for node in tree_postorder:
-            if any(child in target or child in result for child in node.children):
-                result.add(node)
-        return result
+        Reuses all pattern-side precomputation; only the tree tables and
+        ``sat`` rows are rebuilt.  Returns ``self`` for chaining.
+        """
+        if self.pattern.is_empty:
+            return self
+        self._sat.clear()
+        self._partial_cache.clear()
+        self.tree_index = TreeIndex(self.tree_root)
+        self._compute_sat()
+        return self
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def sat(self, pnode: PNode, tnode: TNode) -> bool:
         """Can the pattern subtree at ``pnode`` embed with ``pnode ↦ tnode``?"""
-        return tnode in self._sat.get(id(pnode), set())
+        if self.tree_index is None:
+            return False
+        i = self.tree_index.index.get(id(tnode))
+        if i is None:
+            return False
+        return bool(self._sat.get(id(pnode), 0) >> i & 1)
 
     def has_embedding(self) -> bool:
         """Is ``t`` a model of the pattern (root-preserving embedding)?"""
         if self.pattern.is_empty:
             return False
-        return self.tree_root in self._sat[id(self.pattern.root)]
+        assert self.tree_index is not None
+        root_bit = 1 << (self.tree_index.n - 1)
+        return bool(self._sat[id(self.pattern.root)] & root_bit)
 
     def has_weak_embedding(self) -> bool:
         """Does any weak embedding of the pattern into ``t`` exist?"""
@@ -148,29 +299,38 @@ class Matcher:
         """
         if self.pattern.is_empty:
             return set()
+        ti = self.tree_index
+        assert ti is not None
+        frontier = self._output_mask(weak=weak)
+        return ti.members(frontier)
+
+    def _output_mask(self, weak: bool) -> int:
+        """Bitset of achievable output images (forward pass)."""
+        ti = self.tree_index
+        assert ti is not None
         path = self.pattern.selection_path()
         axes = self.pattern.selection_axes()
         partial = [self._partial_sat(node) for node in path]
 
+        root_bit = 1 << (ti.n - 1)
         if weak:
-            frontier = set(partial[0])
+            frontier = partial[0]
         else:
-            frontier = (
-                {self.tree_root} if self.tree_root in partial[0] else set()
-            )
+            frontier = partial[0] & root_bit
         for axis, allowed in zip(axes, partial[1:]):
             if not frontier:
                 break
+            step = 0
             if axis is Axis.CHILD:
-                next_frontier = {
-                    u for v in frontier for u in v.children if u in allowed
-                }
+                for v in iter_bits(frontier):
+                    step |= ti.child_mask[v]
             else:
-                next_frontier = self._descendants_of(frontier) & allowed
-            frontier = next_frontier
-        return set(frontier)
+                for v in iter_bits(frontier):
+                    step |= ti.desc_range(v)
+            frontier = step & allowed
+        return frontier
 
-    def _partial_sat(self, sel_node: PNode) -> set[int]:
+    def _partial_sat(self, sel_node: PNode) -> int:
         """Tree nodes where ``sel_node`` may sit: label + branch subtrees.
 
         Like ``sat`` but ignoring the selection-path child (which the
@@ -179,46 +339,21 @@ class Matcher:
         cached = self._partial_cache.get(id(sel_node))
         if cached is not None:
             return cached
-        on_path = set(map(id, self.pattern.selection_path()))
-        tree_postorder = self._tree_post
-        result: set[TNode] = set()
-        branch_edges = [
-            (axis, child)
-            for axis, child in sel_node.edges
-            if id(child) not in on_path
-        ]
-        below: dict[int, set[TNode]] = {}
-        for axis, pchild in branch_edges:
-            if axis is Axis.DESCENDANT:
-                below[id(pchild)] = self._exists_below(
-                    self._sat[id(pchild)], tree_postorder
-                )
-        for tnode in tree_postorder:
-            if not _label_ok(sel_node, tnode):
+        ti = self.tree_index
+        assert ti is not None
+        cand = ti.candidates(sel_node.label)
+        for axis, pchild in sel_node.edges:
+            if id(pchild) in self._on_path:
                 continue
-            ok = True
-            for axis, pchild in branch_edges:
-                child_sat = self._sat[id(pchild)]
-                if axis is Axis.CHILD:
-                    if not any(u in child_sat for u in tnode.children):
-                        ok = False
-                        break
-                else:
-                    if tnode not in below[id(pchild)]:
-                        ok = False
-                        break
-            if ok:
-                result.add(tnode)
-        self._partial_cache[id(sel_node)] = result
-        return result
-
-    @staticmethod
-    def _descendants_of(frontier: set[TNode]) -> set[TNode]:
-        """All proper descendants of any node in ``frontier``."""
-        result: set[TNode] = set()
-        for v in frontier:
-            result.update(v.iter_descendants())
-        return result
+            if not cand:
+                break
+            child_sat = self._sat[id(pchild)]
+            if axis is Axis.CHILD:
+                cand &= ti.parents_of(child_sat)
+            else:
+                cand &= ti.ancestors_of(child_sat)
+        self._partial_cache[id(sel_node)] = cand
+        return cand
 
     # ------------------------------------------------------------------
     # Witness extraction
@@ -232,11 +367,18 @@ class Matcher:
         """
         if self.pattern.is_empty:
             return None
+        ti = self.tree_index
+        assert ti is not None
         if output is None:
-            images = self.output_images(weak=weak)
+            images = self._output_mask(weak=weak)
             if not images:
                 return None
-            output = next(iter(images))
+            out_idx = next(iter_bits(images))
+        else:
+            maybe = ti.index.get(id(output))
+            if maybe is None:
+                return None
+            out_idx = maybe
 
         path = self.pattern.selection_path()
         axes = self.pattern.selection_axes()
@@ -245,27 +387,23 @@ class Matcher:
         # Backward pass: B[i] = selection-node-i images from which the
         # requested output remains reachable along the selection path.
         depth = len(axes)
-        backward: list[set[TNode]] = [set() for _ in range(depth + 1)]
-        backward[depth] = {output} if output in partial[depth] else set()
+        backward: list[int] = [0] * (depth + 1)
+        backward[depth] = partial[depth] & (1 << out_idx)
         for i in range(depth - 1, -1, -1):
             axis = axes[i]
-            allowed = partial[i]
-            prev: set[TNode] = set()
-            for v in backward[i + 1]:
-                if axis is Axis.CHILD:
-                    if v.parent is not None and v.parent in allowed:
-                        prev.add(v.parent)
-                else:
-                    for anc in v.iter_ancestors():
-                        if anc in allowed:
-                            prev.add(anc)
-            backward[i] = prev
+            prev = 0
+            if axis is Axis.CHILD:
+                prev = ti.parents_of(backward[i + 1])
+            else:
+                prev = ti.ancestors_of(backward[i + 1])
+            backward[i] = prev & partial[i]
         if not backward[0]:
             return None
+        root_bit = 1 << (ti.n - 1)
         if weak:
-            anchor = next(iter(backward[0]))
-        elif self.tree_root in backward[0]:
-            anchor = self.tree_root
+            anchor = next(iter_bits(backward[0]))
+        elif backward[0] & root_bit:
+            anchor = ti.n - 1
         else:
             return None
 
@@ -274,43 +412,45 @@ class Matcher:
         chain = [anchor]
         for i, axis in enumerate(axes):
             current = chain[-1]
-            candidates: Iterable[TNode]
             if axis is Axis.CHILD:
-                candidates = current.children
+                candidates = ti.child_mask[current] & backward[i + 1]
             else:
-                candidates = current.iter_descendants()
-            step = next(u for u in candidates if u in backward[i + 1])
-            chain.append(step)
-        on_path = set(map(id, path))
-        for sel_node, image in zip(path, chain):
-            mapping[sel_node] = image
+                candidates = ti.desc_range(current) & backward[i + 1]
+            chain.append(next(iter_bits(candidates)))
+        for sel_node, image_idx in zip(path, chain):
+            mapping[sel_node] = ti.post[image_idx]
             for axis, pchild in sel_node.edges:
-                if id(pchild) in on_path:
+                if id(pchild) in self._on_path:
                     continue
-                self._extract_branch(axis, pchild, image, mapping)
+                self._extract_branch(axis, pchild, image_idx, mapping)
         return mapping
 
     def _extract_branch(
         self,
         axis: Axis,
         pnode: PNode,
-        above: TNode,
+        above: int,
         mapping: dict[PNode, TNode],
     ) -> None:
-        """Greedy extraction of a branch subtree below ``above``.
+        """Greedy extraction of a branch subtree below node index ``above``.
 
         Guaranteed to succeed because ``above`` passed ``_partial_sat``
         (hence a satisfying placement exists for every branch child).
+        Iterative, so deep branches never hit the recursion limit.
         """
-        candidates: Iterable[TNode]
-        if axis is Axis.CHILD:
-            candidates = above.children
-        else:
-            candidates = above.iter_descendants()
-        image = next(u for u in candidates if u in self._sat[id(pnode)])
-        mapping[pnode] = image
-        for child_axis, pchild in pnode.edges:
-            self._extract_branch(child_axis, pchild, image, mapping)
+        ti = self.tree_index
+        assert ti is not None
+        stack: list[tuple[Axis, PNode, int]] = [(axis, pnode, above)]
+        while stack:
+            cur_axis, cur_pnode, cur_above = stack.pop()
+            if cur_axis is Axis.CHILD:
+                candidates = ti.child_mask[cur_above]
+            else:
+                candidates = ti.desc_range(cur_above)
+            image_idx = next(iter_bits(candidates & self._sat[id(cur_pnode)]))
+            mapping[cur_pnode] = ti.post[image_idx]
+            for child_axis, pchild in cur_pnode.edges:
+                stack.append((child_axis, pchild, image_idx))
 
 
 # ----------------------------------------------------------------------

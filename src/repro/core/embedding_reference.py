@@ -1,0 +1,214 @@
+"""The seed ``set[TNode]``-based matching engine, kept as an oracle.
+
+This module preserves the original (pre-bitset) dynamic program exactly
+as it shipped in the seed: ``sat`` tables are Python sets of ``TNode``
+objects and every canonical model is rebuilt from scratch.  It is **not**
+used on any hot path — the production engine lives in
+:mod:`repro.core.embedding` and :mod:`repro.core.canonical` — but it is
+kept for two purposes:
+
+* the Hypothesis equivalence suite (``tests/test_bitset_equivalence.py``)
+  cross-validates the bitset engine against it on random pattern pairs
+  across all four fragments, and
+* the perf-guard benchmark (``benchmarks/bench_perf_guard.py``) measures
+  the bitset engine's speedup against this implementation, which *is*
+  the seed behaviour.
+
+Do not optimize this module; its value is being the unoptimized baseline.
+"""
+
+from __future__ import annotations
+
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..xmltree.node import TNode
+from ..xmltree.tree import XMLTree
+
+__all__ = ["ReferenceMatcher", "reference_evaluate", "reference_canonical_containment"]
+
+
+def _label_ok(pnode: PNode, tnode: TNode) -> bool:
+    return pnode.label == WILDCARD or pnode.label == tnode.label
+
+
+class ReferenceMatcher:
+    """The seed matcher: per-(pattern, tree) set-based ``sat`` tables."""
+
+    def __init__(self, pattern: Pattern, tree: XMLTree | TNode):
+        self.pattern = pattern
+        self.tree_root = tree.root if isinstance(tree, XMLTree) else tree
+        self._sat: dict[int, set[TNode]] = {}
+        self._tree_post: list[TNode] = []
+        self._partial_cache: dict[int, set[TNode]] = {}
+        if not pattern.is_empty:
+            self._tree_post = self._tree_postorder()
+            self._compute_sat()
+
+    def _postorder(self) -> list[PNode]:
+        order: list[PNode] = []
+
+        def rec(node: PNode) -> None:
+            for _, child in node.edges:
+                rec(child)
+            order.append(node)
+
+        rec(self.pattern.root)  # type: ignore[arg-type]
+        return order
+
+    def _compute_sat(self) -> None:
+        tree_postorder = self._tree_post
+        for pnode in self._postorder():
+            satisfying: set[TNode] = set()
+            below: dict[int, set[TNode]] = {}
+            for axis, pchild in pnode.edges:
+                if axis is Axis.DESCENDANT:
+                    below[id(pchild)] = self._exists_below(
+                        self._sat[id(pchild)], tree_postorder
+                    )
+            for tnode in tree_postorder:
+                if not _label_ok(pnode, tnode):
+                    continue
+                ok = True
+                for axis, pchild in pnode.edges:
+                    child_sat = self._sat[id(pchild)]
+                    if axis is Axis.CHILD:
+                        if not any(u in child_sat for u in tnode.children):
+                            ok = False
+                            break
+                    else:
+                        if tnode not in below[id(pchild)]:
+                            ok = False
+                            break
+                if ok:
+                    satisfying.add(tnode)
+            self._sat[id(pnode)] = satisfying
+
+    def _tree_postorder(self) -> list[TNode]:
+        order: list[TNode] = []
+
+        def rec(node: TNode) -> None:
+            for child in node.children:
+                rec(child)
+            order.append(node)
+
+        rec(self.tree_root)
+        return order
+
+    @staticmethod
+    def _exists_below(
+        target: set[TNode], tree_postorder: list[TNode]
+    ) -> set[TNode]:
+        result: set[TNode] = set()
+        for node in tree_postorder:
+            if any(child in target or child in result for child in node.children):
+                result.add(node)
+        return result
+
+    def has_embedding(self) -> bool:
+        if self.pattern.is_empty:
+            return False
+        return self.tree_root in self._sat[id(self.pattern.root)]
+
+    def has_weak_embedding(self) -> bool:
+        if self.pattern.is_empty:
+            return False
+        return bool(self._sat[id(self.pattern.root)])
+
+    def output_images(self, weak: bool = False) -> set[TNode]:
+        if self.pattern.is_empty:
+            return set()
+        path = self.pattern.selection_path()
+        axes = self.pattern.selection_axes()
+        partial = [self._partial_sat(node) for node in path]
+
+        if weak:
+            frontier = set(partial[0])
+        else:
+            frontier = (
+                {self.tree_root} if self.tree_root in partial[0] else set()
+            )
+        for axis, allowed in zip(axes, partial[1:]):
+            if not frontier:
+                break
+            if axis is Axis.CHILD:
+                next_frontier = {
+                    u for v in frontier for u in v.children if u in allowed
+                }
+            else:
+                next_frontier = self._descendants_of(frontier) & allowed
+            frontier = next_frontier
+        return set(frontier)
+
+    def _partial_sat(self, sel_node: PNode) -> set[TNode]:
+        cached = self._partial_cache.get(id(sel_node))
+        if cached is not None:
+            return cached
+        on_path = set(map(id, self.pattern.selection_path()))
+        tree_postorder = self._tree_post
+        result: set[TNode] = set()
+        branch_edges = [
+            (axis, child)
+            for axis, child in sel_node.edges
+            if id(child) not in on_path
+        ]
+        below: dict[int, set[TNode]] = {}
+        for axis, pchild in branch_edges:
+            if axis is Axis.DESCENDANT:
+                below[id(pchild)] = self._exists_below(
+                    self._sat[id(pchild)], tree_postorder
+                )
+        for tnode in tree_postorder:
+            if not _label_ok(sel_node, tnode):
+                continue
+            ok = True
+            for axis, pchild in branch_edges:
+                child_sat = self._sat[id(pchild)]
+                if axis is Axis.CHILD:
+                    if not any(u in child_sat for u in tnode.children):
+                        ok = False
+                        break
+                else:
+                    if tnode not in below[id(pchild)]:
+                        ok = False
+                        break
+            if ok:
+                result.add(tnode)
+        self._partial_cache[id(sel_node)] = result
+        return result
+
+    @staticmethod
+    def _descendants_of(frontier: set[TNode]) -> set[TNode]:
+        result: set[TNode] = set()
+        for v in frontier:
+            result.update(v.iter_descendants())
+        return result
+
+
+def reference_evaluate(
+    pattern: Pattern, tree: XMLTree | TNode, weak: bool = False
+) -> set[TNode]:
+    """``P(t)`` (or ``P^w(t)``) via the seed set-based matcher."""
+    return ReferenceMatcher(pattern, tree).output_images(weak=weak)
+
+
+def reference_canonical_containment(
+    p1: Pattern, p2: Pattern, weak: bool = False
+) -> bool:
+    """The seed canonical-model containment loop, verbatim.
+
+    Rebuilds the full canonical tree and a fresh :class:`ReferenceMatcher`
+    for every expansion vector — exactly what the seed's
+    ``canonical_containment`` did (minus instrumentation).
+    """
+    from .canonical import canonical_models
+    from .containment import expansion_bound
+
+    if p1.is_empty:
+        return True
+    if p2.is_empty:
+        return False
+    bound = expansion_bound(p2)
+    for model in canonical_models(p1, bound):
+        images = ReferenceMatcher(p2, model.tree).output_images(weak=weak)
+        if model.output not in images:
+            return False
+    return True

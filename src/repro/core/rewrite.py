@@ -36,7 +36,7 @@ from enum import Enum
 from ..patterns.ast import Axis, Pattern, WILDCARD
 from .candidates import natural_candidates
 from .composition import compose
-from .containment import equivalent
+from .containment import ContainmentBatch, contains
 from .decide import exhaustive_search
 from .selection import (
     last_descendant_selection_depth,
@@ -169,10 +169,18 @@ class RewriteSolver:
             return result
 
         # Step 2: natural candidates (at most two equivalence tests).
+        # The ``query ⊑ R ∘ V`` direction goes through a ContainmentBatch
+        # so the canonical-model setup for ``query`` is shared across the
+        # candidates — lazily, so a first-candidate hit (the common case)
+        # still performs a single equivalence test.
         result.candidates = natural_candidates(query, k)
+        backward = ContainmentBatch(query, max_models=self.max_models)
         for candidate in result.candidates:
             result.equivalence_tests += 1
-            if equivalent(compose(candidate, view), query, max_models=self.max_models):
+            composition = compose(candidate, view)
+            if backward.contains(composition) and contains(
+                composition, query, max_models=self.max_models
+            ):
                 result.status = RewriteStatus.FOUND
                 result.rewriting = candidate
                 result.rule = "natural-candidate"

@@ -157,7 +157,14 @@ class Pattern:
         Defaults to the root itself.
     """
 
-    __slots__ = ("root", "output", "_key_cache", "_path_cache", "_pmap_cache")
+    __slots__ = (
+        "root",
+        "output",
+        "_key_cache",
+        "_memo_cache",
+        "_path_cache",
+        "_pmap_cache",
+    )
 
     def __init__(self, root: PNode | None, output: PNode | None = None):
         if root is None:
@@ -167,6 +174,7 @@ class Pattern:
             self.root = root
             self.output = output if output is not None else root
         self._key_cache: tuple | None = None
+        self._memo_cache: int | None = None
         self._path_cache: list[PNode] | None = None
         self._pmap_cache: dict[PNode, tuple[Axis, PNode]] | None = None
         self._validate()
@@ -281,19 +289,17 @@ class Pattern:
         if self._path_cache is not None:
             return self._path_cache
 
-        def rec(node: PNode) -> list[PNode] | None:
-            if node is self.output:
-                return [node]
-            for _, child in node.edges:
-                tail = rec(child)
-                if tail is not None:
-                    return [node] + tail
-            return None
-
-        path = rec(self.root)  # type: ignore[arg-type]
-        assert path is not None, "output node must be reachable from the root"
-        self._path_cache = path
-        return path
+        # Iterative walk from the output up to the root via the parent
+        # map, so deep (chain) patterns never hit the recursion limit.
+        parent_map = self.parent_map()
+        path = [self.output]
+        node = self.output
+        while node is not self.root:
+            _, node = parent_map[node]  # type: ignore[index, assignment]
+            path.append(node)  # type: ignore[arg-type]
+        path.reverse()
+        self._path_cache = path  # type: ignore[assignment]
+        return self._path_cache  # type: ignore[return-value]
 
     def selection_axes(self) -> list[Axis]:
         """Axes of the ``d`` selection edges, top-down (empty if d = 0)."""
@@ -359,6 +365,7 @@ class Pattern:
         for old, new in mapping.items():
             new.label = fn(old)
         clone._key_cache = None
+        clone._memo_cache = None
         return clone
 
     # ------------------------------------------------------------------
@@ -379,6 +386,28 @@ class Pattern:
             key = _node_key(self.root, self.output)
         self._key_cache = key
         return key
+
+    def memo_key(self) -> int:
+        """A small interned token: equal tokens iff isomorphic patterns.
+
+        The first call computes a *flat* canonical signature (a string,
+        so hashing never recurses into nested tuples — deep chains are
+        safe) and interns it in a process-wide table; afterwards the
+        token is a cached ``int``, so hashing/equality for memoization
+        keys (e.g. the containment-result cache) is O(1) instead of
+        O(pattern size).
+        """
+        if self._memo_cache is None:
+            if self.root is None:
+                sig = "Υ"
+            else:
+                sig = _node_sig(self.root, self.output)
+            token = _MEMO_INTERN.get(sig)
+            if token is None:
+                token = len(_MEMO_INTERN)
+                _MEMO_INTERN[sig] = token
+            self._memo_cache = token
+        return self._memo_cache
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pattern):
@@ -415,11 +444,61 @@ class Pattern:
         return "\n".join(lines)
 
 
+#: Intern table behind :meth:`Pattern.memo_key`.  Grows with the number
+#: of *distinct* (up to isomorphism) patterns seen by the process.
+_MEMO_INTERN: dict[str, int] = {}
+
+
+def _node_sig(node: PNode, output: PNode | None) -> str:
+    """A flat canonical signature: equal strings iff isomorphic subtrees.
+
+    Children are ordered by ``(axis, signature)``, so the string is
+    invariant under branch reordering; labels are length-prefixed so
+    delimiters can never collide with label text.  Built iteratively
+    (strings hash without recursion, unlike nested tuples).
+    """
+    sigs: dict[int, str] = {}
+    stack: list[tuple[PNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            child_sigs = sorted(
+                f"{int(axis)}{sigs.pop(id(child))}" for axis, child in current.edges
+            )
+            marker = "!" if current is output else ""
+            sigs[id(current)] = (
+                f"({len(current.label)}:{current.label}{marker}"
+                + "".join(child_sigs)
+                + ")"
+            )
+        else:
+            stack.append((current, True))
+            for _, child in current.edges:
+                stack.append((child, False))
+    return sigs[id(node)]
+
+
 def _node_key(node: PNode, output: PNode | None) -> tuple:
-    child_keys = sorted(
-        (int(axis), _node_key(child, output)) for axis, child in node.edges
-    )
-    return (node.label, node is output, tuple(child_keys))
+    # Iterative postorder so deep chain patterns never hit the recursion
+    # limit (canonical keys are on the path of every containment test).
+    keys: dict[int, tuple] = {}
+    stack: list[tuple[PNode, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            child_keys = sorted(
+                (int(axis), keys[id(child)]) for axis, child in current.edges
+            )
+            keys[id(current)] = (
+                current.label,
+                current is output,
+                tuple(child_keys),
+            )
+        else:
+            stack.append((current, True))
+            for _, child in current.edges:
+                stack.append((child, False))
+    return keys[id(node)]
 
 
 #: The empty pattern Υ (Section 2.1).  A shared singleton value.

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.composition import compose
+from ..core.containment import contains, contains_all
 from ..core.embedding import evaluate, evaluate_forest
 from ..core.rewrite import RewriteResult, RewriteSolver, RewriteStatus
 from ..errors import ViewEngineError
@@ -81,7 +82,7 @@ class QueryEngine:
     def rewrite_against(self, query: Pattern, view_name: str) -> RewriteResult:
         """Find (and cache) a rewriting of ``query`` using a named view."""
         view = self.store.view(view_name)
-        key = (query.canonical_key(), view_name)
+        key = (query.memo_key(), view_name)
         if key not in self._decisions:
             self.stats.rewrites_attempted += 1
             decision = self.solver.solve(query, view.pattern)
@@ -90,6 +91,51 @@ class QueryEngine:
             self._decisions[key] = decision
         return self._decisions[key]
 
+    def _seed_equivalent_decisions(self, query: Pattern) -> None:
+        """Batched fast path: views equivalent to the query rewrite trivially.
+
+        ``V ≡ P`` means the single-node rewriting ``R = out(V)`` works
+        (``R ∘ V = V ≡ P``).  The forward containments ``P ⊑ V`` are
+        decided for *all* undecided views in one :func:`contains_all`
+        batch — sharing the canonical-model setup for ``P`` — and only
+        views passing it pay for the backward check.  Decisions found
+        here are cached so the full solver is never invoked for them.
+        """
+        undecided = [
+            view
+            for view in self.store.views()
+            if (query.memo_key(), view.name) not in self._decisions
+            and not view.pattern.is_empty
+        ]
+        if not undecided or query.is_empty:
+            return
+        # Respect the solver's canonical-model budget: without it this
+        # prefilter could enumerate an unbounded model space the solver
+        # itself would have refused.
+        budget = self.solver.max_models
+        forward = contains_all(
+            query,
+            [view.pattern for view in undecided],
+            max_models=budget,
+        )
+        for view, fwd in zip(undecided, forward):
+            if not fwd or not contains(view.pattern, query, max_models=budget):
+                continue
+            rewriting = Pattern.single(view.pattern.output.label)
+            decision = RewriteResult(
+                status=RewriteStatus.FOUND,
+                rewriting=rewriting,
+                rule="view-equivalent",
+                equivalence_tests=1,
+                trace=[
+                    f"view {view.name!r} is equivalent to the query; "
+                    "the single-node rewriting applies."
+                ],
+            )
+            self.stats.rewrites_attempted += 1
+            self.stats.rewrites_found += 1
+            self._decisions[(query.memo_key(), view.name)] = decision
+
     def plan(self, query: Pattern, document: str) -> QueryPlan:
         """Choose a plan: the usable view with the smallest stored forest.
 
@@ -97,6 +143,7 @@ class QueryEngine:
         """
         best: QueryPlan | None = None
         best_size: int | None = None
+        self._seed_equivalent_decisions(query)
         for view in self.store.views():
             decision = self.rewrite_against(query, view.name)
             if not decision.found:

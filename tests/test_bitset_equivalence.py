@@ -1,0 +1,153 @@
+"""Property tests: the bitset engine agrees with the seed set engine.
+
+The seed's ``set[TNode]``-based matcher and from-scratch canonical-model
+loop are preserved verbatim in :mod:`repro.core.embedding_reference`.
+These Hypothesis suites assert that the bitset ``Matcher``, the
+Gray-code :class:`~repro.core.canonical.CanonicalEngine` and the batched
+:func:`~repro.core.containment.contains_all` API produce *identical*
+results on random inputs across all four fragments of ``XP{//,[],*}``
+(full, ``XP{//,[]}``, ``XP{//,*}``, ``XP{[],*}``) — 500+ random pattern
+pairs per full run.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canonical import (
+    canonical_models,
+    gray_vectors,
+    incremental_models,
+)
+from repro.core.containment import (
+    canonical_containment,
+    contains,
+    contains_all,
+    weakly_contains,
+)
+from repro.core.embedding import Matcher
+from repro.core.embedding_reference import (
+    ReferenceMatcher,
+    reference_canonical_containment,
+)
+
+from .strategies import patterns, path_patterns, trees
+
+_SETTINGS = dict(max_examples=60, deadline=None)
+
+# The four fragments: (wildcards allowed, descendant edges allowed, linear).
+FRAGMENTS = {
+    "full": dict(wildcard=True, desc=True),
+    "no-wildcard": dict(wildcard=False, desc=True),
+    "no-descendant": dict(wildcard=True, desc=False),
+}
+
+
+class TestMatcherAgreement:
+    @given(patterns(max_size=4), trees(max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_output_images_match(self, pattern, tree):
+        bitset = Matcher(pattern, tree)
+        reference = ReferenceMatcher(pattern, tree)
+        assert bitset.output_images() == reference.output_images()
+        assert bitset.output_images(weak=True) == reference.output_images(
+            weak=True
+        )
+        assert bitset.has_embedding() == reference.has_embedding()
+        assert bitset.has_weak_embedding() == reference.has_weak_embedding()
+
+    @given(path_patterns(max_depth=4), trees(max_size=6))
+    @settings(**_SETTINGS)
+    def test_linear_patterns_match(self, pattern, tree):
+        assert Matcher(pattern, tree).output_images() == ReferenceMatcher(
+            pattern, tree
+        ).output_images()
+
+
+class TestContainmentAgreement:
+    """Bitset canonical engine vs the seed loop, per fragment.
+
+    3 fragment classes × 60 examples + 60 linear + 80 matcher pairs
+    ≥ 500 random pairs cross-validated per full run.
+    """
+
+    @pytest.mark.parametrize("fragment", sorted(FRAGMENTS))
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_canonical_matches_seed(self, fragment, data):
+        kwargs = FRAGMENTS[fragment]
+        p1 = data.draw(patterns(max_size=4, **kwargs))
+        p2 = data.draw(patterns(max_size=4, **kwargs))
+        assert canonical_containment(p1, p2) == reference_canonical_containment(
+            p1, p2
+        )
+        assert canonical_containment(
+            p1, p2, weak=True
+        ) == reference_canonical_containment(p1, p2, weak=True)
+
+    @given(path_patterns(max_depth=3), path_patterns(max_depth=3))
+    @settings(**_SETTINGS)
+    def test_linear_fragment_matches_seed(self, p1, p2):
+        # XP{//,*} (no branches): the fourth fragment.
+        assert canonical_containment(p1, p2) == reference_canonical_containment(
+            p1, p2
+        )
+
+    @given(patterns(max_size=4), patterns(max_size=4))
+    @settings(**_SETTINGS)
+    def test_dispatch_matches_seed(self, p1, p2):
+        assert contains(p1, p2, use_cache=False) == reference_canonical_containment(
+            p1, p2
+        )
+
+
+class TestBatchedApi:
+    @given(
+        patterns(max_size=4),
+        patterns(max_size=3),
+        patterns(max_size=3),
+        patterns(max_size=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_contains_all_matches_pointwise(self, p, v1, v2, v3):
+        views = [v1, v2, v3]
+        assert contains_all(p, views) == [contains(p, v) for v in views]
+
+    @given(patterns(max_size=4), patterns(max_size=3), patterns(max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_contains_all_weak_matches_pointwise(self, p, v1, v2):
+        views = [v1, v2]
+        assert contains_all(p, views, weak=True) == [
+            weakly_contains(p, v) for v in views
+        ]
+
+
+class TestIncrementalEnumeration:
+    @given(patterns(max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_models_match_fresh(self, pattern):
+        bound = 3
+        fresh = {
+            (m.tree.structure_key(), tuple(sorted(m.expansion.values())))
+            for m in canonical_models(pattern, bound)
+        }
+        incremental = {
+            (m.tree.structure_key(), tuple(sorted(m.expansion.values())))
+            for m in incremental_models(pattern, bound)
+        }
+        assert fresh == incremental
+
+    @pytest.mark.parametrize("digits,base", [(0, 3), (1, 4), (2, 3), (3, 2), (2, 1)])
+    def test_gray_vectors_cover_product_once(self, digits, base):
+        seen = list(gray_vectors(digits, base))
+        expected = set(itertools.product(range(base), repeat=digits))
+        assert len(seen) == len(expected)
+        assert set(seen) == expected
+        for a, b in zip(seen, seen[1:]):
+            diffs = [(x, y) for x, y in zip(a, b) if x != y]
+            assert len(diffs) == 1
+            assert abs(diffs[0][0] - diffs[0][1]) == 1

@@ -196,7 +196,91 @@ class TestDispatchAndCache:
             "canonical_tests": 0,
             "canonical_models_checked": 0,
             "cache_hits": 0,
+            "cache_evictions": 0,
         }
+
+
+class TestCacheLimit:
+    def test_lru_evicts_and_counts(self, p):
+        from repro.core.containment import cache_limit, set_cache_limit
+
+        original = cache_limit()
+        try:
+            set_cache_limit(2)
+            clear_cache()
+            STATS.reset()
+            contains(p("a/b"), p("a//b"))
+            contains(p("a/c"), p("a//c"))
+            contains(p("a/d"), p("a//d"))  # evicts the a/b entry
+            assert STATS.cache_evictions == 1
+            contains(p("a/b"), p("a//b"))  # recomputed, not a hit
+            assert STATS.cache_hits == 0
+            contains(p("a/b"), p("a//b"))  # now cached again
+            assert STATS.cache_hits == 1
+        finally:
+            set_cache_limit(original)
+
+    def test_lru_recency_order(self, p):
+        from repro.core.containment import cache_limit, set_cache_limit
+
+        original = cache_limit()
+        try:
+            set_cache_limit(2)
+            clear_cache()
+            STATS.reset()
+            contains(p("a/b"), p("a//b"))
+            contains(p("a/c"), p("a//c"))
+            contains(p("a/b"), p("a//b"))  # hit: a/b becomes most recent
+            contains(p("a/d"), p("a//d"))  # evicts a/c, not a/b
+            hits = STATS.cache_hits
+            contains(p("a/b"), p("a//b"))
+            assert STATS.cache_hits == hits + 1
+        finally:
+            set_cache_limit(original)
+
+    def test_bad_limit_rejected(self):
+        from repro.core.containment import set_cache_limit
+
+        with pytest.raises(ValueError):
+            set_cache_limit(0)
+
+
+class TestContainsAll:
+    def test_matches_pointwise(self, p):
+        from repro.core.containment import contains_all
+
+        query = p("a/b/c")
+        views = [p("a//c"), p("a/b"), p("x"), Pattern.empty(), p("a/*/c")]
+        assert contains_all(query, views) == [
+            contains(query, v) for v in views
+        ]
+
+    def test_empty_query_contained_everywhere(self, p):
+        from repro.core.containment import contains_all
+
+        assert contains_all(Pattern.empty(), [p("a"), p("b")]) == [True, True]
+
+    def test_results_land_in_cache(self, p):
+        from repro.core.containment import contains_all
+
+        clear_cache()
+        STATS.reset()
+        query = p("a//*/e[x]")
+        views = [p("a/*//e[x]"), p("a//e")]
+        first = contains_all(query, views)
+        assert STATS.cache_hits == 0
+        assert contains_all(query, views) == first
+        assert STATS.cache_hits == len(views)
+
+
+class TestStatsRouting:
+    def test_weak_contains_counts_hom_once(self, p):
+        # Regression: the seed bumped hom_tests manually *and* inside the
+        # engine, double-counting every weak fast-path probe.
+        clear_cache()
+        STATS.reset()
+        assert weakly_contains(p("a/b"), p("a//b"))
+        assert STATS.hom_tests == 1
 
 
 class TestEquivalence:

@@ -1,0 +1,78 @@
+"""Regression tests: deep chain patterns must not hit the recursion limit.
+
+The seed implementation used recursive traversals in ``hom_exists``,
+``Matcher`` postorders, ``canonical_key`` and ``selection_path``; a chain
+pattern longer than ``sys.getrecursionlimit()`` crashed every containment
+test.  All of these are iterative now — exercised here with a 5,000-node
+chain (well past the default limit of 1,000).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.canonical import CanonicalEngine, tau
+from repro.core.containment import canonical_containment, contains, hom_exists
+from repro.core.embedding import Matcher, evaluate, find_embedding
+from repro.patterns.ast import Axis, Pattern, PNode
+
+CHAIN = 5_000
+
+
+def _chain_pattern(length: int = CHAIN, desc_at: int | None = None) -> Pattern:
+    """A child-edge chain of ``length`` distinct labels (output at leaf).
+
+    ``desc_at`` turns the edge *into* that depth into a descendant edge.
+    """
+    root = PNode("l0")
+    node = root
+    for i in range(1, length):
+        axis = Axis.DESCENDANT if desc_at == i else Axis.CHILD
+        node = node.add(axis, PNode(f"l{i}"))
+    return Pattern(root, node)
+
+
+class TestDeepChains:
+    def test_chain_exceeds_recursion_limit(self):
+        assert CHAIN > sys.getrecursionlimit()
+
+    def test_hom_exists_on_deep_chain(self):
+        pattern = _chain_pattern()
+        assert hom_exists(pattern, _chain_pattern())
+        # A mismatched leaf label refutes.
+        other = _chain_pattern()
+        other.output.label = "zzz"  # type: ignore[union-attr]
+        assert not hom_exists(pattern, other)
+
+    def test_contains_on_deep_chain(self):
+        # Wildcard-free: dispatches through canonical_key + hom engine.
+        assert contains(_chain_pattern(), _chain_pattern())
+
+    def test_matcher_on_deep_tree(self):
+        pattern = _chain_pattern()
+        model = tau(pattern)
+        matcher = Matcher(pattern, model.tree)
+        assert matcher.has_embedding()
+        assert evaluate(pattern, model.tree) == {model.output}
+
+    def test_witness_on_deep_tree(self):
+        pattern = _chain_pattern(length=2_000)
+        model = tau(pattern)
+        mapping = find_embedding(pattern, model.tree)
+        assert mapping is not None
+        assert mapping[pattern.output] is model.output  # type: ignore[index]
+
+    def test_canonical_engine_on_deep_chain(self):
+        # One descendant edge mid-chain; the engine must build and splice
+        # a ~2,000-node maximal tree without recursion.
+        pattern = _chain_pattern(length=2_000, desc_at=1_000)
+        engine = CanonicalEngine(pattern, max_length=3)
+        assert engine.total == 3
+        count = sum(1 for _ in engine.models())
+        assert count == 3
+
+    def test_canonical_containment_on_deep_chain(self):
+        pattern = _chain_pattern(length=2_000, desc_at=1_000)
+        container = Pattern(PNode("l0", [(Axis.DESCENDANT, PNode("l1999"))]))
+        container = Pattern(container.root, container.root.edges[0][1])
+        assert canonical_containment(pattern, container)
