@@ -1,16 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-all
+.PHONY: test test-fast bench bench-replay bench-all
 
 ## Tier-1 test suite (the driver's gate).
 test:
 	$(PYTHON) -m pytest -x -q
 
+## Quick suite: deselects the long-running Hypothesis property suites.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
 ## Perf guard: records ops/sec + speedup-vs-seed to BENCH_containment.json.
 ## Compare the JSON against the committed baseline before/after a PR.
 bench:
 	$(PYTHON) benchmarks/bench_perf_guard.py
+
+## Workload replay + batched advisor: records queries/sec and the
+## batched-vs-solver advisor speedup to BENCH_replay.json.
+bench-replay:
+	$(PYTHON) benchmarks/bench_replay.py
 
 ## Full paper-claims benchmark battery (pytest-benchmark based).
 bench-all:

@@ -1,0 +1,173 @@
+"""Replay + advisor benchmark — throughput and speedups to JSON.
+
+Two measurements, recorded to ``BENCH_replay.json`` at the repo root so
+future PRs can diff against this PR's baseline:
+
+* **Stream replay throughput**: seeded query streams driven end to end
+  through :func:`repro.workloads.replay.replay_workload` (advisor-warmed
+  views, planning, execution), reported as queries/sec, with the
+  view-plan ratio and decision-cache hits that explain it.
+
+* **Advisor speedup**: the batched scorer (one ``ContainmentBatch`` per
+  distinct query, prefix fast path, Prop 3.1 prechecks as lazy-greedy
+  upper bounds, cross-call engine LRU) against the pre-batching
+  reference (one ``RewriteSolver.solve`` per (query, candidate) pair,
+  engine LRU disabled — the PR 1 state), on 30-query descendant-heavy
+  streams.  Both paths must select identical views; the acceptance
+  floor is an aggregate 3x.
+
+Run with:
+
+    make bench-replay     # or: PYTHONPATH=src python benchmarks/bench_replay.py
+
+The pytest wrapper runs the same measurements with soft assertions
+(thresholds deliberately below recorded values to avoid flaking on slow
+machines).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.containment import (
+    DEFAULT_ENGINE_CACHE_LIMIT,
+    clear_cache,
+    set_engine_cache_limit,
+)
+from repro.patterns.random import PatternConfig
+from repro.views.advisor import advise_views
+from repro.workloads.replay import ReplayConfig, replay_workload
+from repro.workloads.streams import StreamConfig, query_stream
+from repro.xmltree.generate import random_tree
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_replay.json"
+
+#: Replay scenarios: seeded streams with temporal locality.
+REPLAY_SCENARIOS = {
+    "stream-200x8-doc300": ReplayConfig(
+        stream=StreamConfig(length=200, templates=8), document_size=300
+    ),
+    "stream-500x12-doc600": ReplayConfig(
+        stream=StreamConfig(length=500, templates=12), document_size=600
+    ),
+}
+REPLAY_SEED = 7
+
+#: Advisor comparison: 30-query descendant-heavy workloads (the coNP
+#: regime the batching discipline targets), over a fixed seed range.
+ADVISOR_STREAM = StreamConfig(
+    length=30,
+    templates=6,
+    pattern=PatternConfig(depth=4, branch_prob=0.4, descendant_prob=0.5),
+)
+ADVISOR_SEEDS = range(6)
+ADVISOR_MAX_VIEWS = 4
+ADVISOR_SAMPLE_SIZE = 400
+
+
+def measure_replay() -> dict[str, dict]:
+    results: dict[str, dict] = {}
+    for name, config in REPLAY_SCENARIOS.items():
+        report = replay_workload(config, seed=REPLAY_SEED)
+        results[name] = {
+            "queries": report.queries,
+            "distinct_queries": report.distinct_queries,
+            "queries_per_sec": round(report.queries_per_sec, 2),
+            "view_plan_ratio": round(report.view_plan_ratio, 3),
+            "decision_cache_hits": report.engine["decision_cache_hits"],
+            "p50_latency_ms": round(report.latency_ms(0.5), 4),
+            "p95_latency_ms": round(report.latency_ms(0.95), 4),
+            "views": report.views,
+        }
+    return results
+
+
+def measure_advisor() -> dict:
+    sample = random_tree(ADVISOR_SAMPLE_SIZE, seed=3)
+    per_seed: dict[str, dict] = {}
+    total_solver = total_batched = 0.0
+    for seed in ADVISOR_SEEDS:
+        workload = query_stream(ADVISOR_STREAM, seed=seed)
+        # Baseline: per-pair solver scoring without the cross-call
+        # engine LRU — the pre-batching (PR 1) advisor stack.
+        set_engine_cache_limit(0)
+        clear_cache()
+        t0 = time.perf_counter()
+        reference = advise_views(
+            workload, max_views=ADVISOR_MAX_VIEWS, sample=sample,
+            scorer="solver",
+        )
+        solver_time = time.perf_counter() - t0
+        # Batched: containment-only scoring with the engine LRU on.
+        set_engine_cache_limit(DEFAULT_ENGINE_CACHE_LIMIT)
+        clear_cache()
+        t0 = time.perf_counter()
+        batched = advise_views(
+            workload, max_views=ADVISOR_MAX_VIEWS, sample=sample
+        )
+        batched_time = time.perf_counter() - t0
+
+        assert batched.stats.solver_calls == 0, "batched path called the solver"
+        agree = (
+            [v.pattern for v in batched.views]
+            == [v.pattern for v in reference.views]
+            and batched.coverage == reference.coverage
+            and batched.uncovered == reference.uncovered
+        )
+        assert agree, f"scorer disagreement on seed {seed}"
+        total_solver += solver_time
+        total_batched += batched_time
+        per_seed[str(seed)] = {
+            "solver_sec": round(solver_time, 4),
+            "batched_sec": round(batched_time, 4),
+            "speedup": round(solver_time / batched_time, 2),
+        }
+    return {
+        "workload": "30-query stream, depth-4 patterns, descendant_prob=0.5",
+        "per_seed": per_seed,
+        "total_solver_sec": round(total_solver, 4),
+        "total_batched_sec": round(total_batched, 4),
+        "aggregate_speedup": round(total_solver / total_batched, 2),
+    }
+
+
+def run_benchmark() -> dict:
+    return {
+        "generated_by": "benchmarks/bench_replay.py",
+        "python": platform.python_version(),
+        "replay": measure_replay(),
+        "advisor": measure_advisor(),
+    }
+
+
+def write_report(report: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# pytest wrapper (soft smoke assertions)
+# ----------------------------------------------------------------------
+
+def test_bench_replay(report=None):
+    result = run_benchmark()
+    write_report(result)
+    if report is not None:
+        report(json.dumps(result, indent=2))
+    # Recorded aggregate speedup is well above 3; assert the acceptance
+    # floor itself (per-seed numbers may flake under load, the aggregate
+    # is stable).
+    assert result["advisor"]["aggregate_speedup"] >= 3.0, result["advisor"]
+    for name, row in result["replay"].items():
+        assert row["queries_per_sec"] > 50, (name, row)
+        assert row["view_plan_ratio"] > 0.3, (name, row)
+
+
+if __name__ == "__main__":
+    outcome = run_benchmark()
+    write_report(outcome)
+    print(json.dumps(outcome, indent=2))
+    print(f"\nwritten to {RESULT_PATH}")

@@ -400,12 +400,19 @@ class CanonicalEngine:
     # ------------------------------------------------------------------
     # Bitset embedding test
     # ------------------------------------------------------------------
+    #: Bound on ``_q_cache``: engines outlive single containment calls
+    #: via the cross-call LRU, so the per-engine container cache must not
+    #: grow with the number of distinct containers ever tested.
+    _Q_CACHE_LIMIT = 64
+
     def _postorder_of(self, q: Pattern) -> list[PNode]:
         # The cache entry holds ``q`` itself: keying by id() alone would
         # let a garbage-collected pattern's address be reused by a new
         # one, serving a stale postorder (and a wrong verdict).
         cached = self._q_cache.get(id(q))
         if cached is None or cached[0] is not q:
+            if len(self._q_cache) >= self._Q_CACHE_LIMIT:
+                self._q_cache.clear()
             cached = (q, pattern_postorder(q.root))  # type: ignore[arg-type]
             self._q_cache[id(q)] = cached
         return cached[1]

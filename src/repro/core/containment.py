@@ -45,6 +45,16 @@ maximal canonical tree, its postorder numbering, descendant ranges and
 ancestor masks) across every view with the same expansion bound.  The
 rewriting solver and the view-answering engine use it to amortize
 per-view setup.
+
+On top of the per-batch sharing sits a **cross-call engine LRU**: built
+:class:`~repro.core.canonical.CanonicalEngine` instances are cached
+process-wide, keyed by ``(memo_key(p1), bound)``, so workloads that
+probe the same query repeatedly — the view advisor scoring many
+candidates per workload query, the query engine replaying a stream with
+temporal locality — pay the maximal-tree construction once per distinct
+``(query, bound)`` instead of once per call.  The LRU is bounded
+(default 256 engines, see :func:`set_engine_cache_limit`; 0 disables
+it), and hits/evictions are counted in :class:`ContainmentStats`.
 """
 
 from __future__ import annotations
@@ -74,6 +84,8 @@ __all__ = [
     "clear_cache",
     "set_cache_limit",
     "cache_limit",
+    "set_engine_cache_limit",
+    "engine_cache_limit",
     "expansion_bound",
 ]
 
@@ -87,6 +99,8 @@ class ContainmentStats:
     canonical_models_checked: int = 0
     cache_hits: int = 0
     cache_evictions: int = 0
+    engine_cache_hits: int = 0
+    engine_cache_evictions: int = 0
 
     def reset(self) -> None:
         self.hom_tests = 0
@@ -94,6 +108,8 @@ class ContainmentStats:
         self.canonical_models_checked = 0
         self.cache_hits = 0
         self.cache_evictions = 0
+        self.engine_cache_hits = 0
+        self.engine_cache_evictions = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -102,6 +118,8 @@ class ContainmentStats:
             "canonical_models_checked": self.canonical_models_checked,
             "cache_hits": self.cache_hits,
             "cache_evictions": self.cache_evictions,
+            "engine_cache_hits": self.engine_cache_hits,
+            "engine_cache_evictions": self.engine_cache_evictions,
         }
 
 
@@ -111,14 +129,24 @@ STATS = ContainmentStats()
 #: Default bound on the number of memoized containment results.
 DEFAULT_CACHE_LIMIT = 65_536
 
+#: Default bound on the number of cached canonical engines.  Engines hold
+#: a maximal canonical tree each, so the bound is much tighter than the
+#: boolean-result LRU's.
+DEFAULT_ENGINE_CACHE_LIMIT = 256
+
 # Result cache keyed by (memo_key(p1), memo_key(p2), weak), LRU-bounded.
 _CACHE: OrderedDict[tuple, bool] = OrderedDict()
 _CACHE_LIMIT = DEFAULT_CACHE_LIMIT
 
+# Cross-call engine cache keyed by (memo_key(p1), bound), LRU-bounded.
+_ENGINES: OrderedDict[tuple[int, int], CanonicalEngine] = OrderedDict()
+_ENGINE_CACHE_LIMIT = DEFAULT_ENGINE_CACHE_LIMIT
+
 
 def clear_cache() -> None:
-    """Drop all memoized containment results."""
+    """Drop all memoized containment results and cached engines."""
     _CACHE.clear()
+    _ENGINES.clear()
 
 
 def set_cache_limit(limit: int) -> None:
@@ -141,6 +169,65 @@ def set_cache_limit(limit: int) -> None:
 def cache_limit() -> int:
     """The current containment-result LRU bound."""
     return _CACHE_LIMIT
+
+
+def set_engine_cache_limit(limit: int) -> None:
+    """Bound the cross-call engine LRU to ``limit`` entries.
+
+    ``0`` disables cross-call engine reuse entirely (every containment
+    call builds fresh engines; per-batch sharing inside one
+    :class:`ContainmentBatch` still applies).  Lowering the limit evicts
+    immediately, counted in ``STATS.engine_cache_evictions``.
+    """
+    global _ENGINE_CACHE_LIMIT
+    if limit < 0:
+        raise ValueError("engine cache limit must be >= 0")
+    _ENGINE_CACHE_LIMIT = limit
+    while len(_ENGINES) > _ENGINE_CACHE_LIMIT:
+        _ENGINES.popitem(last=False)
+        STATS.engine_cache_evictions += 1
+
+
+def engine_cache_limit() -> int:
+    """The current engine-LRU bound (0 = cross-call reuse disabled)."""
+    return _ENGINE_CACHE_LIMIT
+
+
+def _engine_for(
+    p1: Pattern,
+    bound: int,
+    local: dict[int, CanonicalEngine] | None = None,
+) -> CanonicalEngine:
+    """A canonical engine for ``(p1, bound)``, shared where possible.
+
+    Lookup order: the caller's per-batch ``local`` dict (no stats, no
+    LRU bookkeeping), then the process-wide LRU (a hit counts as
+    ``engine_cache_hits``), else a fresh build that is stored in both.
+    Reuse is sound because :meth:`CanonicalEngine.models` re-enumerates
+    from τ on every call, and correct across isomorphic patterns because
+    ``memo_key`` identifies patterns up to isomorphism.
+    """
+    if local is not None:
+        engine = local.get(bound)
+        if engine is not None:
+            return engine
+    if _ENGINE_CACHE_LIMIT > 0:
+        key = (p1.memo_key(), bound)
+        engine = _ENGINES.get(key)
+        if engine is not None:
+            _ENGINES.move_to_end(key)
+            STATS.engine_cache_hits += 1
+        else:
+            engine = CanonicalEngine(p1, bound)
+            _ENGINES[key] = engine
+            while len(_ENGINES) > _ENGINE_CACHE_LIMIT:
+                _ENGINES.popitem(last=False)
+                STATS.engine_cache_evictions += 1
+    else:
+        engine = CanonicalEngine(p1, bound)
+    if local is not None:
+        local[bound] = engine
+    return engine
 
 
 def _cache_get(key: tuple) -> bool | None:
@@ -331,7 +418,7 @@ def canonical_containment(
                 f"containment test needs {total} canonical models "
                 f"(budget {max_models})"
             )
-    engine = CanonicalEngine(p1, bound)
+    engine = _engine_for(p1, bound)
     return _canonical_check(engine, p2, weak=weak, max_models=max_models)
 
 
@@ -350,7 +437,8 @@ def _decide(
 
     ``engines`` is an optional per-batch cache of
     :class:`CanonicalEngine` instances keyed by expansion bound, so a
-    batch of containers reuses all ``p1``-side setup.
+    batch of containers reuses all ``p1``-side setup; engines are drawn
+    from (and feed) the cross-call LRU either way.
     """
     if not weak:
         if homomorphism_complete(p1, p2):
@@ -364,13 +452,7 @@ def _decide(
             return True
     STATS.canonical_tests += 1
     bound = expansion_bound(p2)
-    if engines is not None:
-        engine = engines.get(bound)
-        if engine is None:
-            engine = CanonicalEngine(p1, bound)
-            engines[bound] = engine
-    else:
-        engine = CanonicalEngine(p1, bound)
+    engine = _engine_for(p1, bound, local=engines)
     return _canonical_check(engine, p2, weak=weak, max_models=max_models)
 
 

@@ -221,7 +221,12 @@ class Matcher:
     underlying tree object was mutated.
     """
 
-    def __init__(self, pattern: Pattern, tree: XMLTree | TNode):
+    def __init__(
+        self,
+        pattern: Pattern,
+        tree: XMLTree | TNode,
+        tree_index: TreeIndex | None = None,
+    ):
         self.pattern = pattern
         self.tree_root = tree.root if isinstance(tree, XMLTree) else tree
         self._sat: dict[int, int] = {}
@@ -230,7 +235,13 @@ class Matcher:
         if not pattern.is_empty:
             self._pattern_post = pattern_postorder(pattern.root)  # type: ignore[arg-type]
             self._on_path = set(map(id, pattern.selection_path()))
-            self.tree_index = TreeIndex(self.tree_root)
+            # A caller-supplied index amortizes the tree-side tables
+            # across patterns (view materialization, advisor costing,
+            # replay); it must describe this very tree object.
+            if tree_index is not None and tree_index.root is self.tree_root:
+                self.tree_index = tree_index
+            else:
+                self.tree_index = TreeIndex(self.tree_root)
             self._compute_sat()
 
     # ------------------------------------------------------------------
@@ -457,13 +468,21 @@ class Matcher:
 # Module-level conveniences
 # ----------------------------------------------------------------------
 
-def evaluate(pattern: Pattern, tree: XMLTree | TNode, weak: bool = False) -> set[TNode]:
+def evaluate(
+    pattern: Pattern,
+    tree: XMLTree | TNode,
+    weak: bool = False,
+    index: TreeIndex | None = None,
+) -> set[TNode]:
     """Apply ``pattern`` to ``tree``: the paper's ``P(t)`` (or ``P^w(t)``).
 
     Returns the set of output images as tree nodes (each representing the
     subtree of ``tree`` rooted there).  The empty pattern yields ∅.
+    ``index`` may carry a prebuilt :class:`TreeIndex` for ``tree`` to
+    amortize the tree tables across many patterns; it is ignored (and
+    rebuilt) if it does not describe ``tree``'s root object.
     """
-    return Matcher(pattern, tree).output_images(weak=weak)
+    return Matcher(pattern, tree, tree_index=index).output_images(weak=weak)
 
 
 def evaluate_forest(

@@ -46,7 +46,42 @@ from .selection import (
 from .stability import is_in_gnf, is_stable
 from .transform import extend, label_descendant, lift_output
 
-__all__ = ["RewriteStatus", "RewriteResult", "RewriteSolver", "find_rewriting"]
+__all__ = [
+    "RewriteStatus",
+    "RewriteResult",
+    "RewriteSolver",
+    "find_rewriting",
+    "precheck_refutation",
+]
+
+
+def precheck_refutation(query: Pattern, view: Pattern) -> str | None:
+    """The Proposition 3.1 prechecks: a refutation rule name, or None.
+
+    Purely syntactic — no containment tests.  Shared by the solver's
+    step 1 and the view advisor's candidate screening, so the two can
+    never drift apart.
+    """
+    d, k = query.depth, view.depth
+    if k > d:
+        return "prop-3.1-depth"
+    qpath = query.selection_path()
+    vpath = view.selection_path()
+    # For i < k, the i-node of R ∘ V is the i-node of V; equivalent
+    # patterns have identical selection-node labels (Prop 3.1 Part 3).
+    for i in range(k):
+        if qpath[i].label != vpath[i].label:
+            return "prop-3.1-label-mismatch"
+    # At depth k the merged node's label is glb(root(R), out(V)).
+    target = qpath[k].label
+    view_out = vpath[k].label
+    if view_out != WILDCARD and target == WILDCARD:
+        # §4: "if the label of the k-node of P is ∗ and that of
+        # out(V) is not, then a rewriting does not exist".
+        return "prop-3.1-wildcard-k-node"
+    if view_out != WILDCARD and view_out != target:
+        return "prop-3.1-output-label"
+    return None
 
 
 class RewriteStatus(Enum):
@@ -239,26 +274,7 @@ class RewriteSolver:
     # Step 1: Prop 3.1 prechecks
     # ------------------------------------------------------------------
     def _precheck(self, query: Pattern, view: Pattern) -> str | None:
-        d, k = query.depth, view.depth
-        if k > d:
-            return "prop-3.1-depth"
-        qpath = query.selection_path()
-        vpath = view.selection_path()
-        # For i < k, the i-node of R ∘ V is the i-node of V; equivalent
-        # patterns have identical selection-node labels (Prop 3.1 Part 3).
-        for i in range(k):
-            if qpath[i].label != vpath[i].label:
-                return "prop-3.1-label-mismatch"
-        # At depth k the merged node's label is glb(root(R), out(V)).
-        target = qpath[k].label
-        view_out = vpath[k].label
-        if view_out != WILDCARD and target == WILDCARD:
-            # §4: "if the label of the k-node of P is ∗ and that of
-            # out(V) is not, then a rewriting does not exist".
-            return "prop-3.1-wildcard-k-node"
-        if view_out != WILDCARD and view_out != target:
-            return "prop-3.1-output-label"
-        return None
+        return precheck_refutation(query, view)
 
     # ------------------------------------------------------------------
     # Step 3: certificates

@@ -44,18 +44,34 @@ class QueryPlan:
 
 @dataclass
 class EngineStats:
-    """Counters over the engine's lifetime."""
+    """Counters over the engine's lifetime.
+
+    ``decision_cache_hits`` counts rewrite decisions served from the
+    per-engine cache instead of the solver — the number the replay
+    harness reports as plan-cache effectiveness on repeating streams.
+    """
 
     direct_answers: int = 0
     view_answers: int = 0
     rewrites_attempted: int = 0
     rewrites_found: int = 0
+    decision_cache_hits: int = 0
 
     def reset(self) -> None:
         self.direct_answers = 0
         self.view_answers = 0
         self.rewrites_attempted = 0
         self.rewrites_found = 0
+        self.decision_cache_hits = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "direct_answers": self.direct_answers,
+            "view_answers": self.view_answers,
+            "rewrites_attempted": self.rewrites_attempted,
+            "rewrites_found": self.rewrites_found,
+            "decision_cache_hits": self.decision_cache_hits,
+        }
 
 
 class QueryEngine:
@@ -83,13 +99,16 @@ class QueryEngine:
         """Find (and cache) a rewriting of ``query`` using a named view."""
         view = self.store.view(view_name)
         key = (query.memo_key(), view_name)
-        if key not in self._decisions:
-            self.stats.rewrites_attempted += 1
-            decision = self.solver.solve(query, view.pattern)
-            if decision.found:
-                self.stats.rewrites_found += 1
-            self._decisions[key] = decision
-        return self._decisions[key]
+        cached = self._decisions.get(key)
+        if cached is not None:
+            self.stats.decision_cache_hits += 1
+            return cached
+        self.stats.rewrites_attempted += 1
+        decision = self.solver.solve(query, view.pattern)
+        if decision.found:
+            self.stats.rewrites_found += 1
+        self._decisions[key] = decision
+        return decision
 
     def _seed_equivalent_decisions(self, query: Pattern) -> None:
         """Batched fast path: views equivalent to the query rewrite trivially.
@@ -165,7 +184,7 @@ class QueryEngine:
     def answer_direct(self, query: Pattern, document: str) -> set[TNode]:
         """Evaluate ``P(t)`` directly on the document."""
         self.stats.direct_answers += 1
-        return evaluate(query, self.store.document(document))
+        return self.store.evaluate(query, document)
 
     def answer_with_view(
         self, query: Pattern, view_name: str, document: str

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.embedding import evaluate
+from ..core.embedding import TreeIndex, evaluate
 from ..errors import UnknownViewError, ViewEngineError
 from ..patterns.ast import Pattern
 from ..xmltree.node import TNode
@@ -59,11 +59,36 @@ class ViewStore:
         store.add_document("bib", tree)
         store.define_view("entries", parse_pattern("dblp/*[author]"))
         forest = store.view_answers("entries", "bib")
+
+    Mutation contract: registered documents are treated as immutable.
+    After mutating a document tree in place, call :meth:`refresh` —
+    it re-materializes every view *and* rebuilds the cached tree index
+    that :meth:`evaluate` (and so direct answering) runs on.
     """
 
     def __init__(self) -> None:
         self._documents: dict[str, XMLTree] = {}
         self._views: dict[str, MaterializedView] = {}
+        # Per-document bitset indexes, shared across every pattern
+        # evaluated on that document (materialization, direct answering,
+        # replay).  Dropped by :meth:`refresh` (document mutation).
+        self._indexes: dict[str, TreeIndex] = {}
+
+    def _index(self, name: str) -> TreeIndex:
+        index = self._indexes.get(name)
+        if index is None:
+            index = TreeIndex(self.document(name).root)
+            self._indexes[name] = index
+        return index
+
+    def evaluate(self, pattern: Pattern, document: str):
+        """``pattern(t)`` on a named document, via the cached tree index.
+
+        Correct as long as the document has not been mutated since the
+        last :meth:`add_document`/:meth:`refresh` (see the class-level
+        mutation contract).
+        """
+        return evaluate(pattern, self.document(document), index=self._index(document))
 
     # ------------------------------------------------------------------
     # Documents
@@ -73,8 +98,9 @@ class ViewStore:
         if name in self._documents:
             raise ViewEngineError(f"document {name!r} already registered")
         self._documents[name] = tree
+        index = self._index(name)
         for view in self._views.values():
-            view.results[name] = frozenset(evaluate(view.pattern, tree))
+            view.results[name] = frozenset(evaluate(view.pattern, tree, index=index))
 
     def document(self, name: str) -> XMLTree:
         """Look up a document by name."""
@@ -96,7 +122,9 @@ class ViewStore:
             raise ViewEngineError(f"view {name!r} already defined")
         view = MaterializedView(name=name, pattern=pattern)
         for doc_name, tree in self._documents.items():
-            view.results[doc_name] = frozenset(evaluate(pattern, tree))
+            view.results[doc_name] = frozenset(
+                evaluate(pattern, tree, index=self._index(doc_name))
+            )
         self._views[name] = view
         return view
 
@@ -126,7 +154,16 @@ class ViewStore:
         return view.results.get(document, frozenset())
 
     def refresh(self, document: str) -> None:
-        """Re-materialize every view over one document (after mutation)."""
+        """Rebuild the document's index and re-materialize every view.
+
+        Required after any in-place mutation of the document tree, even
+        for stores without views — the cached index behind
+        :meth:`evaluate` describes the pre-mutation shape.
+        """
         tree = self.document(document)
+        self._indexes.pop(document, None)  # the old index describes the old shape
+        index = self._index(document)
         for view in self._views.values():
-            view.results[document] = frozenset(evaluate(view.pattern, tree))
+            view.results[document] = frozenset(
+                evaluate(view.pattern, tree, index=index)
+            )

@@ -1,18 +1,28 @@
-"""Workload generators: rewriting instances and query streams.
+"""Workload generators: rewriting instances, query streams, and replay.
 
 * :mod:`instances` — ``(P, V)`` populations for the rewriting benchmarks
   (rewritable, mutated, and condition-targeted instances).
 * :mod:`streams` — query streams with temporal locality for the cache
-  and view-answering scenarios.
+  and view-answering scenarios (with per-element provenance).
+* :mod:`replay` — end-to-end stream replay through the view engine with
+  throughput/latency/cache reporting.
 """
 
 from .instances import InstanceConfig, condition_instance, make_instances
-from .streams import StreamConfig, query_stream
+from .replay import ReplayConfig, ReplayReport, replay_stream, replay_workload
+from .streams import StreamConfig, StreamQuery, StreamSample, query_stream, sample_stream
 
 __all__ = [
     "InstanceConfig",
     "condition_instance",
     "make_instances",
+    "ReplayConfig",
+    "ReplayReport",
+    "replay_stream",
+    "replay_workload",
     "StreamConfig",
+    "StreamQuery",
+    "StreamSample",
     "query_stream",
+    "sample_stream",
 ]

@@ -1,0 +1,263 @@
+"""Workload replay: drive query streams through the view engine.
+
+The paper motivates rewriting with two traffic-shaped applications —
+query caching and answering query streams from materialized views
+(§1, §2.4).  This harness is the first end-to-end measurement of that
+scenario in this codebase: it builds a document, asks the (batched)
+view advisor for a view set over the stream's template pool,
+materializes those views in a :class:`~repro.views.store.ViewStore`,
+replays the stream through :class:`~repro.views.engine.QueryEngine`,
+and reports throughput, latency percentiles and cache effectiveness.
+
+Determinism contract: for a fixed ``ReplayConfig``, seed and cache
+configuration, every counter in :meth:`ReplayReport.counters` is
+reproducible bit-for-bit — the harness resets the containment caches
+and stats before running, so cache hit/miss counts do not depend on
+what ran earlier in the process.  The two LRU limits *are* process
+state, so :func:`replay_workload` records them in the report's
+``containment`` section: runs under different cache configurations
+compare unequal instead of spuriously "nondeterministic".  Wall-clock
+figures (throughput, latencies) are of course machine-dependent and
+excluded from :meth:`ReplayReport.counters`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.containment import (
+    STATS as CONTAINMENT_STATS,
+    cache_limit,
+    clear_cache,
+    engine_cache_limit,
+)
+from ..core.rewrite import RewriteSolver
+from ..patterns.ast import Pattern
+from ..views.advisor import advise_views
+from ..views.engine import QueryEngine
+from ..views.store import ViewStore
+from ..xmltree.generate import random_tree
+from .streams import StreamConfig, StreamSample, sample_stream
+
+__all__ = ["ReplayConfig", "ReplayReport", "replay_stream", "replay_workload"]
+
+#: Document name used by :func:`replay_workload`'s store.
+DOCUMENT = "replay-doc"
+
+
+@dataclass
+class ReplayConfig:
+    """Everything :func:`replay_workload` needs to build a scenario.
+
+    Attributes
+    ----------
+    stream:
+        Shape of the query stream.
+    document_size:
+        Node count of the generated document.
+    max_views:
+        View budget handed to the advisor.
+    advise:
+        Materialize advisor-selected views before replaying; with False
+        the store is empty and every query answers directly (the
+        baseline the benchmark compares against).
+    verify:
+        Cross-check every answer against direct evaluation (Prop 2.4);
+        mismatches are counted in the report.  Costs one extra direct
+        evaluation per query.
+    """
+
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    document_size: int = 300
+    max_views: int = 4
+    advise: bool = True
+    verify: bool = False
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one stream replay.
+
+    All integer fields are deterministic for a fixed config and seed
+    (see :meth:`counters`); timing fields are machine-dependent.
+    """
+
+    queries: int = 0
+    distinct_queries: int = 0
+    view_plans: int = 0
+    direct_plans: int = 0
+    answers_total: int = 0
+    verified_mismatches: int = 0
+    views: list[str] = field(default_factory=list)
+    plans_by_view: dict[str, int] = field(default_factory=dict)
+    engine: dict[str, int] = field(default_factory=dict)
+    containment: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Replay throughput (0.0 for an empty or instantaneous run)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.elapsed_seconds
+
+    @property
+    def view_plan_ratio(self) -> float:
+        """Fraction of queries answered from a materialized view."""
+        return self.view_plans / self.queries if self.queries else 0.0
+
+    def latency_ms(self, quantile: float) -> float:
+        """Latency quantile (nearest-rank) over the per-query timings."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = math.ceil(quantile * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(rank, 0))]
+
+    def counters(self) -> dict:
+        """The deterministic portion of the report (for regression tests)."""
+        return {
+            "queries": self.queries,
+            "distinct_queries": self.distinct_queries,
+            "view_plans": self.view_plans,
+            "direct_plans": self.direct_plans,
+            "answers_total": self.answers_total,
+            "verified_mismatches": self.verified_mismatches,
+            "views": list(self.views),
+            "plans_by_view": dict(self.plans_by_view),
+            "engine": dict(self.engine),
+            "containment": dict(self.containment),
+        }
+
+    def summary(self) -> str:
+        """A human-readable multi-line digest."""
+        lines = [
+            f"replayed {self.queries} queries "
+            f"({self.distinct_queries} distinct) "
+            f"in {self.elapsed_seconds:.3f}s "
+            f"= {self.queries_per_sec:,.0f} q/s",
+            f"plans: {self.view_plans} via views, "
+            f"{self.direct_plans} direct "
+            f"(view ratio {self.view_plan_ratio:.0%})",
+            f"latency ms: p50={self.latency_ms(0.5):.3f} "
+            f"p95={self.latency_ms(0.95):.3f} "
+            f"max={max(self.latencies_ms) if self.latencies_ms else 0.0:.3f}",
+            f"decision cache hits: {self.engine.get('decision_cache_hits', 0)}",
+        ]
+        if self.views:
+            lines.append("views: " + ", ".join(self.views))
+        if self.verified_mismatches:
+            lines.append(
+                f"!! {self.verified_mismatches} answers differed from "
+                "direct evaluation"
+            )
+        return "\n".join(lines)
+
+
+def replay_stream(
+    engine: QueryEngine,
+    queries: Sequence[Pattern],
+    document: str,
+    verify: bool = False,
+) -> ReplayReport:
+    """Replay a query sequence through an engine, one plan+execute each.
+
+    The engine's own counters (and the containment stats) are snapshotted
+    around the run, so the report reflects exactly this replay even on a
+    warm engine.
+    """
+    report = ReplayReport()
+    engine_before = engine.stats.snapshot()
+    containment_before = CONTAINMENT_STATS.snapshot()
+    distinct: set[int] = set()
+    for query in queries:
+        t0 = time.perf_counter()
+        plan = engine.plan(query, document)
+        if plan.kind == "view":
+            assert plan.view_name is not None
+            answers = engine.answer_with_view(query, plan.view_name, document)
+            report.view_plans += 1
+            report.plans_by_view[plan.view_name] = (
+                report.plans_by_view.get(plan.view_name, 0) + 1
+            )
+        else:
+            answers = engine.answer_direct(query, document)
+            report.direct_plans += 1
+        report.latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+        report.queries += 1
+        report.answers_total += len(answers)
+        distinct.add(query.memo_key())
+        # Only view-plan answers can differ from direct evaluation
+        # (direct plans *are* a store evaluation), so only they are
+        # worth the extra Prop 2.4 cross-check — done outside the timed
+        # window so throughput and latencies describe the same work.
+        if (
+            verify
+            and plan.kind == "view"
+            and answers != engine.store.evaluate(query, document)
+        ):
+            report.verified_mismatches += 1
+    # Elapsed is the sum of the per-query timings, so throughput and the
+    # latency percentiles describe exactly the same measured work.
+    report.elapsed_seconds = sum(report.latencies_ms) / 1000.0
+    report.distinct_queries = len(distinct)
+    engine_after = engine.stats.snapshot()
+    containment_after = CONTAINMENT_STATS.snapshot()
+    report.engine = {
+        key: engine_after[key] - engine_before[key] for key in engine_after
+    }
+    report.containment = {
+        key: containment_after[key] - containment_before[key]
+        for key in containment_after
+    }
+    return report
+
+
+def replay_workload(
+    config: ReplayConfig | None = None,
+    seed: int | None = None,
+) -> ReplayReport:
+    """Build the full scenario for one seed and replay it.
+
+    Document, stream and advisor all derive deterministically from
+    ``seed``; the containment caches are cleared first so the report's
+    :meth:`~ReplayReport.counters` are reproducible run-to-run.
+    """
+    config = config or ReplayConfig()
+    clear_cache()
+    CONTAINMENT_STATS.reset()
+
+    document = random_tree(config.document_size, seed=seed)
+    sample: StreamSample = sample_stream(config.stream, seed=seed)
+
+    store = ViewStore()
+    store.add_document(DOCUMENT, document)
+    chosen: list[str] = []
+    if config.advise:
+        # Advise on the template pool — the stream's generating
+        # distribution — weighted exactly as the stream drew it.
+        advice = advise_views(
+            sample.templates,
+            weights=sample.template_weights(),
+            max_views=config.max_views,
+            sample=document,
+        )
+        for rank, view in enumerate(advice.views):
+            name = f"view-{rank}"
+            store.define_view(name, view.pattern)
+            chosen.append(name)
+
+    engine = QueryEngine(store, solver=RewriteSolver(use_fallback=False))
+    report = replay_stream(
+        engine, sample.queries, DOCUMENT, verify=config.verify
+    )
+    report.views = chosen
+    # The LRU limits shape the cache counters; record them so reports
+    # from different cache configurations never compare equal.
+    report.containment["cache_limit"] = cache_limit()
+    report.containment["engine_cache_limit"] = engine_cache_limit()
+    return report

@@ -10,17 +10,40 @@ queries recur, and many queries are specializations of earlier ones.
   template (Zipf-weighted), a specialization of a template (an extra
   branch or a deepened selection path — typically answerable from a
   cached prefix view), or a fresh random query.
+
+:func:`sample_stream` returns the same stream with full *provenance* —
+the template pool and, per element, its kind (repeat / specialize /
+fresh) and template index.  The replay harness uses the provenance to
+warm views from the template pool, and the metamorphic property tests
+use it to check the stream's contract (specializations really specialize
+their template, kind frequencies track the configured probabilities).
 """
 
 from __future__ import annotations
 
 import random as _random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..errors import WorkloadError
+from ..patterns.ast import Pattern, PNode
 from ..patterns.random import PatternConfig, random_pattern
 
-__all__ = ["StreamConfig", "query_stream"]
+__all__ = [
+    "StreamConfig",
+    "StreamQuery",
+    "StreamSample",
+    "query_stream",
+    "sample_stream",
+    "zipf_weights",
+]
+
+#: Provenance kinds of a stream element.
+KINDS = ("repeat", "specialize", "fresh")
+
+
+def zipf_weights(count: int) -> list[float]:
+    """The template weights the stream draws with: rank r weighs 1/(r+1)."""
+    return [1.0 / (rank + 1) for rank in range(count)]
 
 
 def _rng(seed_or_rng: int | _random.Random | None) -> _random.Random:
@@ -43,8 +66,101 @@ class StreamConfig:
     specialize_prob: float = 0.3
     pattern: PatternConfig | None = None
 
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise WorkloadError("stream length must be >= 0")
+        if self.templates < 1:
+            raise WorkloadError("template pool must be nonempty")
+        if not 0.0 <= self.repeat_prob <= 1.0:
+            raise WorkloadError("repeat_prob must be in [0, 1]")
+        if not 0.0 <= self.specialize_prob <= 1.0:
+            raise WorkloadError("specialize_prob must be in [0, 1]")
+        if self.repeat_prob + self.specialize_prob > 1.0:
+            raise WorkloadError("repeat_prob + specialize_prob must be <= 1")
+
     def resolved_pattern(self) -> PatternConfig:
         return self.pattern or PatternConfig(depth=3, branch_prob=0.4)
+
+
+@dataclass
+class StreamQuery:
+    """One stream element with its provenance.
+
+    Attributes
+    ----------
+    query:
+        The query pattern.
+    kind:
+        ``"repeat"``, ``"specialize"`` or ``"fresh"``.
+    template_index:
+        Index into the template pool for repeats and specializations;
+        None for fresh queries.
+    """
+
+    query: Pattern
+    kind: str
+    template_index: int | None = None
+
+
+@dataclass
+class StreamSample:
+    """A generated stream plus the template pool that shaped it."""
+
+    config: StreamConfig
+    templates: list[Pattern] = field(default_factory=list)
+    entries: list[StreamQuery] = field(default_factory=list)
+
+    @property
+    def queries(self) -> list[Pattern]:
+        """The bare query sequence (what :func:`query_stream` returns)."""
+        return [entry.query for entry in self.entries]
+
+    def template_weights(self) -> list[float]:
+        """The Zipf weights the stream drew its templates with."""
+        return zipf_weights(len(self.templates))
+
+    def kind_counts(self) -> dict[str, int]:
+        """How many elements of each provenance kind the stream holds."""
+        counts = {kind: 0 for kind in KINDS}
+        for entry in self.entries:
+            counts[entry.kind] += 1
+        return counts
+
+
+def sample_stream(
+    config: StreamConfig | None = None,
+    seed: int | _random.Random | None = None,
+) -> StreamSample:
+    """Generate a query stream with temporal locality, with provenance."""
+    config = config or StreamConfig()
+    rng = _rng(seed)
+    pattern_config = config.resolved_pattern()
+    templates = [random_pattern(pattern_config, rng) for _ in range(config.templates)]
+    weights = zipf_weights(len(templates))
+    indices = range(len(templates))
+
+    sample = StreamSample(config=config, templates=templates)
+    for _ in range(config.length):
+        roll = rng.random()
+        if roll < config.repeat_prob:
+            index = rng.choices(indices, weights=weights, k=1)[0]
+            sample.entries.append(
+                StreamQuery(templates[index], "repeat", index)
+            )
+        elif roll < config.repeat_prob + config.specialize_prob:
+            index = rng.choices(indices, weights=weights, k=1)[0]
+            sample.entries.append(
+                StreamQuery(
+                    _specialize(templates[index], pattern_config, rng),
+                    "specialize",
+                    index,
+                )
+            )
+        else:
+            sample.entries.append(
+                StreamQuery(random_pattern(pattern_config, rng), "fresh")
+            )
+    return sample
 
 
 def query_stream(
@@ -52,23 +168,7 @@ def query_stream(
     seed: int | _random.Random | None = None,
 ) -> list[Pattern]:
     """Generate a query stream with temporal locality."""
-    config = config or StreamConfig()
-    rng = _rng(seed)
-    pattern_config = config.resolved_pattern()
-    templates = [random_pattern(pattern_config, rng) for _ in range(config.templates)]
-    weights = [1.0 / (rank + 1) for rank in range(len(templates))]
-
-    stream: list[Pattern] = []
-    for _ in range(config.length):
-        roll = rng.random()
-        if roll < config.repeat_prob:
-            stream.append(rng.choices(templates, weights=weights, k=1)[0])
-        elif roll < config.repeat_prob + config.specialize_prob:
-            template = rng.choices(templates, weights=weights, k=1)[0]
-            stream.append(_specialize(template, pattern_config, rng))
-        else:
-            stream.append(random_pattern(pattern_config, rng))
-    return stream
+    return sample_stream(config, seed).queries
 
 
 def _specialize(
@@ -78,7 +178,8 @@ def _specialize(
 
     Either grows the selection path below the output (the new query's
     prefix is the template — the classic cache-hit shape), or adds a
-    branch to the output node.
+    branch to the output node (the new query is *contained* in the
+    template).
     """
     copy, mapping = template.copy_with_map()
     out = mapping[template.output]  # type: ignore[index]

@@ -1,0 +1,125 @@
+"""Property-based tests for the batched view advisor.
+
+The advisor's central contract: every view it selects must *actually
+answer* each query it claims to cover — checked here against the full
+:class:`RewriteSolver` (fallback included), which never saw the pair on
+the batched scoring path — and selections must respect the budget.
+A second suite pins the batched scorer to the pre-batching per-pair
+reference implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.composition import compose
+from repro.core.containment import equivalent
+from repro.core.rewrite import RewriteSolver
+from repro.views.advisor import advise_views
+from repro.workloads.streams import StreamConfig, query_stream
+
+from .strategies import patterns
+
+pytestmark = pytest.mark.slow
+
+
+@st.composite
+def workloads(draw, max_queries: int = 5, max_size: int = 4):
+    """A small random workload with positive weights."""
+    count = draw(st.integers(min_value=1, max_value=max_queries))
+    queries = [draw(patterns(max_size=max_size)) for _ in range(count)]
+    weights = [
+        draw(st.floats(min_value=0.25, max_value=8.0, allow_nan=False))
+        for _ in range(count)
+    ]
+    return queries, weights
+
+
+class TestCoverageSoundness:
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_claimed_coverage_is_solver_verified(self, workload):
+        queries, weights = workload
+        result = advise_views(queries, weights=weights, max_views=3)
+        solver = RewriteSolver()
+        for view_index, view in enumerate(result.views):
+            for query_index in view.covered:
+                decision = solver.solve(queries[query_index], view.pattern)
+                assert decision.found, (
+                    f"view {view.pattern!r} claims query "
+                    f"{queries[query_index]!r} but the solver disagrees"
+                )
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_recorded_rewritings_verify(self, workload):
+        queries, weights = workload
+        result = advise_views(queries, weights=weights, max_views=3)
+        for view in result.views:
+            for query_index, rewriting in view.rewritings.items():
+                composition = compose(rewriting, view.pattern)
+                assert equivalent(composition, queries[query_index])
+
+    @given(workloads(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_budget_and_partition(self, workload, max_views):
+        queries, weights = workload
+        result = advise_views(queries, weights=weights, max_views=max_views)
+        assert len(result.views) <= max_views
+        covered = set(result.coverage)
+        assert covered | set(result.uncovered) == set(range(len(queries)))
+        assert covered.isdisjoint(result.uncovered)
+        for query_index, view_index in result.coverage.items():
+            assert 0 <= view_index < len(result.views)
+            assert query_index in result.views[view_index].covered
+
+    @given(workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_no_solver_calls_on_batched_path(self, workload):
+        queries, weights = workload
+        result = advise_views(queries, weights=weights, max_views=3)
+        assert result.stats.solver_calls == 0
+
+
+class TestAgreementWithReference:
+    @given(workloads(max_queries=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_matches_solver_scorer(self, workload):
+        queries, weights = workload
+        batched = advise_views(queries, weights=weights, max_views=3)
+        reference = advise_views(
+            queries, weights=weights, max_views=3, scorer="solver"
+        )
+        assert [v.pattern for v in batched.views] == [
+            v.pattern for v in reference.views
+        ]
+        assert batched.coverage == reference.coverage
+        assert batched.uncovered == reference.uncovered
+        assert [v.covered for v in batched.views] == [
+            v.covered for v in reference.views
+        ]
+
+
+class TestStreamWorkloads:
+    """The advisor on its production input: stream workloads."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_thirty_query_stream_no_solver_calls(self, seed):
+        workload = query_stream(
+            StreamConfig(length=30, templates=6), seed=seed
+        )
+
+        class _ForbiddenSolver(RewriteSolver):
+            def solve(self, query, view):  # pragma: no cover - must not run
+                raise AssertionError(
+                    "batched advisor must not issue per-pair solver calls"
+                )
+
+        result = advise_views(
+            workload, max_views=4, solver=_ForbiddenSolver()
+        )
+        assert result.stats.solver_calls == 0
+        assert result.stats.candidates > 0
+        # The stream repeats queries by design: folding must show up.
+        assert result.stats.distinct_queries < len(workload)

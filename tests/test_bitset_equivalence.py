@@ -18,6 +18,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+pytestmark = pytest.mark.slow
+
 from repro.core.canonical import (
     canonical_models,
     gray_vectors,

@@ -197,6 +197,8 @@ class TestDispatchAndCache:
             "canonical_models_checked": 0,
             "cache_hits": 0,
             "cache_evictions": 0,
+            "engine_cache_hits": 0,
+            "engine_cache_evictions": 0,
         }
 
 

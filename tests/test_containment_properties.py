@@ -8,7 +8,10 @@ exactly with the decision procedure.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
+
+pytestmark = pytest.mark.slow
 
 from repro.core.containment import (
     canonical_containment,

@@ -1,0 +1,146 @@
+"""Regression tests for the cross-call canonical-engine LRU.
+
+The LRU (``core.containment``) caches ``CanonicalEngine`` instances
+across containment calls, keyed by ``(memo_key(p1), bound)``.  These
+tests pin its observable contract: hits/evictions are counted in
+``ContainmentStats``, verdicts are identical with the cache disabled,
+and it composes with (but is independent of) the boolean-result LRU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import containment as C
+from repro.core.containment import (
+    DEFAULT_ENGINE_CACHE_LIMIT,
+    STATS,
+    clear_cache,
+    contains,
+    engine_cache_limit,
+    set_cache_limit,
+    set_engine_cache_limit,
+)
+from repro.patterns.parse import parse_pattern
+
+#: Pairs that genuinely reach the canonical engine (not decided by the
+#: homomorphism fast paths): hom-incomplete fragment mixes.
+CANONICAL_PAIRS = [
+    ("a//*/e", "a/*//e"),
+    ("a/*//e", "a//*/e"),
+    ("a//*/*/e", "a/*/*//e"),
+    ("a//*[b]/c", "a/*//c"),
+]
+
+
+@pytest.fixture(autouse=True)
+def _restore_limits():
+    """Leave both LRU limits as this test found them."""
+    cache_before = C.cache_limit()
+    engine_before = engine_cache_limit()
+    yield
+    set_cache_limit(cache_before)
+    set_engine_cache_limit(engine_before)
+    clear_cache()
+
+
+def _probe(pair, use_cache=False):
+    p1, p2 = (parse_pattern(side) for side in pair)
+    return contains(p1, p2, use_cache=use_cache)
+
+
+class TestEngineCacheCounters:
+    def test_repeat_probe_hits_engine_cache(self):
+        STATS.reset()
+        _probe(CANONICAL_PAIRS[0])
+        assert STATS.engine_cache_hits == 0
+        _probe(CANONICAL_PAIRS[0])
+        # The boolean-result cache was bypassed, so the second probe
+        # rebuilt the decision — from a cached engine.
+        assert STATS.engine_cache_hits >= 1
+
+    def test_isomorphic_patterns_share_engines(self):
+        STATS.reset()
+        # Distinct Pattern objects, same memo key: one engine.
+        assert _probe(CANONICAL_PAIRS[0]) == _probe(CANONICAL_PAIRS[0])
+        assert STATS.engine_cache_hits >= 1
+
+    def test_evictions_are_counted(self):
+        set_engine_cache_limit(1)
+        clear_cache()
+        STATS.reset()
+        _probe(CANONICAL_PAIRS[0])
+        _probe(CANONICAL_PAIRS[3])  # different p1: evicts the first
+        assert STATS.engine_cache_evictions >= 1
+        _probe(CANONICAL_PAIRS[0])  # must rebuild, not hit
+        assert STATS.engine_cache_hits == 0
+
+    def test_lowering_limit_evicts_immediately(self):
+        for pair in CANONICAL_PAIRS[:3]:
+            _probe(pair)
+        STATS.reset()
+        set_engine_cache_limit(1)
+        assert STATS.engine_cache_evictions >= 1
+
+    def test_clear_cache_drops_engines(self):
+        _probe(CANONICAL_PAIRS[0])
+        clear_cache()
+        STATS.reset()
+        _probe(CANONICAL_PAIRS[0])
+        assert STATS.engine_cache_hits == 0
+
+    def test_snapshot_includes_engine_counters(self):
+        snap = STATS.snapshot()
+        assert "engine_cache_hits" in snap
+        assert "engine_cache_evictions" in snap
+
+
+class TestDisabledCacheEquivalence:
+    def test_limit_zero_disables_and_preserves_results(self):
+        set_engine_cache_limit(0)
+        assert engine_cache_limit() == 0
+        clear_cache()
+        STATS.reset()
+        disabled = [_probe(pair) for pair in CANONICAL_PAIRS for _ in (0, 1)]
+        assert STATS.engine_cache_hits == 0
+
+        set_engine_cache_limit(DEFAULT_ENGINE_CACHE_LIMIT)
+        clear_cache()
+        STATS.reset()
+        enabled = [_probe(pair) for pair in CANONICAL_PAIRS for _ in (0, 1)]
+        assert STATS.engine_cache_hits >= len(CANONICAL_PAIRS)
+        assert disabled == enabled
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            set_engine_cache_limit(-1)
+
+
+class TestResultCacheInterplay:
+    def test_result_hits_never_touch_engines(self):
+        STATS.reset()
+        _probe(CANONICAL_PAIRS[0], use_cache=True)
+        hits_after_first = STATS.engine_cache_hits
+        _probe(CANONICAL_PAIRS[0], use_cache=True)
+        # Second call is a boolean-result hit: no engine lookup at all.
+        assert STATS.cache_hits >= 1
+        assert STATS.engine_cache_hits == hits_after_first
+
+    def test_tiny_result_lru_leans_on_engine_cache(self):
+        # With a 1-entry result LRU, alternating pairs evict each other's
+        # verdicts, so decisions recompute — but engines survive in the
+        # engine LRU and serve every recomputation.
+        set_cache_limit(1)
+        clear_cache()
+        warm = [_probe(pair, use_cache=True) for pair in CANONICAL_PAIRS[:2]]
+        STATS.reset()
+        again = [_probe(pair, use_cache=True) for pair in CANONICAL_PAIRS[:2]]
+        assert again == warm
+        assert STATS.cache_hits == 0  # verdicts were evicted...
+        assert STATS.engine_cache_hits >= 2  # ...but engines were not
+
+    def test_result_cache_limit_unchanged_by_engine_limit(self):
+        before = C.cache_limit()
+        set_engine_cache_limit(7)
+        assert C.cache_limit() == before
+        assert engine_cache_limit() == 7

@@ -1,0 +1,130 @@
+"""Tests for the workload replay harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewrite import RewriteSolver
+from repro.views.engine import QueryEngine
+from repro.views.store import ViewStore
+from repro.workloads.replay import (
+    DOCUMENT,
+    ReplayConfig,
+    ReplayReport,
+    replay_stream,
+    replay_workload,
+)
+from repro.workloads.streams import StreamConfig, sample_stream
+from repro.xmltree.generate import random_tree
+
+CONFIG = ReplayConfig(
+    stream=StreamConfig(length=60, templates=5),
+    document_size=150,
+    max_views=3,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return replay_workload(CONFIG, seed=11)
+
+
+class TestDeterminism:
+    def test_same_seed_same_counters(self, report):
+        again = replay_workload(CONFIG, seed=11)
+        assert again.counters() == report.counters()
+
+    def test_different_seed_different_stream(self, report):
+        other = replay_workload(CONFIG, seed=12)
+        assert other.counters() != report.counters()
+
+    def test_counters_exclude_timing(self, report):
+        counters = report.counters()
+        assert "elapsed_seconds" not in counters
+        assert "latencies_ms" not in counters
+
+
+class TestAnswersMatchDirect:
+    def test_replay_answers_equal_direct_evaluation(self):
+        verified = replay_workload(
+            ReplayConfig(
+                stream=CONFIG.stream,
+                document_size=CONFIG.document_size,
+                max_views=CONFIG.max_views,
+                verify=True,
+            ),
+            seed=11,
+        )
+        assert verified.verified_mismatches == 0
+        assert verified.view_plans > 0  # the check exercised view plans
+
+    def test_replay_stream_against_prepared_engine(self):
+        document = random_tree(120, seed=5)
+        sample = sample_stream(
+            StreamConfig(length=30, templates=4), seed=5
+        )
+        store = ViewStore()
+        store.add_document("doc", document)
+        store.define_view("tpl-0", sample.templates[0])
+        engine = QueryEngine(store, solver=RewriteSolver(use_fallback=False))
+        outcome = replay_stream(engine, sample.queries, "doc", verify=True)
+        assert outcome.queries == 30
+        assert outcome.verified_mismatches == 0
+        assert outcome.view_plans + outcome.direct_plans == 30
+
+
+class TestReportShape:
+    def test_basic_counters(self, report):
+        assert report.queries == CONFIG.stream.length
+        assert 0 < report.distinct_queries <= report.queries
+        assert report.view_plans + report.direct_plans == report.queries
+        assert sum(report.plans_by_view.values()) == report.view_plans
+        assert set(report.plans_by_view) <= set(report.views)
+        assert len(report.latencies_ms) == report.queries
+
+    def test_throughput_and_latency_helpers(self, report):
+        assert report.queries_per_sec > 0
+        assert report.elapsed_seconds > 0
+        assert 0 <= report.view_plan_ratio <= 1
+        assert report.latency_ms(0.5) <= report.latency_ms(0.95)
+        assert report.latency_ms(0.95) <= max(report.latencies_ms)
+
+    def test_engine_and_containment_deltas(self, report):
+        assert report.engine["direct_answers"] == report.direct_plans
+        assert report.engine["view_answers"] == report.view_plans
+        # A repeating stream must reuse cached rewrite decisions.
+        assert report.engine["decision_cache_hits"] > 0
+
+    def test_summary_mentions_throughput(self, report):
+        text = report.summary()
+        assert "q/s" in text
+        assert str(report.queries) in text
+
+    def test_empty_report_is_well_defined(self):
+        empty = ReplayReport()
+        assert empty.queries_per_sec == 0.0
+        assert empty.view_plan_ratio == 0.0
+        assert empty.latency_ms(0.95) == 0.0
+
+
+class TestAdviseToggle:
+    def test_without_advice_everything_is_direct(self):
+        config = ReplayConfig(
+            stream=StreamConfig(length=25, templates=4),
+            document_size=100,
+            advise=False,
+        )
+        outcome = replay_workload(config, seed=3)
+        assert outcome.views == []
+        assert outcome.view_plans == 0
+        assert outcome.direct_plans == 25
+
+    def test_advice_produces_view_plans(self, report):
+        assert report.views
+        assert report.view_plans > 0
+        assert report.view_plan_ratio > 0.3
+
+    def test_document_name_constant(self):
+        # The workload store registers the document under the module
+        # constant so callers can address it after a replay.
+        assert isinstance(DOCUMENT, str) and DOCUMENT

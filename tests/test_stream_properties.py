@@ -1,0 +1,154 @@
+"""Property-based tests for the stream generator's contract.
+
+Metamorphic properties via :func:`sample_stream`'s provenance: repeats
+are literally their template, specializations are *contained* in their
+template (branch case) or extend its selection path (deepening case,
+where the template is the specialization's prefix), kind frequencies
+track the configured probabilities, and every stream query survives a
+serialize/parse round trip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.containment import contains
+from repro.core.selection import sub_le
+from repro.errors import WorkloadError
+from repro.patterns.parse import parse_pattern
+from repro.patterns.random import PatternConfig
+from repro.patterns.serialize import to_xpath
+from repro.workloads.streams import StreamConfig, query_stream, sample_stream
+
+pytestmark = pytest.mark.slow
+
+#: Small patterns keep the containment checks exact and fast.
+SMALL = PatternConfig(depth=2, branch_prob=0.3, max_branch_size=2)
+
+
+@st.composite
+def stream_probs(draw):
+    repeat = draw(st.floats(min_value=0.0, max_value=1.0))
+    specialize = draw(st.floats(min_value=0.0, max_value=1.0))
+    if repeat + specialize > 1.0:
+        total = repeat + specialize
+        repeat, specialize = repeat / total, specialize / total
+        # Guard against float rounding pushing the sum past 1.0.
+        specialize = min(specialize, 1.0 - repeat)
+    return repeat, specialize
+
+
+class TestProvenance:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_repeats_are_templates(self, seed):
+        config = StreamConfig(
+            length=40, templates=4, repeat_prob=0.6, specialize_prob=0.2,
+            pattern=SMALL,
+        )
+        sample = sample_stream(config, seed=seed)
+        for entry in sample.entries:
+            if entry.kind == "repeat":
+                assert entry.template_index is not None
+                assert entry.query is sample.templates[entry.template_index]
+            elif entry.kind == "specialize":
+                assert entry.template_index is not None
+            else:
+                assert entry.template_index is None
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_specializations_specialize_their_template(self, seed):
+        config = StreamConfig(
+            length=30, templates=3, repeat_prob=0.0, specialize_prob=1.0,
+            pattern=SMALL,
+        )
+        sample = sample_stream(config, seed=seed)
+        for entry in sample.entries:
+            assert entry.kind == "specialize"
+            template = sample.templates[entry.template_index]
+            if entry.query.depth == template.depth + 1:
+                # Deepened selection path: the template is the prefix.
+                assert sub_le(entry.query, template.depth) == template
+            else:
+                # Extra branch at the output: strictly more selective,
+                # so the specialization is contained in the template.
+                assert entry.query.depth == template.depth
+                assert contains(entry.query, template)
+
+    @given(
+        stream_probs(),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_kind_frequencies_track_probabilities(self, probs, seed):
+        repeat_prob, specialize_prob = probs
+        length = 300
+        config = StreamConfig(
+            length=length,
+            templates=4,
+            repeat_prob=repeat_prob,
+            specialize_prob=specialize_prob,
+            pattern=SMALL,
+        )
+        counts = sample_stream(config, seed=seed).kind_counts()
+        assert sum(counts.values()) == length
+        for kind, prob in (
+            ("repeat", repeat_prob),
+            ("specialize", specialize_prob),
+            ("fresh", max(0.0, 1.0 - repeat_prob - specialize_prob)),
+        ):
+            prob = min(max(prob, 0.0), 1.0)
+            expected = length * prob
+            # 5 sigma of the binomial plus slack for the degenerate
+            # probabilities — loose enough to never flake, tight enough
+            # to catch a swapped or ignored probability.
+            sigma = math.sqrt(length * prob * (1.0 - prob))
+            assert abs(counts[kind] - expected) <= 5.0 * sigma + 3.0, (
+                kind, counts, probs,
+            )
+
+
+class TestRoundTrips:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_serialize_parse_round_trip(self, seed):
+        stream = query_stream(
+            StreamConfig(length=25, templates=4, pattern=SMALL), seed=seed
+        )
+        for query in stream:
+            assert parse_pattern(to_xpath(query)) == query
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_same_seed_same_stream(self, seed):
+        config = StreamConfig(length=25, templates=4, pattern=SMALL)
+        left = sample_stream(config, seed=seed)
+        right = sample_stream(config, seed=seed)
+        assert left.templates == right.templates
+        assert [e.kind for e in left.entries] == [e.kind for e in right.entries]
+        assert [e.template_index for e in left.entries] == [
+            e.template_index for e in right.entries
+        ]
+        assert left.queries == right.queries
+
+
+class TestConfigValidation:
+    def test_probabilities_must_sum_to_at_most_one(self):
+        with pytest.raises(WorkloadError):
+            StreamConfig(repeat_prob=0.7, specialize_prob=0.6)
+
+    def test_probability_range(self):
+        with pytest.raises(WorkloadError):
+            StreamConfig(repeat_prob=-0.1)
+        with pytest.raises(WorkloadError):
+            StreamConfig(specialize_prob=1.5)
+
+    def test_length_and_templates(self):
+        with pytest.raises(WorkloadError):
+            StreamConfig(length=-1)
+        with pytest.raises(WorkloadError):
+            StreamConfig(templates=0)

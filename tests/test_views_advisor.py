@@ -73,6 +73,15 @@ class TestAdviseViews:
         with pytest.raises(ValueError):
             advise_views(workload, weights=[1.0])
 
+    @pytest.mark.parametrize("scorer", ["batched", "solver"])
+    def test_nonpositive_weights_rejected(self, workload, scorer):
+        # Weights are frequencies; zero/negative weights would also let
+        # the lazy-greedy and eager selections diverge.
+        with pytest.raises(ValueError):
+            advise_views(workload, weights=[1, 1, 0, 1], scorer=scorer)
+        with pytest.raises(ValueError):
+            advise_views(workload, weights=[1, 1, -2, 1], scorer=scorer)
+
     def test_unanswerable_queries_reported(self, p, sample):
         # A query whose only candidate prefixes are itself/too-deep:
         # pair it with unrelated queries and a tiny budget.

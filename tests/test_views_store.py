@@ -81,3 +81,11 @@ class TestViews:
         doc.root.new_child("b")
         store.refresh("doc1")
         assert store.view("bs").answer_count("doc1") == 3
+
+    def test_refresh_rebuilds_evaluate_index(self, store, p):
+        # store.evaluate runs on a cached per-document index; refresh
+        # must rebuild it so direct answers see in-place mutations.
+        before = len(store.evaluate(p("a/b"), "doc1"))
+        store.document("doc1").root.new_child("b")
+        store.refresh("doc1")
+        assert len(store.evaluate(p("a/b"), "doc1")) == before + 1
