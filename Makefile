@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-replay bench-all
+.PHONY: test test-fast bench bench-replay bench-all docs-check
 
 ## Tier-1 test suite (the driver's gate).
 test:
@@ -24,3 +24,7 @@ bench-replay:
 ## Full paper-claims benchmark battery (pytest-benchmark based).
 bench-all:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+## Documentation drift guard: executes every README code block.
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -1,6 +1,6 @@
 """Replay + advisor benchmark — throughput and speedups to JSON.
 
-Two measurements, recorded to ``BENCH_replay.json`` at the repo root so
+Four measurements, recorded to ``BENCH_replay.json`` at the repo root so
 future PRs can diff against this PR's baseline:
 
 * **Stream replay throughput**: seeded query streams driven end to end
@@ -16,6 +16,24 @@ future PRs can diff against this PR's baseline:
   streams.  Both paths must select identical views; the acceptance
   floor is an aggregate 3x.
 
+* **Persistence (cold start vs warm store)**: the same replay against a
+  disk-backed :class:`~repro.views.persist.SnapshotBackend` — first run
+  evaluates and saves every advised view (cold), second run loads them
+  from the snapshot log (warm).  The warm run's counters must be
+  bit-identical to the in-memory run's (the subsystem's correctness
+  criterion).  Because whole-run wall time is dominated by re-advising
+  (a listed next rung), the restart-path saving is measured directly:
+  ``materialize_cold_sec`` vs ``materialize_warm_sec`` time *only* the
+  view-definition loop (evaluate+save vs load) over a 3,000-node
+  document, and the pytest wrapper asserts warm is at least 2× faster.
+
+* **Batched vs single-call serving**: the same stream replayed query by
+  query (``batch_size=1``) and through
+  :meth:`~repro.views.engine.QueryEngine.answer_many`, on a
+  high-temporal-locality stream over a 2,000-node document where
+  duplicate answers carry real evaluation cost.  Acceptance floor:
+  batched throughput >= 1.3x single-call.
+
 Run with:
 
     make bench-replay     # or: PYTHONPATH=src python benchmarks/bench_replay.py
@@ -29,6 +47,7 @@ from __future__ import annotations
 
 import json
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -39,8 +58,10 @@ from repro.core.containment import (
 )
 from repro.patterns.random import PatternConfig
 from repro.views.advisor import advise_views
+from repro.views.persist import SnapshotBackend
+from repro.views.store import ViewStore
 from repro.workloads.replay import ReplayConfig, replay_workload
-from repro.workloads.streams import StreamConfig, query_stream
+from repro.workloads.streams import StreamConfig, query_stream, sample_stream
 from repro.xmltree.generate import random_tree
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -67,6 +88,23 @@ ADVISOR_STREAM = StreamConfig(
 ADVISOR_SEEDS = range(6)
 ADVISOR_MAX_VIEWS = 4
 ADVISOR_SAMPLE_SIZE = 400
+
+#: Persistence comparison: the larger replay scenario, disk-backed.
+PERSIST_SCENARIO = REPLAY_SCENARIOS["stream-500x12-doc600"]
+
+#: Materialization timing uses a bigger document so the evaluate-vs-load
+#: gap is far above timer jitter.
+PERSIST_MATERIALIZE_DOC = 3_000
+
+#: Batched-serving comparison: high temporal locality (75% repeats) and
+#: a tight view budget over a 2,000-node document, so duplicate queries
+#: carry real evaluation cost — the regime batching folds.
+BATCH_STREAM = StreamConfig(
+    length=500, templates=12, repeat_prob=0.75, specialize_prob=0.10
+)
+BATCH_DOCUMENT_SIZE = 2_000
+BATCH_MAX_VIEWS = 2
+BATCH_SIZES = (64, 128)
 
 
 def measure_replay() -> dict[str, dict]:
@@ -135,12 +173,109 @@ def measure_advisor() -> dict:
     }
 
 
+def measure_persistence() -> dict:
+    """Cold-start vs warm-store replay against a snapshot log."""
+    config = PERSIST_SCENARIO
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "views.snapshot.jsonl"
+        durable = ReplayConfig(
+            stream=config.stream,
+            document_size=config.document_size,
+            max_views=config.max_views,
+            persist_path=path,
+        )
+        t0 = time.perf_counter()
+        cold = replay_workload(durable, seed=REPLAY_SEED)
+        cold_sec = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = replay_workload(durable, seed=REPLAY_SEED)
+        warm_sec = time.perf_counter() - t0
+        memory = replay_workload(config, seed=REPLAY_SEED)
+        snapshot_bytes = path.stat().st_size
+    assert cold.backend["saves"] > 0 and cold.backend["hits"] == 0, cold.backend
+    assert warm.backend["hits"] > 0 and warm.backend["saves"] == 0, warm.backend
+
+    # Restart-path saving, measured directly: time only the
+    # view-definition loop — evaluate+save (cold) vs digest+load (warm).
+    templates = sample_stream(config.stream, seed=REPLAY_SEED).templates
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "materialize.snapshot.jsonl"
+
+        def materialize_once() -> float:
+            store = ViewStore(backend=SnapshotBackend(path))
+            store.add_document(
+                "doc", random_tree(PERSIST_MATERIALIZE_DOC, seed=REPLAY_SEED)
+            )
+            t0 = time.perf_counter()
+            for rank, template in enumerate(templates):
+                store.define_view(f"view-{rank}", template)
+            elapsed = time.perf_counter() - t0
+            store.close()
+            return elapsed
+
+        materialize_cold = materialize_once()
+        materialize_warm = materialize_once()
+
+    return {
+        "scenario": "stream-500x12-doc600",
+        "cold_run_sec": round(cold_sec, 4),
+        "warm_run_sec": round(warm_sec, 4),
+        "views_saved_cold": cold.backend["saves"],
+        "views_loaded_warm": warm.backend["hits"],
+        "snapshot_bytes": snapshot_bytes,
+        "warm_counters_identical_to_memory": warm.counters() == memory.counters(),
+        "cold_counters_identical_to_memory": cold.counters() == memory.counters(),
+        "materialize_doc_nodes": PERSIST_MATERIALIZE_DOC,
+        "materialize_views": len(templates),
+        "materialize_cold_sec": round(materialize_cold, 4),
+        "materialize_warm_sec": round(materialize_warm, 4),
+        "materialize_speedup": round(materialize_cold / materialize_warm, 2),
+    }
+
+
+def measure_batched() -> dict:
+    """Single-call vs ``answer_many`` throughput on one stream."""
+    base = dict(
+        stream=BATCH_STREAM,
+        document_size=BATCH_DOCUMENT_SIZE,
+        max_views=BATCH_MAX_VIEWS,
+    )
+    single = replay_workload(ReplayConfig(**base, batch_size=1), seed=REPLAY_SEED)
+    result = {
+        "workload": (
+            f"{BATCH_STREAM.length}-query stream, repeat_prob="
+            f"{BATCH_STREAM.repeat_prob}, doc {BATCH_DOCUMENT_SIZE} nodes, "
+            f"{BATCH_MAX_VIEWS} views"
+        ),
+        "single_queries_per_sec": round(single.queries_per_sec, 2),
+        "view_plan_ratio": round(single.view_plan_ratio, 3),
+        "batched": {},
+    }
+    for batch_size in BATCH_SIZES:
+        batched = replay_workload(
+            ReplayConfig(**base, batch_size=batch_size), seed=REPLAY_SEED
+        )
+        # Batching folds work; it must never change the answers.
+        assert batched.answers_total == single.answers_total
+        assert batched.view_plans == single.view_plans
+        result["batched"][str(batch_size)] = {
+            "queries_per_sec": round(batched.queries_per_sec, 2),
+            "folded_queries": batched.folded_queries,
+            "speedup_vs_single": round(
+                batched.queries_per_sec / single.queries_per_sec, 2
+            ),
+        }
+    return result
+
+
 def run_benchmark() -> dict:
     return {
         "generated_by": "benchmarks/bench_replay.py",
         "python": platform.python_version(),
         "replay": measure_replay(),
         "advisor": measure_advisor(),
+        "persistence": measure_persistence(),
+        "batched_serving": measure_batched(),
     }
 
 
@@ -164,6 +299,19 @@ def test_bench_replay(report=None):
     for name, row in result["replay"].items():
         assert row["queries_per_sec"] > 50, (name, row)
         assert row["view_plan_ratio"] > 0.3, (name, row)
+    # Persistence correctness is exact, not a perf threshold: a warm
+    # disk-backed replay must be bit-identical to the in-memory one.
+    persistence = result["persistence"]
+    assert persistence["warm_counters_identical_to_memory"], persistence
+    assert persistence["cold_counters_identical_to_memory"], persistence
+    assert persistence["views_loaded_warm"] == persistence["views_saved_cold"]
+    # Loading from the snapshot must beat re-evaluating by a wide margin
+    # (recorded speedups are far higher; 2x is the anti-regression floor).
+    assert persistence["materialize_speedup"] >= 2.0, persistence
+    # Batched serving acceptance floor: >= 1.3x single-call throughput.
+    batched = result["batched_serving"]["batched"]
+    best = max(row["speedup_vs_single"] for row in batched.values())
+    assert best >= 1.3, result["batched_serving"]
 
 
 if __name__ == "__main__":

@@ -64,7 +64,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ContainmentBudgetError
-from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
+from ..patterns.ast import Axis, Pattern, PNode, WILDCARD, on_memo_reset
 from ..patterns.fragments import homomorphism_complete
 from .canonical import CanonicalEngine, count_canonical_models, star_length
 from .embedding import iter_bits, pattern_postorder
@@ -147,6 +147,11 @@ def clear_cache() -> None:
     """Drop all memoized containment results and cached engines."""
     _CACHE.clear()
     _ENGINES.clear()
+
+
+# Both LRUs are keyed by ``memo_key`` tokens, which are only meaningful
+# within one interning epoch — an epoch reset must clear them too.
+on_memo_reset(clear_cache)
 
 
 def set_cache_limit(limit: int) -> None:

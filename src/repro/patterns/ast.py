@@ -28,7 +28,17 @@ from typing import Callable, Iterator
 
 from ..errors import EmptyPatternError, PatternStructureError
 
-__all__ = ["Axis", "PNode", "Pattern", "WILDCARD", "EMPTY_PATTERN"]
+__all__ = [
+    "Axis",
+    "PNode",
+    "Pattern",
+    "WILDCARD",
+    "EMPTY_PATTERN",
+    "memo_epoch",
+    "memo_intern_size",
+    "on_memo_reset",
+    "reset_memo_interning",
+]
 
 #: The wildcard label ``*`` (not a member of Σ).
 WILDCARD = "*"
@@ -174,7 +184,7 @@ class Pattern:
             self.root = root
             self.output = output if output is not None else root
         self._key_cache: tuple | None = None
-        self._memo_cache: int | None = None
+        self._memo_cache: tuple[int, int] | None = None
         self._path_cache: list[PNode] | None = None
         self._pmap_cache: dict[PNode, tuple[Axis, PNode]] | None = None
         self._validate()
@@ -387,27 +397,45 @@ class Pattern:
         self._key_cache = key
         return key
 
+    def signature(self) -> str:
+        """The flat canonical signature: equal strings iff isomorphic.
+
+        Unlike :meth:`memo_key` (a process-local interned token), the
+        signature is **stable across processes and interning epochs**,
+        which is what makes it usable as a persisted key — the
+        disk-backed view store (:mod:`repro.views.persist`) keys
+        materializations by a digest of this string.
+        """
+        if self.root is None:
+            return "Υ"
+        return _node_sig(self.root, self.output)
+
     def memo_key(self) -> int:
         """A small interned token: equal tokens iff isomorphic patterns.
 
-        The first call computes a *flat* canonical signature (a string,
-        so hashing never recurses into nested tuples — deep chains are
-        safe) and interns it in a process-wide table; afterwards the
-        token is a cached ``int``, so hashing/equality for memoization
-        keys (e.g. the containment-result cache) is O(1) instead of
-        O(pattern size).
+        The first call computes the flat canonical :meth:`signature`
+        (a string, so hashing never recurses into nested tuples — deep
+        chains are safe) and interns it in a process-wide table;
+        afterwards the token is a cached ``int``, so hashing/equality
+        for memoization keys (e.g. the containment-result cache) is
+        O(1) instead of O(pattern size).
+
+        Tokens are only meaningful within the current interning *epoch*
+        (see :func:`reset_memo_interning`): after a reset, previously
+        cached tokens are discarded and keys are re-interned lazily, so
+        never persist a ``memo_key`` — persist :meth:`signature` (or a
+        digest of it) instead.
         """
-        if self._memo_cache is None:
-            if self.root is None:
-                sig = "Υ"
-            else:
-                sig = _node_sig(self.root, self.output)
+        cached = self._memo_cache
+        if cached is None or cached[0] != _MEMO_EPOCH:
+            sig = self.signature()
             token = _MEMO_INTERN.get(sig)
             if token is None:
                 token = len(_MEMO_INTERN)
                 _MEMO_INTERN[sig] = token
-            self._memo_cache = token
-        return self._memo_cache
+            self._memo_cache = (_MEMO_EPOCH, token)
+            return token
+        return cached[1]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pattern):
@@ -447,6 +475,58 @@ class Pattern:
 #: Intern table behind :meth:`Pattern.memo_key`.  Grows with the number
 #: of *distinct* (up to isomorphism) patterns seen by the process.
 _MEMO_INTERN: dict[str, int] = {}
+
+#: Current interning epoch; bumped by :func:`reset_memo_interning` so
+#: tokens cached on ``Pattern`` objects from earlier epochs are ignored.
+_MEMO_EPOCH = 0
+
+#: Callbacks run after each interning reset (cache owners register here).
+_MEMO_RESET_HOOKS: list[Callable[[], None]] = []
+
+
+def memo_epoch() -> int:
+    """The current interning epoch (see :func:`reset_memo_interning`).
+
+    Caches keyed by :meth:`Pattern.memo_key` should record the epoch
+    they were filled under and drop their entries when it changes.
+    """
+    return _MEMO_EPOCH
+
+
+def memo_intern_size() -> int:
+    """Number of distinct signatures currently interned."""
+    return len(_MEMO_INTERN)
+
+
+def on_memo_reset(hook: Callable[[], None]) -> None:
+    """Register a callback to run after every interning reset.
+
+    Modules that key process-wide caches by ``memo_key`` (e.g. the
+    containment result/engine LRUs in :mod:`repro.core.containment`)
+    register their ``clear`` functions here so a reset leaves no cache
+    holding tokens from a dead epoch.
+    """
+    _MEMO_RESET_HOOKS.append(hook)
+
+
+def reset_memo_interning() -> int:
+    """Drop the intern table and start a new epoch; returns the epoch.
+
+    The table behind :meth:`Pattern.memo_key` grows with the number of
+    distinct patterns a process has ever seen — unbounded in a
+    long-lived serving process (the ROADMAP's memory item).  This hook
+    empties it: live ``Pattern`` objects lazily re-intern on their next
+    ``memo_key`` call (the epoch tag on the per-pattern cache makes
+    stale tokens unreachable), and every registered
+    :func:`on_memo_reset` callback runs so token-keyed caches are
+    cleared in the same step.
+    """
+    global _MEMO_EPOCH
+    _MEMO_INTERN.clear()
+    _MEMO_EPOCH += 1
+    for hook in _MEMO_RESET_HOOKS:
+        hook()
+    return _MEMO_EPOCH
 
 
 def _node_sig(node: PNode, output: PNode | None) -> str:

@@ -8,11 +8,22 @@ plus the paper's motivating applications).
 * :class:`ViewCache` — an LRU semantic query cache in the style of the
   systems the paper cites ([3, 5, 13, 18]), but with sound-and-complete
   rewriting decisions.
+* :mod:`repro.views.persist` — storage backends behind the store:
+  the in-memory default and the append-only disk snapshot log that
+  makes materializations survive process restarts.
 """
 
 from .advisor import AdvisorResult, CandidateView, advise_views
 from .cache import CachedView, CacheStats, ViewCache
-from .engine import EngineStats, QueryEngine, QueryPlan
+from .engine import BatchAnswer, EngineStats, QueryEngine, QueryPlan
+from .persist import (
+    BackendStats,
+    MemoryBackend,
+    SnapshotBackend,
+    StoreBackend,
+    document_digest,
+    pattern_digest,
+)
 from .store import MaterializedView, ViewStore
 
 __all__ = [
@@ -22,9 +33,16 @@ __all__ = [
     "CachedView",
     "CacheStats",
     "ViewCache",
+    "BatchAnswer",
     "EngineStats",
     "QueryEngine",
     "QueryPlan",
+    "BackendStats",
+    "MemoryBackend",
+    "SnapshotBackend",
+    "StoreBackend",
+    "document_digest",
+    "pattern_digest",
     "MaterializedView",
     "ViewStore",
 ]

@@ -397,6 +397,20 @@ def advise_views(
     max_models:
         Canonical-model budget per containment test on the batched path
         (defaults to the solver's budget when a solver is given).
+
+    Notes
+    -----
+    Determinism: for fixed inputs the selection (and every counter in
+    :class:`AdvisorStats`) is reproducible — the batched scorer's lazy
+    evaluation provably matches the eager greedy, and the replay
+    harness's :meth:`ReplayReport.counters()
+    <repro.workloads.replay.ReplayReport.counters>` contract relies on
+    this.  Throughput, however, rides on the cross-call canonical-engine
+    LRU in :mod:`repro.core.containment` — tune it with
+    :func:`~repro.core.containment.set_engine_cache_limit` (0 disables
+    cross-call reuse; the replay benchmark uses exactly that to measure
+    the pre-batching baseline) and the result cache with
+    :func:`~repro.core.containment.set_cache_limit`.
     """
     if scorer not in ("batched", "solver"):
         raise ValueError(f"unknown scorer {scorer!r}")

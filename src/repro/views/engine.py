@@ -10,22 +10,54 @@ The engine answers a query pattern ``P`` over a document ``t`` either
 The engine records per-query plans and counters, which benchmark C5 uses
 to reproduce the paper's motivating speedup scenario (the view forest is
 usually far smaller than the document).
+
+Batched and async serving
+-------------------------
+:meth:`QueryEngine.answer_many` answers a whole batch at once: duplicate
+queries are folded by ``memo_key`` so each *distinct* query is planned
+and executed exactly once (query streams repeat by design — the fold is
+usually large), every execution shares the store's per-document
+:class:`~repro.core.embedding.TreeIndex`, and each distinct query's
+view-equivalence prefilter runs as one
+:class:`~repro.core.containment.ContainmentBatch`-backed
+:func:`~repro.core.containment.contains_all` sweep over all undecided
+views.  The per-batch :class:`EngineStats` delta comes back on the
+:class:`BatchAnswer`.  :meth:`QueryEngine.serve` wraps that in an
+``asyncio`` loop that drains a request queue into batches.
+
+Performance knobs
+-----------------
+Planning cost is dominated by containment, so the engine inherits the
+two process-wide LRU knobs in :mod:`repro.core.containment`:
+:func:`~repro.core.containment.set_cache_limit` bounds the memoized
+containment-result cache, and
+:func:`~repro.core.containment.set_engine_cache_limit` bounds the
+cross-call canonical-engine LRU keyed by ``(memo_key, bound)`` (0
+disables cross-call reuse; hits/evictions surface in
+:class:`~repro.core.containment.ContainmentStats`).  Per-engine rewrite
+decisions are additionally cached in ``_decisions``; that cache is
+epoch-guarded, so a
+:func:`~repro.patterns.ast.reset_memo_interning` call in a long-lived
+service invalidates it automatically.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..core.composition import compose
 from ..core.containment import contains, contains_all
 from ..core.embedding import evaluate, evaluate_forest
 from ..core.rewrite import RewriteResult, RewriteSolver, RewriteStatus
 from ..errors import ViewEngineError
-from ..patterns.ast import Pattern
+from ..patterns.ast import Pattern, memo_epoch
 from ..xmltree.node import TNode
 from .store import ViewStore
 
-__all__ = ["QueryPlan", "EngineStats", "QueryEngine"]
+__all__ = ["QueryPlan", "EngineStats", "BatchAnswer", "QueryEngine"]
 
 
 @dataclass
@@ -74,6 +106,43 @@ class EngineStats:
         }
 
 
+@dataclass
+class BatchAnswer:
+    """Outcome of one :meth:`QueryEngine.answer_many` call.
+
+    Attributes
+    ----------
+    answers:
+        One answer set per input query, in input order (duplicates get
+        the same — shared — set object).
+    plans:
+        The plan used for each input query, in input order.
+    distinct_queries:
+        Number of distinct (up to isomorphism) queries in the batch.
+    folded_queries:
+        Duplicates served from the batch fold without planning or
+        execution (``len(answers) - distinct_queries``).
+    stats:
+        The :class:`EngineStats` delta attributable to this batch.
+    elapsed_seconds:
+        Wall time for the whole batch.
+    """
+
+    answers: list[set[TNode]] = field(default_factory=list)
+    plans: list[QueryPlan] = field(default_factory=list)
+    distinct_queries: int = 0
+    folded_queries: int = 0
+    stats: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Batch throughput (0.0 for an empty or instantaneous batch)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return len(self.answers) / self.elapsed_seconds
+
+
 class QueryEngine:
     """Answer queries over a :class:`~repro.views.store.ViewStore`.
 
@@ -90,7 +159,18 @@ class QueryEngine:
         self.solver = solver or RewriteSolver()
         self.stats = EngineStats()
         # Cache of rewrite decisions keyed by (query key, view name).
+        # Query keys are memo_key tokens, valid only within one interning
+        # epoch — _decision_cache() drops the dict when the epoch moves.
         self._decisions: dict[tuple, RewriteResult] = {}
+        self._decisions_epoch = memo_epoch()
+
+    def _decision_cache(self) -> dict[tuple, RewriteResult]:
+        """The decision cache, cleared if the interning epoch changed."""
+        epoch = memo_epoch()
+        if epoch != self._decisions_epoch:
+            self._decisions.clear()
+            self._decisions_epoch = epoch
+        return self._decisions
 
     # ------------------------------------------------------------------
     # Planning
@@ -98,8 +178,9 @@ class QueryEngine:
     def rewrite_against(self, query: Pattern, view_name: str) -> RewriteResult:
         """Find (and cache) a rewriting of ``query`` using a named view."""
         view = self.store.view(view_name)
+        decisions = self._decision_cache()
         key = (query.memo_key(), view_name)
-        cached = self._decisions.get(key)
+        cached = decisions.get(key)
         if cached is not None:
             self.stats.decision_cache_hits += 1
             return cached
@@ -107,7 +188,7 @@ class QueryEngine:
         decision = self.solver.solve(query, view.pattern)
         if decision.found:
             self.stats.rewrites_found += 1
-        self._decisions[key] = decision
+        decisions[key] = decision
         return decision
 
     def _seed_equivalent_decisions(self, query: Pattern) -> None:
@@ -120,10 +201,11 @@ class QueryEngine:
         views passing it pay for the backward check.  Decisions found
         here are cached so the full solver is never invoked for them.
         """
+        decisions = self._decision_cache()
         undecided = [
             view
             for view in self.store.views()
-            if (query.memo_key(), view.name) not in self._decisions
+            if (query.memo_key(), view.name) not in decisions
             and not view.pattern.is_empty
         ]
         if not undecided or query.is_empty:
@@ -153,7 +235,7 @@ class QueryEngine:
             )
             self.stats.rewrites_attempted += 1
             self.stats.rewrites_found += 1
-            self._decisions[(query.memo_key(), view.name)] = decision
+            decisions[(query.memo_key(), view.name)] = decision
 
     def plan(self, query: Pattern, document: str) -> QueryPlan:
         """Choose a plan: the usable view with the smallest stored forest.
@@ -211,6 +293,116 @@ class QueryEngine:
             assert plan.view_name is not None
             return self.answer_with_view(query, plan.view_name, document)
         return self.answer_direct(query, document)
+
+    # ------------------------------------------------------------------
+    # Batched / async serving
+    # ------------------------------------------------------------------
+    def answer_many(
+        self, queries: Sequence[Pattern], document: str
+    ) -> BatchAnswer:
+        """Answer a batch of queries, folding duplicates.
+
+        Each *distinct* query (up to isomorphism, via ``memo_key``) is
+        planned and executed exactly once; duplicates receive the same
+        answer set without touching the planner, the decision cache or
+        the store.  All executions share the store's cached per-document
+        :class:`~repro.core.embedding.TreeIndex`, and each distinct
+        query's view-equivalence prefilter decides all undecided views
+        through a single batched containment sweep
+        (:meth:`_seed_equivalent_decisions`).  Answer sets are shared
+        between duplicates — copy before mutating.
+
+        Returns a :class:`BatchAnswer` with per-input answers/plans and
+        the per-batch :class:`EngineStats` delta.
+        """
+        before = self.stats.snapshot()
+        t0 = time.perf_counter()
+        answers: dict[int, set[TNode]] = {}
+        plans: dict[int, QueryPlan] = {}
+        result = BatchAnswer()
+        for query in queries:
+            key = query.memo_key()
+            if key not in answers:
+                plan = self.plan(query, document)
+                if plan.kind == "view":
+                    assert plan.view_name is not None
+                    answer = self.answer_with_view(query, plan.view_name, document)
+                else:
+                    answer = self.answer_direct(query, document)
+                answers[key] = answer
+                plans[key] = plan
+            result.answers.append(answers[key])
+            result.plans.append(plans[key])
+        result.elapsed_seconds = time.perf_counter() - t0
+        result.distinct_queries = len(answers)
+        result.folded_queries = len(result.answers) - len(answers)
+        after = self.stats.snapshot()
+        result.stats = {key: after[key] - before[key] for key in after}
+        return result
+
+    async def serve(
+        self,
+        requests: "asyncio.Queue",
+        document: str,
+        *,
+        batch_size: int = 32,
+    ) -> int:
+        """Async serving loop: drain the queue into batches, answer, resolve.
+
+        ``requests`` carries ``(query, future)`` pairs — the future is
+        resolved with the query's answer set (or the raised exception).
+        The loop blocks on the first request, then greedily drains up to
+        ``batch_size`` already-queued requests so bursts are folded
+        through :meth:`answer_many`; an explicit ``None`` item shuts the
+        loop down after the in-flight batch.  Returns the number of
+        requests served.
+
+        Planning/execution is synchronous CPU work — the loop yields to
+        the event loop between batches, not within one, so pick
+        ``batch_size`` for the latency you can tolerate.
+        """
+        if batch_size < 1:
+            raise ViewEngineError("serve batch_size must be >= 1")
+        served = 0
+        stopping = False
+        while not stopping:
+            item = await requests.get()
+            if item is None:
+                requests.task_done()
+                break
+            batch = [item]
+            while len(batch) < batch_size:
+                try:
+                    nxt = requests.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is None:
+                    stopping = True
+                    break
+                batch.append(nxt)
+            try:
+                result = self.answer_many([query for query, _ in batch], document)
+                for (_, future), answer in zip(batch, result.answers):
+                    if not future.done():
+                        future.set_result(answer)
+            except Exception:
+                # One pathological query must not fail its batchmates:
+                # fall back to per-request answering so only the
+                # offending request(s) carry an exception.
+                for query, future in batch:
+                    if future.done():
+                        continue
+                    try:
+                        future.set_result(self.answer(query, document))
+                    except Exception as exc:
+                        future.set_exception(exc)
+            served += len(batch)
+            # One task_done per consumed item (plus the drained sentinel,
+            # when stopping), so producers may await requests.join().
+            for _ in range(len(batch) + (1 if stopping else 0)):
+                requests.task_done()
+            await asyncio.sleep(0)  # let producers/consumers run
+        return served
 
     # ------------------------------------------------------------------
     # Verification helper (Prop 2.4 end-to-end)

@@ -1,0 +1,394 @@
+"""Persistent storage backends for the materialized view store.
+
+The paper's serving scenario (§1, §2.4) only pays off if the
+materialized forests ``V(t)`` survive the process that computed them: a
+restarted server that must re-evaluate every view over every document is
+back to the cold path the rewriting machinery was meant to avoid.  This
+module gives :class:`~repro.views.store.ViewStore` a pluggable storage
+layer:
+
+* :class:`StoreBackend` — the protocol the store materializes through.
+  A backend is a mapping ``(document digest, pattern digest) ->
+  materialized node ids`` with save/load/invalidate; the store treats a
+  ``load`` miss as "evaluate and save".
+* :class:`MemoryBackend` — the process-local dict implementation; the
+  default, equivalent to the pre-persistence behavior.
+* :class:`SnapshotBackend` — an append-only snapshot log on disk.  Each
+  record is one JSON line carrying its own SHA-256 checksum, so a torn
+  tail write (or any hand-corrupted line) is detected and *skipped* on
+  open rather than poisoning the store — a corrupt or missing entry
+  simply falls back to re-evaluation.
+
+Keying and integrity
+--------------------
+Node identity does not survive a process, so materializations are
+persisted as **preorder indexes** into their document.  Two digests make
+that sound across processes:
+
+* :func:`document_digest` binds the exact *ordered* labeled shape of the
+  document (depth + label per node, preorder).  Preorder indexes are only
+  resolved against a document whose digest matches the stored key, so a
+  mutated document can never be served stale node sets — its digest
+  differs and its entries are rebuilt (and
+  :meth:`~repro.views.store.ViewStore.refresh` explicitly invalidates the
+  old digest's entries).
+* :func:`pattern_digest` hashes :meth:`Pattern.signature()
+  <repro.patterns.ast.Pattern.signature>` — the canonical flat signature,
+  stable across processes and interning epochs (unlike
+  ``Pattern.memo_key``, whose tokens die with the process/epoch).
+
+As a final guard the store validates loaded indexes against the live
+document size; out-of-range ids are treated as a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Protocol, Sequence
+
+from ..patterns.ast import Pattern
+from ..xmltree.tree import XMLTree
+
+__all__ = [
+    "BackendStats",
+    "MemoryBackend",
+    "SnapshotBackend",
+    "StoreBackend",
+    "document_digest",
+    "pattern_digest",
+]
+
+#: Snapshot log format version; bumped on incompatible record changes.
+FORMAT_VERSION = 1
+
+
+def document_digest(tree: XMLTree) -> str:
+    """SHA-256 over the ordered labeled shape of a document.
+
+    The serialization walks the tree in preorder emitting
+    ``depth:len(label):label`` per node, so the digest changes whenever
+    any persisted preorder index could resolve differently — equal
+    digests guarantee that equal indexes denote structurally identical
+    positions.
+    """
+    hasher = hashlib.sha256()
+    stack: list[tuple] = [(tree.root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        label = node.label
+        hasher.update(f"{depth}:{len(label)}:{label};".encode())
+        for child in reversed(node.children):
+            stack.append((child, depth + 1))
+    return hasher.hexdigest()
+
+
+def pattern_digest(pattern: Pattern) -> str:
+    """SHA-256 of the pattern's canonical signature.
+
+    Equal digests iff isomorphic patterns (modulo SHA-256 collisions);
+    stable across processes and ``memo_key`` interning epochs, which is
+    what makes it a valid persisted key.
+    """
+    return hashlib.sha256(pattern.signature().encode()).hexdigest()
+
+
+@dataclass
+class BackendStats:
+    """Counters for one backend's lifetime.
+
+    ``corrupt_records`` counts snapshot-log lines rejected on open
+    (bad JSON, wrong version, checksum mismatch); each rejected line is
+    skipped, never served.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    saves: int = 0
+    invalidations: int = 0
+    corrupt_records: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "saves": self.saves,
+            "invalidations": self.invalidations,
+            "corrupt_records": self.corrupt_records,
+        }
+
+
+class StoreBackend(Protocol):
+    """Storage protocol behind :class:`~repro.views.store.ViewStore`.
+
+    Implementations map ``(document_digest, pattern_digest)`` to the
+    sorted preorder indexes of the materialized answer nodes.  ``load``
+    returns ``None`` on a miss (the store then evaluates and ``save``\\ s);
+    ``invalidate_document`` drops every entry for one document digest.
+    ``reject_loaded`` is the store's report that a just-loaded entry
+    failed validation (e.g. out-of-range indexes): the backend drops
+    the entry and reclassifies the lookup as a miss in its own stats —
+    counter ownership stays inside the backend.
+
+    The ``durable`` flag tells callers whether entries outlive the
+    process (used by tooling/reporting only — the store's logic is
+    identical for both kinds).
+    """
+
+    durable: bool
+    stats: BackendStats
+
+    def load(self, doc_digest: str, pat_digest: str) -> list[int] | None: ...
+
+    def save(
+        self,
+        doc_digest: str,
+        pat_digest: str,
+        node_ids: Sequence[int],
+        *,
+        xpath: str = "",
+    ) -> None: ...
+
+    def invalidate_document(self, doc_digest: str) -> None: ...
+
+    def reject_loaded(self, doc_digest: str, pat_digest: str) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class _RejectLoadedMixin:
+    """Shared ``reject_loaded``: drop the entry, hit → miss + corrupt."""
+
+    def reject_loaded(self, doc_digest: str, pat_digest: str) -> None:
+        self._entries.pop((doc_digest, pat_digest), None)
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self.stats.corrupt_records += 1
+
+
+class MemoryBackend(_RejectLoadedMixin):
+    """The in-process backend: a plain dict, nothing survives exit.
+
+    This is the default for :class:`~repro.views.store.ViewStore` and
+    reproduces the pre-persistence behavior exactly (every
+    materialization computed at most once per store per document shape).
+    """
+
+    durable = False
+
+    def __init__(self) -> None:
+        self.stats = BackendStats()
+        self._entries: dict[tuple[str, str], list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self, doc_digest: str, pat_digest: str) -> list[int] | None:
+        entry = self._entries.get((doc_digest, pat_digest))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return list(entry)
+
+    def save(
+        self,
+        doc_digest: str,
+        pat_digest: str,
+        node_ids: Sequence[int],
+        *,
+        xpath: str = "",
+    ) -> None:
+        self._entries[(doc_digest, pat_digest)] = list(node_ids)
+        self.stats.saves += 1
+
+    def invalidate_document(self, doc_digest: str) -> None:
+        stale = [key for key in self._entries if key[0] == doc_digest]
+        for key in stale:
+            del self._entries[key]
+        self.stats.invalidations += 1
+
+    def close(self) -> None:
+        pass
+
+
+def _record_checksum(record: dict) -> str:
+    """Checksum over the canonical JSON of a record minus its ``sum``."""
+    body = {key: value for key, value in record.items() if key != "sum"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SnapshotBackend(_RejectLoadedMixin):
+    """Append-only snapshot log: one self-checksummed JSON record per line.
+
+    Records are either ``put`` (a materialization for one
+    ``(document digest, pattern digest)`` key — later puts supersede
+    earlier ones) or ``invalidate`` (drop every entry for a document
+    digest, appended by :meth:`~repro.views.store.ViewStore.refresh`
+    when a document's shape changes).  Opening replays the log into an
+    in-memory map, skipping — and counting, in
+    ``stats.corrupt_records`` — any line whose JSON, format version or
+    SHA-256 checksum does not verify, so a torn write or hand-edited
+    file degrades to re-evaluation instead of an error.
+
+    Writes are appended and flushed immediately (``fsync`` when
+    ``sync=True``); :meth:`compact` rewrites the log with only the live
+    entries, dropping superseded and invalidated records.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    durable = True
+
+    def __init__(self, path: str | Path, *, sync: bool = False) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.stats = BackendStats()
+        self._entries: dict[tuple[str, str], list[int]] = {}
+        # Human-readable provenance per entry (the view's XPath at save
+        # time); carried through the log so compaction preserves it.
+        self._xpaths: dict[tuple[str, str], str] = {}
+        self._replay_log()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        # A torn tail write may have left the file without a final
+        # newline; appending straight after it would corrupt the first
+        # new record too.  Start appends on a fresh line instead.
+        if self.path.stat().st_size > 0:
+            with open(self.path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                if probe.read(1) != b"\n":
+                    self._fh.write("\n")
+                    self._fh.flush()
+
+    # ------------------------------------------------------------------
+    # Log I/O
+    # ------------------------------------------------------------------
+    def _replay_log(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            self.stats.corrupt_records += 1
+            return
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.stats.corrupt_records += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or record.get("v") != FORMAT_VERSION
+                or record.get("sum") != _record_checksum(record)
+            ):
+                self.stats.corrupt_records += 1
+                continue
+            self._apply(record)
+
+    def _apply(self, record: dict) -> None:
+        op = record.get("op")
+        if op == "put":
+            key = (record["doc"], record["pat"])
+            self._entries[key] = list(record["ids"])
+            self._xpaths[key] = record.get("xpath", "")
+        elif op == "invalidate":
+            doc = record["doc"]
+            for key in [k for k in self._entries if k[0] == doc]:
+                del self._entries[key]
+                self._xpaths.pop(key, None)
+        else:  # unknown op from a future version: ignore, keep the rest
+            self.stats.corrupt_records += 1
+
+    def _append(self, record: dict) -> None:
+        record["v"] = FORMAT_VERSION
+        record["sum"] = _record_checksum(record)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        if self.sync:
+            os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    # StoreBackend protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self, doc_digest: str, pat_digest: str) -> list[int] | None:
+        entry = self._entries.get((doc_digest, pat_digest))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return list(entry)
+
+    def save(
+        self,
+        doc_digest: str,
+        pat_digest: str,
+        node_ids: Sequence[int],
+        *,
+        xpath: str = "",
+    ) -> None:
+        ids = sorted(node_ids)
+        key = (doc_digest, pat_digest)
+        self._append(
+            {"op": "put", "doc": doc_digest, "pat": pat_digest,
+             "xpath": xpath, "ids": ids}
+        )
+        self._entries[key] = ids
+        self._xpaths[key] = xpath
+        self.stats.saves += 1
+
+    def invalidate_document(self, doc_digest: str) -> None:
+        self._append({"op": "invalidate", "doc": doc_digest})
+        for key in [k for k in self._entries if k[0] == doc_digest]:
+            del self._entries[key]
+            self._xpaths.pop(key, None)
+        self.stats.invalidations += 1
+
+    def reject_loaded(self, doc_digest: str, pat_digest: str) -> None:
+        super().reject_loaded(doc_digest, pat_digest)
+        self._xpaths.pop((doc_digest, pat_digest), None)
+
+    def compact(self) -> int:
+        """Rewrite the log keeping only live entries; returns their count.
+
+        Safe against crashes mid-compaction: the new log is written to a
+        sibling temp file first (the live append handle stays open, so a
+        failed write leaves the backend fully usable) and atomically
+        renamed over the old one.
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".compact")
+        with open(tmp, "w", encoding="utf-8") as out:
+            for (doc, pat), ids in sorted(self._entries.items()):
+                record = {"op": "put", "doc": doc, "pat": pat,
+                          "xpath": self._xpaths.get((doc, pat), ""),
+                          "ids": ids, "v": FORMAT_VERSION}
+                record["sum"] = _record_checksum(record)
+                out.write(json.dumps(record, sort_keys=True) + "\n")
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, self.path)
+        # Swap handles only after the replace succeeded — the old handle
+        # points at the replaced inode and must not receive new appends.
+        self._fh.close()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return len(self._entries)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "SnapshotBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

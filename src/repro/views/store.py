@@ -9,6 +9,20 @@ of answer sets).
 :class:`ViewStore` manages named documents and named views and their
 materializations; the query engine (:mod:`repro.views.engine`) evaluates
 rewritings against these stored forests.
+
+Storage backends
+----------------
+Materializations flow through a :class:`~repro.views.persist.StoreBackend`
+keyed by ``(document digest, pattern digest)`` — see
+:mod:`repro.views.persist` for the protocol and the digest/keying rules.
+The default :class:`~repro.views.persist.MemoryBackend` keeps entries in
+process memory (the historical behavior); pass
+``ViewStore(backend=SnapshotBackend(path))`` for a disk-backed store
+whose materializations survive restarts: a re-registered document with
+the same shape loads its forests instead of re-evaluating every view.
+Node identity is restored by resolving persisted preorder indexes
+against the live document, so Prop 2.4's identity-based answer sets
+keep working across processes.
 """
 
 from __future__ import annotations
@@ -18,8 +32,10 @@ from dataclasses import dataclass, field
 from ..core.embedding import TreeIndex, evaluate
 from ..errors import UnknownViewError, ViewEngineError
 from ..patterns.ast import Pattern
+from ..patterns.serialize import to_xpath
 from ..xmltree.node import TNode
 from ..xmltree.tree import XMLTree
+from .persist import MemoryBackend, StoreBackend, document_digest, pattern_digest
 
 __all__ = ["MaterializedView", "ViewStore"]
 
@@ -64,15 +80,30 @@ class ViewStore:
     After mutating a document tree in place, call :meth:`refresh` —
     it re-materializes every view *and* rebuilds the cached tree index
     that :meth:`evaluate` (and so direct answering) runs on.
+
+    Parameters
+    ----------
+    backend:
+        Storage backend for materializations (see
+        :mod:`repro.views.persist`).  Defaults to a fresh in-memory
+        backend; pass a :class:`~repro.views.persist.SnapshotBackend`
+        for a disk-backed store.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: StoreBackend | None = None) -> None:
+        self.backend: StoreBackend = backend if backend is not None else MemoryBackend()
         self._documents: dict[str, XMLTree] = {}
         self._views: dict[str, MaterializedView] = {}
         # Per-document bitset indexes, shared across every pattern
         # evaluated on that document (materialization, direct answering,
         # replay).  Dropped by :meth:`refresh` (document mutation).
         self._indexes: dict[str, TreeIndex] = {}
+        # Per-document shape digest and preorder node list — the stable
+        # addressing persisted materializations are keyed/resolved by.
+        # Both dropped by :meth:`refresh`.
+        self._digests: dict[str, str] = {}
+        self._preorders: dict[str, list[TNode]] = {}
+        self._positions: dict[str, dict[int, int]] = {}
 
     def _index(self, name: str) -> TreeIndex:
         index = self._indexes.get(name)
@@ -80,6 +111,69 @@ class ViewStore:
             index = TreeIndex(self.document(name).root)
             self._indexes[name] = index
         return index
+
+    def _digest(self, name: str) -> str:
+        digest = self._digests.get(name)
+        if digest is None:
+            digest = document_digest(self.document(name))
+            self._digests[name] = digest
+        return digest
+
+    def _preorder(self, name: str) -> list[TNode]:
+        order = self._preorders.get(name)
+        if order is None:
+            order = list(self.document(name).nodes())
+            self._preorders[name] = order
+        return order
+
+    def _position(self, name: str) -> dict[int, int]:
+        position = self._positions.get(name)
+        if position is None:
+            position = {
+                id(node): i for i, node in enumerate(self._preorder(name))
+            }
+            self._positions[name] = position
+        return position
+
+    def document_digest(self, name: str) -> str:
+        """The shape digest persisted materializations are keyed by."""
+        return self._digest(name)
+
+    def _materialize(self, pattern: Pattern, doc_name: str) -> frozenset[TNode]:
+        """``V(t)`` through the backend: load if present, else evaluate+save.
+
+        Loaded entries are preorder indexes; they resolve against the
+        live document because the backend key includes the document's
+        shape digest.  Out-of-range indexes (a stale or hand-edited
+        entry) are treated as a miss and rebuilt.
+        """
+        digest = self._digest(doc_name)
+        pat_key = pattern_digest(pattern)
+        order = self._preorder(doc_name)
+        loaded = self.backend.load(digest, pat_key)
+        if loaded is not None:
+            if all(0 <= i < len(order) for i in loaded):
+                return frozenset(order[i] for i in loaded)
+            # A rejected entry is not a served hit: the backend
+            # reclassifies it as a miss so warm-start monitoring
+            # (`backend["hits"] > 0`) cannot mistake an all-stale store
+            # for a working one.
+            self.backend.reject_loaded(digest, pat_key)
+        nodes = frozenset(
+            evaluate(pattern, self.document(doc_name), index=self._index(doc_name))
+        )
+        position = self._position(doc_name)
+        self.backend.save(
+            digest,
+            pat_key,
+            sorted(position[id(node)] for node in nodes),
+            xpath=to_xpath(pattern),
+        )
+        return nodes
+
+    def close(self) -> None:
+        """Close the storage backend (flushes a disk-backed log)."""
+        self.backend.close()
 
     def evaluate(self, pattern: Pattern, document: str):
         """``pattern(t)`` on a named document, via the cached tree index.
@@ -98,9 +192,8 @@ class ViewStore:
         if name in self._documents:
             raise ViewEngineError(f"document {name!r} already registered")
         self._documents[name] = tree
-        index = self._index(name)
         for view in self._views.values():
-            view.results[name] = frozenset(evaluate(view.pattern, tree, index=index))
+            view.results[name] = self._materialize(view.pattern, name)
 
     def document(self, name: str) -> XMLTree:
         """Look up a document by name."""
@@ -121,10 +214,8 @@ class ViewStore:
         if name in self._views:
             raise ViewEngineError(f"view {name!r} already defined")
         view = MaterializedView(name=name, pattern=pattern)
-        for doc_name, tree in self._documents.items():
-            view.results[doc_name] = frozenset(
-                evaluate(pattern, tree, index=self._index(doc_name))
-            )
+        for doc_name in self._documents:
+            view.results[doc_name] = self._materialize(pattern, doc_name)
         self._views[name] = view
         return view
 
@@ -159,11 +250,32 @@ class ViewStore:
         Required after any in-place mutation of the document tree, even
         for stores without views — the cached index behind
         :meth:`evaluate` describes the pre-mutation shape.
+
+        If the mutation changed the document's shape digest, the
+        backend's entries under the old digest are invalidated (a
+        disk-backed store appends an ``invalidate`` record), so stale
+        materializations are dropped rather than left to accumulate.
+        A shape-preserving rewrite keeps its entries: the digest binds
+        everything the persisted indexes depend on.  Invalidation is
+        skipped while another registered document still has the old
+        shape — its entries remain live under that digest.  (Sharing a
+        snapshot log across *stores* has no such guard: invalidation is
+        garbage collection, never required for correctness, but it can
+        cost another same-shape store its warm start.)
         """
-        tree = self.document(document)
+        self.document(document)  # validate the name first
+        old_digest = self._digests.pop(document, None)
         self._indexes.pop(document, None)  # the old index describes the old shape
-        index = self._index(document)
-        for view in self._views.values():
-            view.results[document] = frozenset(
-                evaluate(view.pattern, tree, index=index)
+        self._preorders.pop(document, None)
+        self._positions.pop(document, None)
+        new_digest = self._digest(document)
+        if old_digest is not None and old_digest != new_digest:
+            old_shape_still_used = any(
+                self._digest(other) == old_digest
+                for other in self._documents
+                if other != document
             )
+            if not old_shape_still_used:
+                self.backend.invalidate_document(old_digest)
+        for view in self._views.values():
+            view.results[document] = self._materialize(view.pattern, document)

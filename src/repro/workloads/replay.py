@@ -9,6 +9,14 @@ materializes those views in a :class:`~repro.views.store.ViewStore`,
 replays the stream through :class:`~repro.views.engine.QueryEngine`,
 and reports throughput, latency percentiles and cache effectiveness.
 
+Two serving-path variants hang off :class:`ReplayConfig`:
+``persist_path`` routes materializations through the disk-backed
+snapshot backend (:mod:`repro.views.persist`) so a re-run against the
+same path starts from a warm store, and ``batch_size > 1`` replays the
+stream through :meth:`QueryEngine.answer_many
+<repro.views.engine.QueryEngine.answer_many>`, folding duplicate
+queries within each batch (:func:`replay_batched`).
+
 Determinism contract: for a fixed ``ReplayConfig``, seed and cache
 configuration, every counter in :meth:`ReplayReport.counters` is
 reproducible bit-for-bit — the harness resets the containment caches
@@ -26,6 +34,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 from ..core.containment import (
@@ -35,17 +44,53 @@ from ..core.containment import (
     engine_cache_limit,
 )
 from ..core.rewrite import RewriteSolver
+from ..errors import WorkloadError
 from ..patterns.ast import Pattern
 from ..views.advisor import advise_views
 from ..views.engine import QueryEngine
+from ..views.persist import SnapshotBackend
 from ..views.store import ViewStore
 from ..xmltree.generate import random_tree
 from .streams import StreamConfig, StreamSample, sample_stream
 
-__all__ = ["ReplayConfig", "ReplayReport", "replay_stream", "replay_workload"]
+__all__ = [
+    "ReplayConfig",
+    "ReplayReport",
+    "replay_batched",
+    "replay_stream",
+    "replay_workload",
+]
 
 #: Document name used by :func:`replay_workload`'s store.
 DOCUMENT = "replay-doc"
+
+
+def _counter_snapshots(engine: QueryEngine) -> tuple[dict, dict]:
+    """Engine + containment counter snapshots (taken around a replay)."""
+    return engine.stats.snapshot(), CONTAINMENT_STATS.snapshot()
+
+
+def _fill_counter_deltas(
+    report: "ReplayReport",
+    engine: QueryEngine,
+    before: tuple[dict, dict],
+) -> None:
+    """Store the engine/containment counter deltas since ``before``.
+
+    Shared by :func:`replay_stream` and :func:`replay_batched` so the
+    two replay variants can never drift in how they attribute counters
+    — the bit-identical :meth:`ReplayReport.counters` contract depends
+    on one convention.
+    """
+    engine_before, containment_before = before
+    engine_after, containment_after = _counter_snapshots(engine)
+    report.engine = {
+        key: engine_after[key] - engine_before[key] for key in engine_after
+    }
+    report.containment = {
+        key: containment_after[key] - containment_before[key]
+        for key in containment_after
+    }
 
 
 @dataclass
@@ -68,6 +113,21 @@ class ReplayConfig:
         Cross-check every answer against direct evaluation (Prop 2.4);
         mismatches are counted in the report.  Costs one extra direct
         evaluation per query.
+    persist_path:
+        When set, materializations go through a disk-backed
+        :class:`~repro.views.persist.SnapshotBackend` at this path: the
+        first run populates the snapshot log (cold start) and later
+        runs against the same path load every view instead of
+        re-evaluating it (warm store).  ``None`` keeps the in-memory
+        backend.  Counters are identical either way — persistence only
+        changes *where* materializations come from, never their content
+        (see :meth:`ReplayReport.counters`).
+    batch_size:
+        ``1`` replays query by query (:func:`replay_stream`); larger
+        values replay in batches of this size through
+        :meth:`~repro.views.engine.QueryEngine.answer_many`
+        (:func:`replay_batched`), folding duplicate queries within each
+        batch.
     """
 
     stream: StreamConfig = field(default_factory=StreamConfig)
@@ -75,6 +135,12 @@ class ReplayConfig:
     max_views: int = 4
     advise: bool = True
     verify: bool = False
+    persist_path: str | Path | None = None
+    batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be >= 1")
 
 
 @dataclass
@@ -91,10 +157,18 @@ class ReplayReport:
     direct_plans: int = 0
     answers_total: int = 0
     verified_mismatches: int = 0
+    batches: int = 0
+    folded_queries: int = 0
     views: list[str] = field(default_factory=list)
     plans_by_view: dict[str, int] = field(default_factory=dict)
     engine: dict[str, int] = field(default_factory=dict)
     containment: dict[str, int] = field(default_factory=dict)
+    #: Storage-backend counters (hits/misses/saves/...) plus a
+    #: ``durable`` flag.  Deliberately *not* part of :meth:`counters`:
+    #: a warm disk-backed run must compare bit-identical to an
+    #: in-memory run, and where materializations came from is exactly
+    #: the part that may differ.
+    backend: dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
     latencies_ms: list[float] = field(default_factory=list)
 
@@ -119,7 +193,20 @@ class ReplayReport:
         return ordered[min(len(ordered) - 1, max(rank, 0))]
 
     def counters(self) -> dict:
-        """The deterministic portion of the report (for regression tests)."""
+        """The deterministic portion of the report (for regression tests).
+
+        Determinism contract: for a fixed :class:`ReplayConfig` (stream,
+        document size, view budget, ``batch_size``), seed and LRU cache
+        configuration, this dict is reproducible **bit-for-bit** — run
+        to run, process to process, and regardless of whether the store
+        is in-memory, cold disk-backed or warm disk-backed (persistence
+        changes where materializations come from, never their content).
+        Wall-clock fields (``elapsed_seconds``, ``latencies_ms``) and
+        the ``backend`` section are excluded for exactly that reason.
+        Different ``batch_size`` values may legitimately differ in the
+        ``engine`` section: folding duplicates inside a batch means they
+        never reach the decision cache.
+        """
         return {
             "queries": self.queries,
             "distinct_queries": self.distinct_queries,
@@ -127,6 +214,8 @@ class ReplayReport:
             "direct_plans": self.direct_plans,
             "answers_total": self.answers_total,
             "verified_mismatches": self.verified_mismatches,
+            "batches": self.batches,
+            "folded_queries": self.folded_queries,
             "views": list(self.views),
             "plans_by_view": dict(self.plans_by_view),
             "engine": dict(self.engine),
@@ -148,6 +237,17 @@ class ReplayReport:
             f"max={max(self.latencies_ms) if self.latencies_ms else 0.0:.3f}",
             f"decision cache hits: {self.engine.get('decision_cache_hits', 0)}",
         ]
+        if self.batches:
+            lines.append(
+                f"batched: {self.batches} batches, "
+                f"{self.folded_queries} duplicate queries folded"
+            )
+        if self.backend:
+            lines.append(
+                f"store backend: {self.backend.get('hits', 0)} loads, "
+                f"{self.backend.get('saves', 0)} saves "
+                f"({'durable' if self.backend.get('durable') else 'memory'})"
+            )
         if self.views:
             lines.append("views: " + ", ".join(self.views))
         if self.verified_mismatches:
@@ -171,8 +271,7 @@ def replay_stream(
     warm engine.
     """
     report = ReplayReport()
-    engine_before = engine.stats.snapshot()
-    containment_before = CONTAINMENT_STATS.snapshot()
+    before = _counter_snapshots(engine)
     distinct: set[int] = set()
     for query in queries:
         t0 = time.perf_counter()
@@ -205,15 +304,70 @@ def replay_stream(
     # latency percentiles describe exactly the same measured work.
     report.elapsed_seconds = sum(report.latencies_ms) / 1000.0
     report.distinct_queries = len(distinct)
-    engine_after = engine.stats.snapshot()
-    containment_after = CONTAINMENT_STATS.snapshot()
-    report.engine = {
-        key: engine_after[key] - engine_before[key] for key in engine_after
-    }
-    report.containment = {
-        key: containment_after[key] - containment_before[key]
-        for key in containment_after
-    }
+    _fill_counter_deltas(report, engine, before)
+    return report
+
+
+def replay_batched(
+    engine: QueryEngine,
+    queries: Sequence[Pattern],
+    document: str,
+    batch_size: int,
+    verify: bool = False,
+) -> ReplayReport:
+    """Replay a query sequence in batches through ``answer_many``.
+
+    Consecutive windows of ``batch_size`` queries are folded through
+    :meth:`~repro.views.engine.QueryEngine.answer_many`, so duplicate
+    queries inside a window are planned and executed once.  Per-query
+    latencies are the batch wall time divided evenly across its queries
+    (individual timings do not exist in a folded batch); counters are
+    exact.  ``verify`` cross-checks each *distinct* view-planned query
+    per batch against direct evaluation and counts a mismatch once per
+    affected query, matching :func:`replay_stream`'s semantics.
+    """
+    if batch_size < 1:
+        raise WorkloadError("batch_size must be >= 1")
+    report = ReplayReport()
+    before = _counter_snapshots(engine)
+    distinct: set[int] = set()
+    for start in range(0, len(queries), batch_size):
+        chunk = list(queries[start : start + batch_size])
+        result = engine.answer_many(chunk, document)
+        report.batches += 1
+        report.folded_queries += result.folded_queries
+        per_query_ms = result.elapsed_seconds * 1000.0 / len(chunk)
+        report.latencies_ms.extend([per_query_ms] * len(chunk))
+        for query, plan, answers in zip(chunk, result.plans, result.answers):
+            report.queries += 1
+            report.answers_total += len(answers)
+            distinct.add(query.memo_key())
+            if plan.kind == "view":
+                assert plan.view_name is not None
+                report.view_plans += 1
+                report.plans_by_view[plan.view_name] = (
+                    report.plans_by_view.get(plan.view_name, 0) + 1
+                )
+            else:
+                report.direct_plans += 1
+        if verify:
+            # One direct evaluation per distinct view-planned query;
+            # duplicates share its verdict (evaluation is deterministic,
+            # so this counts exactly what per-query checking would).
+            verdicts: dict[int, bool] = {}
+            for query, plan, answers in zip(chunk, result.plans, result.answers):
+                if plan.kind != "view":
+                    continue
+                key = query.memo_key()
+                if key not in verdicts:
+                    verdicts[key] = (
+                        answers != engine.store.evaluate(query, document)
+                    )
+                if verdicts[key]:
+                    report.verified_mismatches += 1
+    report.elapsed_seconds = sum(report.latencies_ms) / 1000.0
+    report.distinct_queries = len(distinct)
+    _fill_counter_deltas(report, engine, before)
     return report
 
 
@@ -226,6 +380,13 @@ def replay_workload(
     Document, stream and advisor all derive deterministically from
     ``seed``; the containment caches are cleared first so the report's
     :meth:`~ReplayReport.counters` are reproducible run-to-run.
+
+    With ``config.persist_path`` set, the store materializes through a
+    disk-backed snapshot log: the first run evaluates and saves every
+    advised view (cold start) and subsequent runs load them (warm
+    store) — the report's ``backend`` section says which happened.
+    With ``config.batch_size > 1`` the stream is replayed through
+    :func:`replay_batched` instead of :func:`replay_stream`.
     """
     config = config or ReplayConfig()
     clear_cache()
@@ -234,30 +395,49 @@ def replay_workload(
     document = random_tree(config.document_size, seed=seed)
     sample: StreamSample = sample_stream(config.stream, seed=seed)
 
-    store = ViewStore()
-    store.add_document(DOCUMENT, document)
-    chosen: list[str] = []
-    if config.advise:
-        # Advise on the template pool — the stream's generating
-        # distribution — weighted exactly as the stream drew it.
-        advice = advise_views(
-            sample.templates,
-            weights=sample.template_weights(),
-            max_views=config.max_views,
-            sample=document,
-        )
-        for rank, view in enumerate(advice.views):
-            name = f"view-{rank}"
-            store.define_view(name, view.pattern)
-            chosen.append(name)
-
-    engine = QueryEngine(store, solver=RewriteSolver(use_fallback=False))
-    report = replay_stream(
-        engine, sample.queries, DOCUMENT, verify=config.verify
+    backend = (
+        SnapshotBackend(config.persist_path)
+        if config.persist_path is not None
+        else None
     )
-    report.views = chosen
-    # The LRU limits shape the cache counters; record them so reports
-    # from different cache configurations never compare equal.
-    report.containment["cache_limit"] = cache_limit()
-    report.containment["engine_cache_limit"] = engine_cache_limit()
-    return report
+    store = ViewStore(backend=backend)
+    try:
+        store.add_document(DOCUMENT, document)
+        chosen: list[str] = []
+        if config.advise:
+            # Advise on the template pool — the stream's generating
+            # distribution — weighted exactly as the stream drew it.
+            advice = advise_views(
+                sample.templates,
+                weights=sample.template_weights(),
+                max_views=config.max_views,
+                sample=document,
+            )
+            for rank, view in enumerate(advice.views):
+                name = f"view-{rank}"
+                store.define_view(name, view.pattern)
+                chosen.append(name)
+
+        engine = QueryEngine(store, solver=RewriteSolver(use_fallback=False))
+        if config.batch_size > 1:
+            report = replay_batched(
+                engine,
+                sample.queries,
+                DOCUMENT,
+                config.batch_size,
+                verify=config.verify,
+            )
+        else:
+            report = replay_stream(
+                engine, sample.queries, DOCUMENT, verify=config.verify
+            )
+        report.views = chosen
+        # The LRU limits shape the cache counters; record them so reports
+        # from different cache configurations never compare equal.
+        report.containment["cache_limit"] = cache_limit()
+        report.containment["engine_cache_limit"] = engine_cache_limit()
+        report.backend = dict(store.backend.stats.snapshot())
+        report.backend["durable"] = int(store.backend.durable)
+        return report
+    finally:
+        store.close()

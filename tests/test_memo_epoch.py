@@ -1,0 +1,100 @@
+"""Regression tests for the memo-interning epoch reset hook.
+
+The ROADMAP memory item: ``Pattern.memo_key`` interning grows
+monotonically, so long-lived services need a reset.  A reset must leave
+every token-keyed cache coherent — live patterns re-intern lazily, the
+containment LRUs are cleared via the reset hook, and the query engine's
+decision cache is epoch-guarded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.containment import STATS, contains
+from repro.patterns.ast import (
+    memo_epoch,
+    memo_intern_size,
+    on_memo_reset,
+    reset_memo_interning,
+)
+from repro.patterns.parse import parse_pattern
+from repro.views.engine import QueryEngine
+from repro.views.store import ViewStore
+from repro.xmltree.tree import build_tree
+
+
+@pytest.fixture(autouse=True)
+def _leave_a_fresh_epoch():
+    # Each test may bump the epoch; start the next one clean too.
+    yield
+    reset_memo_interning()
+
+
+class TestReset:
+    def test_reset_empties_table_and_bumps_epoch(self):
+        p = parse_pattern("a//b[c]")
+        p.memo_key()
+        assert memo_intern_size() >= 1
+        before = memo_epoch()
+        assert reset_memo_interning() == before + 1
+        assert memo_epoch() == before + 1
+        assert memo_intern_size() == 0
+
+    def test_live_patterns_reintern_lazily(self):
+        p = parse_pattern("a//b")
+        q = parse_pattern("a/b")
+        iso = parse_pattern("a//b")
+        keys_before = (p.memo_key(), q.memo_key(), iso.memo_key())
+        assert keys_before[0] == keys_before[2] != keys_before[1]
+        reset_memo_interning()
+        # Tokens are fresh (table restarted) but the invariant holds:
+        # equal tokens iff isomorphic patterns, including for patterns
+        # created before the reset with stale cached tokens.
+        assert p.memo_key() == iso.memo_key()
+        assert p.memo_key() != q.memo_key()
+        assert memo_intern_size() == 2
+
+    def test_signature_stable_across_epochs(self):
+        p = parse_pattern("a[b][c]//d")
+        sig = p.signature()
+        reset_memo_interning()
+        assert p.signature() == sig
+        assert parse_pattern("a[c][b]//d").signature() == sig
+
+    def test_reset_hook_runs(self):
+        calls = []
+        on_memo_reset(lambda: calls.append(memo_epoch()))
+        epoch = reset_memo_interning()
+        assert calls == [epoch]
+
+
+class TestCachesStayCoherent:
+    def test_containment_correct_across_reset(self):
+        p = parse_pattern("a//b")
+        q = parse_pattern("a/b")
+        assert contains(q, p)       # a/b ⊑ a//b
+        assert not contains(p, q)
+        reset_memo_interning()
+        # The result LRU was cleared by the hook; recomputation (with
+        # new tokens) must agree, and must not be served a stale entry
+        # under a colliding new token.
+        tests_before = STATS.hom_tests
+        assert contains(q, p)
+        assert not contains(p, q)
+        assert STATS.hom_tests > tests_before  # really recomputed
+
+    def test_engine_decisions_survive_reset(self):
+        tree = build_tree({"a": [{"b": ["c"]}, "b"]})
+        store = ViewStore()
+        store.add_document("doc", tree)
+        store.define_view("v", parse_pattern("a//b"))
+        engine = QueryEngine(store)
+        query = parse_pattern("a//b[c]")
+        before = engine.answer(query, "doc")
+        reset_memo_interning()
+        # The epoch-guarded decision cache drops its (stale-token) keys;
+        # a fresh distinct query must not collide with them.
+        other = parse_pattern("a/b")
+        assert engine.answer(other, "doc") == store.evaluate(other, "doc")
+        assert engine.answer(query, "doc") == before

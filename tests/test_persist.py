@@ -1,0 +1,296 @@
+"""Tests for the disk-backed view store (repro.views.persist).
+
+Covers the acceptance criteria of the persistence subsystem: save →
+process-equivalent reload → identical answers and bit-identical replay
+counters; corrupted or stale snapshot entries fall back to rebuild;
+document mutation invalidates the old shape's entries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.patterns.parse import parse_pattern
+from repro.views.persist import (
+    MemoryBackend,
+    SnapshotBackend,
+    document_digest,
+    pattern_digest,
+)
+from repro.views.store import ViewStore
+from repro.workloads.replay import ReplayConfig, replay_workload
+from repro.workloads.streams import StreamConfig
+from repro.xmltree.generate import random_tree
+from repro.xmltree.tree import build_tree
+
+
+@pytest.fixture
+def snapshot_path(tmp_path):
+    return tmp_path / "views.snapshot.jsonl"
+
+
+def make_document(seed: int = 3):
+    return random_tree(180, seed=seed)
+
+
+VIEWS = {
+    "v-desc": "a//b",
+    "v-star": "a/*[b]",
+    "v-branch": "a[c]//b",
+}
+
+
+def populate(store: ViewStore, seed: int = 3) -> None:
+    store.add_document("doc", make_document(seed))
+    for name, xpath in VIEWS.items():
+        store.define_view(name, parse_pattern(xpath))
+
+
+class TestDigests:
+    def test_document_digest_binds_shape(self):
+        t1 = build_tree({"a": ["b", {"c": ["d"]}]})
+        t2 = build_tree({"a": ["b", {"c": ["d"]}]})
+        t3 = build_tree({"a": [{"c": ["d"]}, "b"]})  # different child order
+        assert document_digest(t1) == document_digest(t2)
+        assert document_digest(t1) != document_digest(t3)
+
+    def test_document_digest_sees_depth(self):
+        flat = build_tree({"a": ["b", "c"]})
+        deep = build_tree({"a": [{"b": ["c"]}]})
+        assert document_digest(flat) != document_digest(deep)
+
+    def test_pattern_digest_isomorphism(self):
+        p1 = parse_pattern("a[b][c]//d")
+        p2 = parse_pattern("a[c][b]//d")  # branch order irrelevant
+        p3 = parse_pattern("a[b][c]/d")
+        assert pattern_digest(p1) == pattern_digest(p2)
+        assert pattern_digest(p1) != pattern_digest(p3)
+
+
+class TestSnapshotRoundTrip:
+    def test_reload_serves_identical_answers(self, snapshot_path):
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(store)
+        expected = {
+            name: {node.label for node in store.view_answers(name, "doc")}
+            for name in VIEWS
+        }
+        expected_sizes = {
+            name: len(store.view_answers(name, "doc")) for name in VIEWS
+        }
+        store.close()
+
+        # Process-equivalent reload: fresh backend object, fresh store,
+        # freshly regenerated (isomorphic) document.
+        backend = SnapshotBackend(snapshot_path)
+        reloaded = ViewStore(backend=backend)
+        populate(reloaded)
+        assert backend.stats.hits == len(VIEWS)
+        assert backend.stats.saves == 0
+        for name in VIEWS:
+            answers = reloaded.view_answers(name, "doc")
+            assert len(answers) == expected_sizes[name]
+            assert {node.label for node in answers} == expected[name]
+            # Loaded forests must equal what evaluation would produce,
+            # as identity-based node sets on the live document.
+            direct = reloaded.evaluate(parse_pattern(VIEWS[name]), "doc")
+            assert answers == frozenset(direct)
+        reloaded.close()
+
+    def test_loaded_nodes_live_in_the_new_document(self, snapshot_path):
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(store)
+        store.close()
+        reloaded = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(reloaded)
+        doc_nodes = set(map(id, reloaded.document("doc").nodes()))
+        for name in VIEWS:
+            for node in reloaded.view_answers(name, "doc"):
+                assert id(node) in doc_nodes
+        reloaded.close()
+
+    def test_memory_backend_equivalent(self, snapshot_path):
+        durable = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(durable)
+        memory = ViewStore(backend=MemoryBackend())
+        populate(memory)
+        default = ViewStore()
+        populate(default)
+        for name in VIEWS:
+            sizes = {
+                len(s.view_answers(name, "doc"))
+                for s in (durable, memory, default)
+            }
+            assert len(sizes) == 1
+        durable.close()
+
+
+class TestReplayCountersIdentical:
+    CONFIG = dict(
+        stream=StreamConfig(length=80, templates=6),
+        document_size=200,
+        max_views=3,
+    )
+
+    def test_warm_store_replay_bit_identical(self, snapshot_path):
+        durable = ReplayConfig(**self.CONFIG, persist_path=snapshot_path)
+        cold = replay_workload(durable, seed=11)
+        warm = replay_workload(durable, seed=11)
+        memory = replay_workload(ReplayConfig(**self.CONFIG), seed=11)
+        assert cold.backend["saves"] > 0 and cold.backend["hits"] == 0
+        assert warm.backend["hits"] > 0 and warm.backend["saves"] == 0
+        assert cold.counters() == memory.counters()
+        assert warm.counters() == memory.counters()
+
+    def test_batched_warm_store_bit_identical(self, snapshot_path):
+        durable = ReplayConfig(
+            **self.CONFIG, persist_path=snapshot_path, batch_size=16
+        )
+        cold = replay_workload(durable, seed=11)
+        warm = replay_workload(durable, seed=11)
+        assert warm.backend["hits"] > 0
+        assert cold.counters() == warm.counters()
+
+
+class TestCorruptionAndStaleness:
+    def test_garbage_file_falls_back_to_rebuild(self, snapshot_path):
+        snapshot_path.write_text("this is not json\x00\xef garbage\n{half")
+        backend = SnapshotBackend(snapshot_path)
+        assert backend.stats.corrupt_records >= 1
+        assert len(backend) == 0
+        store = ViewStore(backend=backend)
+        populate(store)  # rebuilds from scratch, then persists
+        assert backend.stats.saves == len(VIEWS)
+        store.close()
+        # The rebuilt log is valid again.
+        again = SnapshotBackend(snapshot_path)
+        assert len(again) == len(VIEWS)
+        assert again.stats.corrupt_records >= 1  # the old garbage lines
+
+    def test_torn_tail_write_skipped(self, snapshot_path):
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(store)
+        store.close()
+        whole = snapshot_path.read_text()
+        snapshot_path.write_text(whole + whole.splitlines()[0][: len(whole) // 8])
+        backend = SnapshotBackend(snapshot_path)
+        assert backend.stats.corrupt_records == 1
+        assert len(backend) == len(VIEWS)
+
+    def test_tampered_record_fails_checksum(self, snapshot_path):
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(store)
+        store.close()
+        lines = snapshot_path.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["ids"] = [0]  # tamper without fixing the checksum
+        lines[0] = json.dumps(record, sort_keys=True)
+        snapshot_path.write_text("\n".join(lines) + "\n")
+        backend = SnapshotBackend(snapshot_path)
+        assert backend.stats.corrupt_records == 1
+        assert len(backend) == len(VIEWS) - 1
+
+    def test_out_of_range_ids_treated_as_miss(self, snapshot_path):
+        pattern = parse_pattern("a//b")
+        doc = make_document()
+        # Forge a valid-checksum record with impossible node ids.
+        backend = SnapshotBackend(snapshot_path)
+        backend.save(
+            document_digest(doc), pattern_digest(pattern), [10_000_000]
+        )
+        backend.close()
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        store.add_document("doc", doc)
+        store.define_view("v", pattern)
+        assert store.backend.stats.corrupt_records == 1
+        # The rejected entry is reclassified miss, not left as a "hit":
+        # warm-start monitoring must not count a rebuild as a load.
+        assert store.backend.stats.hits == 0
+        assert store.backend.stats.misses == 1
+        assert store.view_answers("v", "doc") == frozenset(
+            store.evaluate(pattern, "doc")
+        )
+        store.close()
+
+    def test_unknown_format_version_skipped(self, snapshot_path):
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(store)
+        store.close()
+        lines = snapshot_path.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["v"] = 999
+        lines[0] = json.dumps(record, sort_keys=True)
+        snapshot_path.write_text("\n".join(lines) + "\n")
+        backend = SnapshotBackend(snapshot_path)
+        assert backend.stats.corrupt_records == 1
+        assert len(backend) == len(VIEWS) - 1
+
+
+class TestInvalidation:
+    def test_refresh_invalidates_old_shape(self, snapshot_path):
+        backend = SnapshotBackend(snapshot_path)
+        store = ViewStore(backend=backend)
+        tree = build_tree({"a": ["b", {"c": ["b"]}]})
+        store.add_document("doc", tree)
+        pattern = parse_pattern("a//b")
+        store.define_view("v", pattern)
+        assert len(store.view_answers("v", "doc")) == 2
+        old_digest = store.document_digest("doc")
+
+        tree.root.new_child("b")  # in-place mutation changes the shape
+        store.refresh("doc")
+        assert backend.stats.invalidations == 1
+        assert store.document_digest("doc") != old_digest
+        assert len(store.view_answers("v", "doc")) == 3
+        assert store.view_answers("v", "doc") == frozenset(
+            store.evaluate(pattern, "doc")
+        )
+        store.close()
+
+        # After reload the new shape's entry is served, the old is gone.
+        again = SnapshotBackend(snapshot_path)
+        keys = {doc for doc, _ in again._entries}
+        assert old_digest not in keys
+
+    def test_refresh_spares_shared_shape(self, snapshot_path):
+        backend = SnapshotBackend(snapshot_path)
+        store = ViewStore(backend=backend)
+        mutated = build_tree({"a": ["b", "b"]})
+        twin = build_tree({"a": ["b", "b"]})  # same shape, stays put
+        store.add_document("mutated", mutated)
+        store.add_document("twin", twin)
+        store.define_view("v", parse_pattern("a/b"))
+        shared_digest = store.document_digest("twin")
+        mutated.root.new_child("c")
+        store.refresh("mutated")
+        # The twin still owns the old shape: no invalidation happened,
+        # and its persisted entry survives for the next process.
+        assert backend.stats.invalidations == 0
+        store.close()
+        assert shared_digest in {doc for doc, _ in SnapshotBackend(snapshot_path)._entries}
+
+    def test_compact_preserves_entries(self, snapshot_path):
+        backend = SnapshotBackend(snapshot_path)
+        store = ViewStore(backend=backend)
+        populate(store)
+        size_before = snapshot_path.stat().st_size
+        live = backend.compact()
+        assert live == len(VIEWS)
+        assert snapshot_path.stat().st_size <= size_before
+        store.close()
+        reloaded = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(reloaded)
+        assert reloaded.backend.stats.hits == len(VIEWS)
+        reloaded.close()
+
+    def test_compact_preserves_xpath_provenance(self, snapshot_path):
+        store = ViewStore(backend=SnapshotBackend(snapshot_path))
+        populate(store)
+        store.backend.compact()
+        store.close()
+        records = [
+            json.loads(line) for line in snapshot_path.read_text().splitlines()
+        ]
+        assert sorted(r["xpath"] for r in records) == sorted(VIEWS.values())
