@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-replay bench-all docs-check
+.PHONY: test test-fast bench bench-containment bench-replay bench-catalog bench-all docs-check
 
 ## Tier-1 test suite (the driver's gate).
 test:
@@ -11,15 +11,23 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
 
+## Aggregate: every recorded benchmark JSON at the repo root.
+## Compare the JSONs against the committed baselines before/after a PR.
+bench: bench-containment bench-replay bench-catalog
+
 ## Perf guard: records ops/sec + speedup-vs-seed to BENCH_containment.json.
-## Compare the JSON against the committed baseline before/after a PR.
-bench:
+bench-containment:
 	$(PYTHON) benchmarks/bench_perf_guard.py
 
 ## Workload replay + batched advisor: records queries/sec and the
 ## batched-vs-solver advisor speedup to BENCH_replay.json.
 bench-replay:
 	$(PYTHON) benchmarks/bench_replay.py
+
+## Catalog subsystem: records warm-start speedup, replay bit-identity
+## and sharded-serving throughput to BENCH_catalog.json.
+bench-catalog:
+	$(PYTHON) benchmarks/bench_catalog.py
 
 ## Full paper-claims benchmark battery (pytest-benchmark based).
 bench-all:

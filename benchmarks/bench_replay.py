@@ -54,6 +54,7 @@ from pathlib import Path
 from repro.core.containment import (
     DEFAULT_ENGINE_CACHE_LIMIT,
     clear_cache,
+    set_branch_prune_enabled,
     set_engine_cache_limit,
 )
 from repro.patterns.random import PatternConfig
@@ -131,8 +132,11 @@ def measure_advisor() -> dict:
     for seed in ADVISOR_SEEDS:
         workload = query_stream(ADVISOR_STREAM, seed=seed)
         # Baseline: per-pair solver scoring without the cross-call
-        # engine LRU — the pre-batching (PR 1) advisor stack.
+        # engine LRU and without the (PR 5) dispatch branch prune —
+        # the pre-batching (PR 1) advisor stack.  Selections must
+        # still be identical: both knobs change cost, never verdicts.
         set_engine_cache_limit(0)
+        set_branch_prune_enabled(False)
         clear_cache()
         t0 = time.perf_counter()
         reference = advise_views(
@@ -142,6 +146,7 @@ def measure_advisor() -> dict:
         solver_time = time.perf_counter() - t0
         # Batched: containment-only scoring with the engine LRU on.
         set_engine_cache_limit(DEFAULT_ENGINE_CACHE_LIMIT)
+        set_branch_prune_enabled(True)
         clear_cache()
         t0 = time.perf_counter()
         batched = advise_views(

@@ -1,0 +1,42 @@
+"""Multi-document catalog subsystem: durable view catalogs and routing.
+
+The layer above :mod:`repro.views` for the many-documents regime:
+
+* :class:`~repro.catalog.sqlite_backend.SqliteBackend` — the
+  :class:`~repro.views.persist.StoreBackend` protocol on SQLite in WAL
+  mode (concurrent readers, one file per catalog), including persisted
+  advisor *selection records* for warm starts;
+* :class:`~repro.catalog.catalog.Catalog` — documents registered by id,
+  one ``ViewStore``/``QueryEngine`` per document over one shared
+  backend, a typed-error router for ``(document, query)`` requests and
+  digest-validated cross-batch answer caching;
+* :class:`~repro.catalog.server.CatalogServer` — batch sharding across
+  a process pool (planning is CPU-bound), with a deterministic
+  single-process mode that keeps counters regression-testable.
+
+See ``docs/architecture.md`` ("Catalog layer") for the design notes and
+``benchmarks/bench_catalog.py`` for the recorded numbers.
+"""
+
+from .catalog import Catalog, CatalogAdvice, CatalogEntry, RoutedAnswer
+from .server import (
+    CatalogServeResult,
+    CatalogServer,
+    CatalogSpec,
+    DocumentSpec,
+    build_catalog,
+)
+from .sqlite_backend import SqliteBackend
+
+__all__ = [
+    "Catalog",
+    "CatalogAdvice",
+    "CatalogEntry",
+    "CatalogServeResult",
+    "CatalogServer",
+    "CatalogSpec",
+    "DocumentSpec",
+    "RoutedAnswer",
+    "SqliteBackend",
+    "build_catalog",
+]

@@ -1,0 +1,372 @@
+"""Sharded serving over a catalog: process-pool and inline modes.
+
+Planning is CPU-bound (containment dominates), so a busy catalog wants
+batches *off* the event loop and across cores.  Python processes do not
+share pattern/tree objects, which dictates the transport:
+
+* a :class:`CatalogSpec` is a fully picklable description of the fleet —
+  documents as XML text, advisor workloads as XPath strings, plus the
+  shared SQLite path — from which any process can rebuild an identical
+  :class:`~repro.catalog.catalog.Catalog` (:func:`build_catalog`);
+* requests ship as ``(document id, XPath)`` pairs and answers come back
+  as **sorted preorder indexes** (the same process-independent encoding
+  the storage backends persist), so results are comparable across modes
+  bit for bit.
+
+:class:`CatalogServer` runs in two modes:
+
+* ``workers=0`` — **deterministic inline mode**: one in-process catalog,
+  every batch answered synchronously.  Counters stay inspectable
+  (:meth:`CatalogServer.counters`), which keeps the whole serving path
+  regression-testable; the pool mode must produce identical answers.
+* ``workers>=1`` — **document-affine sharding** over single-process
+  :class:`~concurrent.futures.ProcessPoolExecutor` shards whose workers
+  rebuild the catalog from the spec.  Each document id maps to one
+  fixed shard (its position in the sorted id list, modulo ``workers``),
+  so a document's planning state — decision caches, answer caches,
+  containment engines — lives in exactly one process and is never
+  recomputed by its siblings; throughput scales across *documents*.
+  With a shared SQLite path the workers *warm-start*: advisor
+  selections and materializations load from the database instead of
+  being recomputed (see the catalog benchmark's scaling section).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from ..errors import CatalogError, UnknownDocumentError
+from ..patterns.ast import Pattern
+from ..patterns.parse import parse_pattern
+from ..patterns.serialize import to_xpath
+from ..xmltree.parse import parse_xml, to_xml
+from ..xmltree.tree import XMLTree
+from .catalog import Catalog
+
+__all__ = [
+    "CatalogServer",
+    "CatalogServeResult",
+    "CatalogSpec",
+    "DocumentSpec",
+    "build_catalog",
+]
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """A picklable description of one catalog document.
+
+    ``workload_xpaths``/``weights`` are the advisor inputs — they (not
+    the selected views) are what the selection fingerprint binds, so a
+    worker rebuilding from this spec computes the same fingerprint and
+    warm-starts from the same persisted selection.
+    """
+
+    doc_id: str
+    xml: str
+    workload_xpaths: tuple[str, ...] = ()
+    weights: tuple[float, ...] | None = None
+
+    @classmethod
+    def from_tree(
+        cls,
+        doc_id: str,
+        tree: XMLTree,
+        workload: Sequence[Pattern] = (),
+        weights: Sequence[float] | None = None,
+    ) -> "DocumentSpec":
+        return cls(
+            doc_id=doc_id,
+            xml=to_xml(tree),
+            workload_xpaths=tuple(to_xpath(query) for query in workload),
+            weights=tuple(weights) if weights is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class CatalogSpec:
+    """Everything needed to rebuild the catalog in another process."""
+
+    documents: tuple[DocumentSpec, ...]
+    db_path: str | None = None
+    max_views: int = 4
+    answer_cache_size: int = 512
+    max_models: int | None = None
+
+
+def build_catalog(spec: CatalogSpec) -> Catalog:
+    """Rebuild a catalog from its spec: register and advise every document.
+
+    With ``spec.db_path`` set and a previously populated database this
+    is the warm path — selections and materializations load instead of
+    being recomputed.
+    """
+    catalog = Catalog(
+        db_path=spec.db_path,
+        answer_cache_size=spec.answer_cache_size,
+        max_models=spec.max_models,
+    )
+    try:
+        for doc in spec.documents:
+            catalog.register(doc.doc_id, parse_xml(doc.xml))
+            if doc.workload_xpaths:
+                catalog.advise(
+                    doc.doc_id,
+                    [parse_pattern(x) for x in doc.workload_xpaths],
+                    # `is not None`, not truthiness: an explicit empty
+                    # weights tuple must surface the advisor's length
+                    # mismatch, not silently become uniform weights
+                    # under a different fingerprint.
+                    weights=(
+                        list(doc.weights) if doc.weights is not None else None
+                    ),
+                    max_views=spec.max_views,
+                )
+    except Exception:
+        catalog.close()
+        raise
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module-level for picklability)
+# ----------------------------------------------------------------------
+
+_WORKER_CATALOG: Catalog | None = None
+
+
+def _init_worker(spec: CatalogSpec) -> None:
+    global _WORKER_CATALOG
+    _WORKER_CATALOG = build_catalog(spec)
+
+
+def _serve_in_worker(
+    doc_id: str, xpaths: list[str]
+) -> tuple[list[list[int]], list[str]]:
+    """Answer one document group in a worker; returns (ids, plan kinds)."""
+    assert _WORKER_CATALOG is not None, "worker initializer did not run"
+    queries = [parse_pattern(x) for x in xpaths]
+    batch = _WORKER_CATALOG.answer_many(doc_id, queries)
+    ids = [
+        _WORKER_CATALOG.node_ids(doc_id, answer) for answer in batch.answers
+    ]
+    return ids, [plan.kind for plan in batch.plans]
+
+
+@dataclass
+class CatalogServeResult:
+    """Outcome of one :meth:`CatalogServer.serve_requests` call.
+
+    ``answer_ids``/``plan_kinds`` are in request order; answers are
+    sorted preorder indexes into their document (identical between
+    inline and pool modes).  ``elapsed_seconds`` is wall time for the
+    whole call; the deterministic portion is everything else.
+    """
+
+    answer_ids: list[list[int]] = field(default_factory=list)
+    plan_kinds: list[str] = field(default_factory=list)
+    served: int = 0
+    batches: int = 0
+    by_document: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def queries_per_sec(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.served / self.elapsed_seconds
+
+    def counters(self) -> dict:
+        """The deterministic portion (answers, plans, routing)."""
+        return {
+            "answer_ids": [list(ids) for ids in self.answer_ids],
+            "plan_kinds": list(self.plan_kinds),
+            "served": self.served,
+            "batches": self.batches,
+            "by_document": dict(self.by_document),
+        }
+
+
+class CatalogServer:
+    """Serve ``(document id, query)`` batches over a catalog spec.
+
+    Parameters
+    ----------
+    spec:
+        The fleet description (see :class:`CatalogSpec`).
+    workers:
+        ``0`` (default) runs deterministically in-process; ``n >= 1``
+        shards batches document-affinely across ``n`` worker processes
+        that rebuild the catalog from the spec (warm-starting from
+        ``spec.db_path`` when set).
+    """
+
+    def __init__(self, spec: CatalogSpec, workers: int = 0) -> None:
+        if workers < 0:
+            raise CatalogError("workers must be >= 0")
+        self.spec = spec
+        self.workers = workers
+        self._known = {doc.doc_id for doc in spec.documents}
+        # Document -> shard affinity: position in the sorted id list,
+        # modulo the worker count.  Deterministic, so a document's
+        # planning caches live (and stay warm) in exactly one worker.
+        self._shard_of = {
+            doc_id: index % workers if workers else 0
+            for index, doc_id in enumerate(sorted(self._known))
+        }
+        self._closed = False
+        self._catalog: Catalog | None = None
+        self._shards: list[ProcessPoolExecutor] = []
+        if workers == 0:
+            self._catalog = build_catalog(spec)
+        else:
+            try:
+                for shard_index in range(workers):
+                    shard_spec = replace(
+                        spec,
+                        documents=tuple(
+                            doc
+                            for doc in spec.documents
+                            if self._shard_of[doc.doc_id] == shard_index
+                        ),
+                    )
+                    self._shards.append(
+                        ProcessPoolExecutor(
+                            max_workers=1,
+                            initializer=_init_worker,
+                            initargs=(shard_spec,),
+                        )
+                    )
+            except BaseException:
+                # A later shard failing to construct must not leak the
+                # worker processes of the earlier ones — the caller
+                # never receives the object, so close() is unreachable.
+                for shard in self._shards:
+                    shard.shutdown(wait=False)
+                self._shards = []
+                raise
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _validate(self, doc_id: str) -> None:
+        if doc_id not in self._known:
+            raise UnknownDocumentError(
+                f"unknown document {doc_id!r} (spec holds: "
+                f"{sorted(self._known)})"
+            )
+
+    def serve_requests(
+        self,
+        requests: Sequence[tuple[str, "str | Pattern"]],
+        batch_size: int = 32,
+    ) -> CatalogServeResult:
+        """Answer a request sequence, sharded into per-document batches.
+
+        Requests are cut into consecutive windows of ``batch_size``
+        (preserving arrival order, like the async ``serve`` loop), each
+        window is grouped per document, and every group becomes one unit
+        of work — answered inline, or submitted to the pool where groups
+        run concurrently.  Answers scatter back in request order as
+        preorder indexes.
+        """
+        if self._closed:
+            raise CatalogError("CatalogServer is closed")
+        if batch_size < 1:
+            raise CatalogError("batch_size must be >= 1")
+        normalized: list[tuple[str, str]] = []
+        for doc_id, query in requests:
+            self._validate(doc_id)
+            xpath = query if isinstance(query, str) else to_xpath(query)
+            normalized.append((doc_id, xpath))
+
+        result = CatalogServeResult(
+            answer_ids=[[] for _ in normalized],
+            plan_kinds=[""] * len(normalized),
+            served=len(normalized),
+        )
+        t0 = time.perf_counter()
+        pending: list[tuple[Future, str, list[int]]] = []
+        for start in range(0, len(normalized), batch_size):
+            window = normalized[start : start + batch_size]
+            result.batches += 1
+            grouped: dict[str, list[int]] = {}
+            for offset, (doc_id, _) in enumerate(window):
+                grouped.setdefault(doc_id, []).append(start + offset)
+            for doc_id, indexes in grouped.items():
+                result.by_document[doc_id] = (
+                    result.by_document.get(doc_id, 0) + len(indexes)
+                )
+                xpaths = [normalized[index][1] for index in indexes]
+                if self._shards:
+                    shard = self._shards[self._shard_of[doc_id]]
+                    future = shard.submit(_serve_in_worker, doc_id, xpaths)
+                    pending.append((future, doc_id, indexes))
+                else:
+                    assert self._catalog is not None
+                    ids, kinds = self._serve_inline(doc_id, xpaths)
+                    self._scatter(result, indexes, ids, kinds)
+        for future, _, indexes in pending:
+            ids, kinds = future.result()
+            self._scatter(result, indexes, ids, kinds)
+        result.elapsed_seconds = time.perf_counter() - t0
+        return result
+
+    def _serve_inline(
+        self, doc_id: str, xpaths: list[str]
+    ) -> tuple[list[list[int]], list[str]]:
+        assert self._catalog is not None
+        queries = [parse_pattern(x) for x in xpaths]
+        batch = self._catalog.answer_many(doc_id, queries)
+        ids = [
+            self._catalog.node_ids(doc_id, answer) for answer in batch.answers
+        ]
+        return ids, [plan.kind for plan in batch.plans]
+
+    @staticmethod
+    def _scatter(
+        result: CatalogServeResult,
+        indexes: list[int],
+        ids: list[list[int]],
+        kinds: list[str],
+    ) -> None:
+        for position, index in enumerate(indexes):
+            result.answer_ids[index] = ids[position]
+            result.plan_kinds[index] = kinds[position]
+
+    # ------------------------------------------------------------------
+    # Reporting / lifecycle
+    # ------------------------------------------------------------------
+    def counters(self) -> dict:
+        """The inline catalog's deterministic counters.
+
+        Only meaningful in inline mode — worker processes keep their
+        counters in their own address space, which is exactly why the
+        deterministic mode exists.
+        """
+        if self._catalog is None:
+            raise CatalogError(
+                "counters() requires the deterministic inline mode "
+                "(workers=0); pool workers keep theirs per-process"
+            )
+        return self._catalog.counters()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown(wait=True)
+        self._shards = []
+        if self._catalog is not None:
+            self._catalog.close()
+            self._catalog = None
+
+    def __enter__(self) -> "CatalogServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

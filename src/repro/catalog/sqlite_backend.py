@@ -1,0 +1,226 @@
+"""SQLite storage backend for view catalogs.
+
+The snapshot log (:class:`~repro.views.persist.SnapshotBackend`) is a
+single-writer, whole-file format: perfect for one store, wrong for a
+*catalog* — many documents behind one front end, warm-started by several
+processes at once.  :class:`SqliteBackend` implements the same
+:class:`~repro.views.persist.StoreBackend` protocol on SQLite in WAL
+mode, which gives
+
+* **concurrent readers** — WAL readers never block each other (nor the
+  occasional writer), so every worker process of a
+  :class:`~repro.catalog.server.CatalogServer` can open the same
+  database and warm-start independently;
+* **keyed storage** — one ``materializations`` table keyed
+  ``(document digest, pattern digest)``, exactly the protocol's key, so
+  any number of documents share one file without namespace games;
+* **selection records** — a ``selections`` table keyed
+  ``(document digest, workload fingerprint)`` persisting the view
+  advisor's chosen view set.  Re-advising is the dominant warm-start
+  cost (it is containment-heavy); loading the selection skips it
+  entirely, and the fingerprint binds the advisor's inputs so a changed
+  workload can never reuse a stale selection.
+
+Durability is SQLite's: committed transactions survive the process.  A
+corrupt or missing row degrades to re-evaluation through the protocol's
+miss path, the same contract as every other backend.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import CatalogError
+from ..views.persist import BackendStats
+
+__all__ = ["SqliteBackend"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS materializations (
+    doc   TEXT NOT NULL,
+    pat   TEXT NOT NULL,
+    xpath TEXT NOT NULL DEFAULT '',
+    ids   TEXT NOT NULL,
+    PRIMARY KEY (doc, pat)
+);
+CREATE TABLE IF NOT EXISTS selections (
+    doc     TEXT NOT NULL,
+    fp      TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (doc, fp)
+);
+"""
+
+
+class SqliteBackend:
+    """A :class:`~repro.views.persist.StoreBackend` over SQLite (WAL mode).
+
+    Parameters
+    ----------
+    path:
+        Database file; created (with parents) if missing.
+    timeout:
+        Seconds a write waits on a locked database before giving up —
+        writer collisions are expected when several cold workers race to
+        populate the same catalog, and last-write-wins is correct here
+        (both compute identical rows from identical inputs).
+
+    Thread/process notes: WAL readers are fully concurrent; each
+    process (and preferably each thread) should open its *own*
+    ``SqliteBackend`` on the shared path — connections are cheap, and
+    the tests exercise exactly that pattern.  The connection is created
+    with ``check_same_thread=False`` so a backend may also be handed
+    between threads that serialize access themselves.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    durable = True
+
+    def __init__(self, path: str | Path, *, timeout: float = 30.0) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.stats = BackendStats()
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False
+        )
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def _cursor(self) -> sqlite3.Connection:
+        if self._conn is None:
+            raise CatalogError(f"SqliteBackend at {self.path} is closed")
+        return self._conn
+
+    # ------------------------------------------------------------------
+    # Materializations (StoreBackend protocol)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        row = self._cursor().execute(
+            "SELECT COUNT(*) FROM materializations"
+        ).fetchone()
+        return int(row[0])
+
+    def load(self, doc_digest: str, pat_digest: str) -> list[int] | None:
+        row = self._cursor().execute(
+            "SELECT ids FROM materializations WHERE doc = ? AND pat = ?",
+            (doc_digest, pat_digest),
+        ).fetchone()
+        if row is None:
+            self.stats.misses += 1
+            return None
+        try:
+            ids = json.loads(row[0])
+        except ValueError:
+            ids = None
+        if not isinstance(ids, list) or not all(
+            isinstance(i, int) for i in ids
+        ):
+            # A corrupt row is dropped and reported as a miss — the
+            # store re-evaluates and overwrites it, like every backend.
+            self._cursor().execute(
+                "DELETE FROM materializations WHERE doc = ? AND pat = ?",
+                (doc_digest, pat_digest),
+            )
+            self._cursor().commit()
+            self.stats.corrupt_records += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return ids
+
+    def save(
+        self,
+        doc_digest: str,
+        pat_digest: str,
+        node_ids: Sequence[int],
+        *,
+        xpath: str = "",
+    ) -> None:
+        conn = self._cursor()
+        conn.execute(
+            "INSERT OR REPLACE INTO materializations (doc, pat, xpath, ids) "
+            "VALUES (?, ?, ?, ?)",
+            (doc_digest, pat_digest, xpath, json.dumps(sorted(node_ids))),
+        )
+        conn.commit()
+        self.stats.saves += 1
+
+    def invalidate_document(self, doc_digest: str) -> None:
+        conn = self._cursor()
+        conn.execute(
+            "DELETE FROM materializations WHERE doc = ?", (doc_digest,)
+        )
+        conn.execute("DELETE FROM selections WHERE doc = ?", (doc_digest,))
+        conn.commit()
+        self.stats.invalidations += 1
+
+    def reject_loaded(self, doc_digest: str, pat_digest: str) -> None:
+        conn = self._cursor()
+        conn.execute(
+            "DELETE FROM materializations WHERE doc = ? AND pat = ?",
+            (doc_digest, pat_digest),
+        )
+        conn.commit()
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self.stats.corrupt_records += 1
+
+    # ------------------------------------------------------------------
+    # Selection records
+    # ------------------------------------------------------------------
+    def load_selection(self, doc_digest: str, fingerprint: str) -> dict | None:
+        row = self._cursor().execute(
+            "SELECT payload FROM selections WHERE doc = ? AND fp = ?",
+            (doc_digest, fingerprint),
+        ).fetchone()
+        if row is None:
+            self.stats.selection_misses += 1
+            return None
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            payload = None
+        if not isinstance(payload, dict):
+            self._cursor().execute(
+                "DELETE FROM selections WHERE doc = ? AND fp = ?",
+                (doc_digest, fingerprint),
+            )
+            self._cursor().commit()
+            self.stats.corrupt_records += 1
+            self.stats.selection_misses += 1
+            return None
+        self.stats.selection_hits += 1
+        return payload
+
+    def save_selection(
+        self, doc_digest: str, fingerprint: str, payload: dict
+    ) -> None:
+        conn = self._cursor()
+        conn.execute(
+            "INSERT OR REPLACE INTO selections (doc, fp, payload) "
+            "VALUES (?, ?, ?)",
+            (doc_digest, fingerprint, json.dumps(payload, sort_keys=True)),
+        )
+        conn.commit()
+        self.stats.selection_saves += 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.commit()
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

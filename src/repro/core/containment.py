@@ -81,6 +81,10 @@ __all__ = [
     "hom_containment",
     "canonical_containment",
     "hom_exists",
+    "prune_subsumed_branches",
+    "prune_subsumed_branches_memoized",
+    "set_branch_prune_enabled",
+    "branch_prune_enabled",
     "clear_cache",
     "set_cache_limit",
     "cache_limit",
@@ -101,6 +105,7 @@ class ContainmentStats:
     cache_evictions: int = 0
     engine_cache_hits: int = 0
     engine_cache_evictions: int = 0
+    branch_prunes: int = 0
 
     def reset(self) -> None:
         self.hom_tests = 0
@@ -110,6 +115,7 @@ class ContainmentStats:
         self.cache_evictions = 0
         self.engine_cache_hits = 0
         self.engine_cache_evictions = 0
+        self.branch_prunes = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -120,6 +126,7 @@ class ContainmentStats:
             "cache_evictions": self.cache_evictions,
             "engine_cache_hits": self.engine_cache_hits,
             "engine_cache_evictions": self.engine_cache_evictions,
+            "branch_prunes": self.branch_prunes,
         }
 
 
@@ -142,11 +149,44 @@ _CACHE_LIMIT = DEFAULT_CACHE_LIMIT
 _ENGINES: OrderedDict[tuple[int, int], CanonicalEngine] = OrderedDict()
 _ENGINE_CACHE_LIMIT = DEFAULT_ENGINE_CACHE_LIMIT
 
+#: Bound on the memoized pruned-pattern map (patterns, not booleans, so
+#: the bound is tighter than the result LRU's).
+PRUNE_CACHE_LIMIT = 4_096
+
+# Memoized prune results keyed by memo_key, LRU-bounded.  A hit returns
+# the *same* pruned Pattern object, so its memo_key is stable and the
+# engine LRU keyed by it keeps hitting across calls.
+_PRUNED: OrderedDict[int, Pattern] = OrderedDict()
+_PRUNE_ENABLED = True
+
+
+def set_branch_prune_enabled(enabled: bool) -> None:
+    """Toggle the dispatch's hom-subsumption prune (default on).
+
+    Exists for baseline measurement (the replay benchmark's "PR 1
+    stack" advisor baseline predates the prune) and for regression
+    tests that compare the pruned and unpruned canonical fallbacks.
+    Verdicts are identical either way — the prune is
+    equivalence-preserving — only the enumerated model space changes.
+    Cached results are dropped on a toggle so runs under different
+    settings never mix counters.
+    """
+    global _PRUNE_ENABLED
+    if enabled != _PRUNE_ENABLED:
+        _PRUNE_ENABLED = enabled
+        clear_cache()
+
+
+def branch_prune_enabled() -> bool:
+    """Whether the dispatch prunes before the canonical fallback."""
+    return _PRUNE_ENABLED
+
 
 def clear_cache() -> None:
-    """Drop all memoized containment results and cached engines."""
+    """Drop all memoized containment results, engines and pruned forms."""
     _CACHE.clear()
     _ENGINES.clear()
+    _PRUNED.clear()
 
 
 # Both LRUs are keyed by ``memo_key`` tokens, which are only meaningful
@@ -357,6 +397,118 @@ def hom_containment(p1: Pattern, p2: Pattern) -> bool:
 
 
 # ----------------------------------------------------------------------
+# Hom-subsumption branch pruning (PTIME, equivalence-preserving)
+# ----------------------------------------------------------------------
+
+def prune_subsumed_branches(pattern: Pattern) -> Pattern:
+    """Drop branch subtrees hom-subsumed by a sibling (PTIME, sound).
+
+    A branch ``A`` hanging off ``u`` may be removed when a sibling ``B``
+    admits a root-to-root homomorphism ``A → B`` with a compatible
+    incoming axis: the identity-outside-``A`` homomorphism witnesses
+    ``pruned ⊑ original``, and removal is a relaxation
+    (``original ⊑ pruned``), so the result is *equivalent* — under both
+    standard and weak semantics (the witnessing homomorphisms compose
+    with weak embeddings just as well) — and every containment verdict
+    involving the pattern is unchanged.
+
+    This matters because duplicated-or-subsumed sibling branches are
+    exactly what compositions ``R ∘ V`` produce (the query's k-node
+    branches reappear in the view's output node), and each such branch
+    multiplies the canonical-model count of the coNP test that follows.
+    The shared dispatch (:func:`contains` / :class:`ContainmentBatch`)
+    applies this prune — memoized per ``memo_key`` — to both sides
+    before falling back to the canonical engine, so the rewrite solver's
+    composition tests benefit without doing anything; returns the input
+    object unchanged when nothing prunes.
+
+    Output-path branches are never pruned (the selection path carries
+    the answer semantics).
+    """
+    if pattern.is_empty:
+        return pattern
+    # Read-only wrappers for the branch homomorphism tests; memoized per
+    # node since surviving branches are compared repeatedly.
+    wrapped: dict[int, Pattern] = {}
+
+    def wrap(node: PNode) -> Pattern:
+        cached = wrapped.get(id(node))
+        if cached is None:
+            cached = Pattern(node)
+            wrapped[id(node)] = cached
+        return cached
+
+    def subsumed_branch(pat: Pattern):
+        on_path = set(map(id, pat.selection_path()))
+        for node in pat.root.iter_subtree():  # type: ignore[union-attr]
+            if len(node.edges) < 2:
+                continue
+            for axis_a, branch_a in node.edges:
+                if id(branch_a) in on_path:
+                    continue
+                for axis_b, branch_b in node.edges:
+                    if branch_b is branch_a:
+                        continue
+                    if axis_a is Axis.CHILD and axis_b is not Axis.CHILD:
+                        continue
+                    if hom_exists(wrap(branch_a), wrap(branch_b)):
+                        return node, branch_a
+        return None
+
+    # Most patterns have nothing to prune; detect on the original
+    # (read-only) and copy only when a removal actually happens.  The
+    # detected pair translates to the copy through the node mapping, so
+    # the first removal does not re-run the sibling sweep.
+    found = subsumed_branch(pattern)
+    if found is None:
+        return pattern
+    copy, mapping = pattern.copy_with_map()
+    node, branch = mapping[found[0]], mapping[found[1]]
+    while True:
+        node.edges = [
+            (axis, child) for axis, child in node.edges if child is not branch
+        ]
+        wrapped.clear()
+        current = Pattern(copy.root, mapping[pattern.output])  # type: ignore[index]
+        found = subsumed_branch(current)
+        if found is None:
+            return current
+        node, branch = found
+
+
+def prune_subsumed_branches_memoized(pattern: Pattern) -> Pattern:
+    """Memoized :func:`prune_subsumed_branches`, LRU-bounded.
+
+    The variant the dispatch itself runs; callers that prune eagerly
+    (the view advisor, before its isomorphism fast path) should use
+    this one too, so the dispatch's later lookup of the same pattern
+    is a cache hit instead of a repeated sibling sweep.  Honors
+    :func:`set_branch_prune_enabled` (identity when disabled).
+
+    Keyed by ``memo_key`` (valid within one interning epoch — the map is
+    cleared by :func:`clear_cache`, which is registered on epoch reset).
+    ``STATS.branch_prunes`` counts calls where something was actually
+    removed, cache hits included, so the counter is deterministic for a
+    fixed workload regardless of eviction timing.
+    """
+    if not _PRUNE_ENABLED:
+        return pattern
+    key = pattern.memo_key()
+    cached = _PRUNED.get(key)
+    if cached is None:
+        cached = prune_subsumed_branches(pattern)
+        _PRUNED[key] = cached
+        _PRUNED.move_to_end(key)
+        while len(_PRUNED) > PRUNE_CACHE_LIMIT:
+            _PRUNED.popitem(last=False)
+    else:
+        _PRUNED.move_to_end(key)
+    if cached is not pattern and cached.memo_key() != key:
+        STATS.branch_prunes += 1
+    return cached
+
+
+# ----------------------------------------------------------------------
 # Canonical-model engine (complete, coNP)
 # ----------------------------------------------------------------------
 
@@ -444,6 +596,14 @@ def _decide(
     :class:`CanonicalEngine` instances keyed by expansion bound, so a
     batch of containers reuses all ``p1``-side setup; engines are drawn
     from (and feed) the cross-call LRU either way.
+
+    Before the coNP fallback both sides are rewritten to their
+    hom-subsumption-pruned equivalents (:func:`prune_subsumed_branches`,
+    sound for any pair): pruning ``p1`` shrinks the canonical-model
+    space directly, and pruning ``p2`` can shrink the expansion bound
+    (it is derived from ``p2``'s star chains) as well as every embed
+    check.  The PTIME fast paths above run on the originals — a prune
+    would cost more than they do.
     """
     if not weak:
         if homomorphism_complete(p1, p2):
@@ -455,6 +615,8 @@ def _decide(
         # any weak embedding of p1 to give a weak embedding of p2.
         if _hom_test(p2, p1, require_root=False):
             return True
+    p1 = prune_subsumed_branches_memoized(p1)
+    p2 = prune_subsumed_branches_memoized(p2)
     STATS.canonical_tests += 1
     bound = expansion_bound(p2)
     engine = _engine_for(p1, bound, local=engines)

@@ -18,6 +18,8 @@ __all__ = [
     "RewriteBudgetError",
     "ViewEngineError",
     "UnknownViewError",
+    "UnknownDocumentError",
+    "CatalogError",
     "DocumentSyntaxError",
     "WorkloadError",
 ]
@@ -89,6 +91,24 @@ class ViewEngineError(ReproError):
 
 class UnknownViewError(ViewEngineError):
     """Raised when a view name is not registered in the view store."""
+
+
+class UnknownDocumentError(ViewEngineError):
+    """Raised when a document name (or digest) is not registered.
+
+    Raised by :class:`~repro.views.store.ViewStore` for unregistered
+    document names and by the catalog router for requests addressed to a
+    document id it has never seen — a routing mistake surfaces as a typed
+    library error, never a bare :class:`KeyError`.
+    """
+
+
+class CatalogError(ViewEngineError):
+    """Raised when a multi-document catalog operation is misused.
+
+    Examples: registering the same document id twice, or serving through
+    a :class:`~repro.catalog.server.CatalogServer` that has been closed.
+    """
 
 
 class DocumentSyntaxError(ReproError):

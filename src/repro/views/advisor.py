@@ -40,7 +40,11 @@ per-pair :class:`~repro.core.rewrite.RewriteSolver` call:
 5. surviving pairs verify a natural candidate ``R`` (Section 4) by two
    containment tests, ``P ⊑ R ∘ V`` through the batch and ``R ∘ V ⊑ P``
    through the memoized ``contains``, after an equivalence-preserving
-   prune of the composition's duplicated branches.
+   prune of the composition's duplicated branches
+   (:func:`~repro.core.containment.prune_subsumed_branches` — since
+   promoted into the shared containment dispatch, so the solver path
+   applies it too; the advisor still prunes eagerly to feed its
+   isomorphism fast path).
 
 Every claimed coverage carries a *verified* rewriting, so the full
 solver agrees on each claim.  The pre-batching per-pair implementation
@@ -54,17 +58,26 @@ the selection is greedy.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core.candidates import natural_candidates
 from ..core.composition import compose
-from ..core.containment import ContainmentBatch, contains, hom_exists
+from ..core.containment import (
+    ContainmentBatch,
+    contains,
+    prune_subsumed_branches_memoized,
+)
 from ..core.embedding import TreeIndex, evaluate
 from ..core.rewrite import RewriteSolver, precheck_refutation
 from ..core.selection import sub_ge, sub_le
-from ..patterns.ast import Axis, Pattern
+from ..errors import ViewEngineError
+from ..patterns.ast import Pattern
+from ..patterns.parse import parse_pattern
+from ..patterns.serialize import to_xpath
 from ..xmltree.tree import XMLTree
 
 __all__ = [
@@ -72,7 +85,15 @@ __all__ = [
     "AdvisorStats",
     "CandidateView",
     "advise_views",
+    "deserialize_selection",
+    "selection_fingerprint",
+    "serialize_selection",
 ]
+
+#: Version tag baked into selection fingerprints and payloads: any
+#: change to the advisor's selection semantics must bump it, so stale
+#: persisted selections are recomputed rather than silently reused.
+SELECTION_FORMAT = 1
 
 
 @dataclass
@@ -184,70 +205,6 @@ def _precheck_rejects(query: Pattern, view: Pattern) -> bool:
     return precheck_refutation(query, view) is not None
 
 
-def _prune_composition(pattern: Pattern) -> Pattern:
-    """Drop branch subtrees hom-subsumed by a sibling (PTIME, sound).
-
-    Compositions ``R ∘ V`` duplicate the k-node branches of the query in
-    the view's output node; each duplicated (or more specific sibling's)
-    branch multiplies the canonical-model count of the coNP containment
-    test that follows.  A branch ``A`` hanging off ``u`` may be removed
-    when a sibling ``B`` admits a root-to-root homomorphism ``A → B``
-    with a compatible incoming axis: the identity-outside-``A``
-    homomorphism then witnesses ``pruned ⊑ original``, and removal is a
-    relaxation (``original ⊑ pruned``), so the result is *equivalent* —
-    the containment verdicts downstream are unchanged.
-    """
-    if pattern.is_empty:
-        return pattern
-    # Read-only wrappers for the branch homomorphism tests; memoized per
-    # node since surviving branches are compared repeatedly.
-    wrapped: dict[int, Pattern] = {}
-
-    def wrap(node) -> Pattern:
-        cached = wrapped.get(id(node))
-        if cached is None:
-            cached = Pattern(node)
-            wrapped[id(node)] = cached
-        return cached
-
-    def subsumed_branch(pat: Pattern):
-        on_path = set(map(id, pat.selection_path()))
-        for node in pat.root.iter_subtree():  # type: ignore[union-attr]
-            if len(node.edges) < 2:
-                continue
-            for axis_a, branch_a in node.edges:
-                if id(branch_a) in on_path:
-                    continue
-                for axis_b, branch_b in node.edges:
-                    if branch_b is branch_a:
-                        continue
-                    if axis_a is Axis.CHILD and axis_b is not Axis.CHILD:
-                        continue
-                    if hom_exists(wrap(branch_a), wrap(branch_b)):
-                        return node, branch_a
-        return None
-
-    # Most compositions have nothing to prune; detect on the original
-    # (read-only) and copy only when a removal actually happens.  The
-    # detected pair translates to the copy through the node mapping, so
-    # the first removal does not re-run the sibling sweep.
-    found = subsumed_branch(pattern)
-    if found is None:
-        return pattern
-    copy, mapping = pattern.copy_with_map()
-    node, branch = mapping[found[0]], mapping[found[1]]
-    while True:
-        node.edges = [
-            (axis, child) for axis, child in node.edges if child is not branch
-        ]
-        wrapped.clear()
-        current = Pattern(copy.root, mapping[pattern.output])  # type: ignore[index]
-        found = subsumed_branch(current)
-        if found is None:
-            return current
-        node, branch = found
-
-
 class _BatchedScorer:
     """Lazily scores candidates against the folded workload.
 
@@ -326,7 +283,10 @@ class _BatchedScorer:
                 composition = compose(candidate, view)
                 if composition.is_empty:
                     continue
-                composition = _prune_composition(composition)
+                # The memoized variant: the containment dispatch below
+                # looks the same pattern up again and must hit, not
+                # repeat the sibling sweep.
+                composition = prune_subsumed_branches_memoized(composition)
                 if composition.memo_key() == query.memo_key():
                     # R ∘ V is isomorphic to P: equivalence is free.
                     covered[ui] = candidate
@@ -536,6 +496,85 @@ def advise_views(
         if index not in result.coverage
     )
     return result
+
+
+# ----------------------------------------------------------------------
+# Selection persistence (catalog warm starts)
+# ----------------------------------------------------------------------
+
+def selection_fingerprint(
+    queries: Sequence[Pattern],
+    weights: Sequence[float] | None = None,
+    max_views: int = 3,
+    max_cost_fraction: float = 0.6,
+    max_models: int | None = None,
+    scorer: str = "batched",
+) -> str:
+    """SHA-256 over everything the advisor's selection depends on.
+
+    The fingerprint binds the workload (pattern signatures, in order,
+    with their weights), the budgets and the scorer, plus
+    :data:`SELECTION_FORMAT`.  It deliberately does *not* bind the
+    sample document: persisted selections are keyed
+    ``(document digest, fingerprint)`` by the storage backend, so the
+    document half of the key lives there — advise against one document,
+    and its digest scopes the record.
+
+    Equal fingerprints ⇒ :func:`advise_views` would make the identical
+    selection (signatures identify patterns up to isomorphism and the
+    advisor is deterministic), which is what lets a warm start skip
+    re-advising without any risk of serving a stale view set.
+    """
+    body = {
+        "format": SELECTION_FORMAT,
+        "queries": [query.signature() for query in queries],
+        "weights": list(weights) if weights is not None else None,
+        "max_views": max_views,
+        "max_cost_fraction": max_cost_fraction,
+        "max_models": max_models,
+        "scorer": scorer,
+    }
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def serialize_selection(result: AdvisorResult) -> dict:
+    """A JSON-safe record of a selection, for storage-backend persistence.
+
+    Patterns are stored as XPath (round-trips through
+    :func:`~repro.patterns.parse.parse_pattern` to an isomorphic
+    pattern); enough coverage metadata rides along for reporting, but
+    rewritings are *not* persisted — the engine re-derives (and caches)
+    them in one decision per (query, view), which is cheap next to
+    advising.
+    """
+    return {
+        "format": SELECTION_FORMAT,
+        "views": [
+            {
+                "xpath": to_xpath(view.pattern),
+                "cost": view.cost,
+                "benefit": view.benefit,
+            }
+            for view in result.views
+        ],
+        "uncovered": list(result.uncovered),
+    }
+
+
+def deserialize_selection(payload: dict) -> list[Pattern]:
+    """The selected view patterns from a persisted record, in order.
+
+    Raises :class:`~repro.errors.ViewEngineError` on a record whose
+    format tag does not match — the caller should fall back to
+    re-advising (exactly what a fingerprint mismatch would have done).
+    """
+    if not isinstance(payload, dict) or payload.get("format") != SELECTION_FORMAT:
+        raise ViewEngineError(
+            "unsupported selection record "
+            f"(format {payload.get('format') if isinstance(payload, dict) else payload!r})"
+        )
+    return [parse_pattern(row["xpath"]) for row in payload["views"]]
 
 
 def _advise_eager(

@@ -23,7 +23,12 @@ view-equivalence prefilter runs as one
 :func:`~repro.core.containment.contains_all` sweep over all undecided
 views.  The per-batch :class:`EngineStats` delta comes back on the
 :class:`BatchAnswer`.  :meth:`QueryEngine.serve` wraps that in an
-``asyncio`` loop that drains a request queue into batches.
+``asyncio`` loop that drains a request queue into batches (optionally
+running each batch in an :class:`~concurrent.futures.Executor` so
+planning stays off the event loop).  An optional **cross-batch answer
+cache** (``answer_cache_size``) memoizes whole answer sets per
+``(document, query)``, validated against the store's document digest —
+the catalog layer (:mod:`repro.catalog`) turns it on for its engines.
 
 Performance knobs
 -----------------
@@ -45,6 +50,8 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -81,6 +88,9 @@ class EngineStats:
     ``decision_cache_hits`` counts rewrite decisions served from the
     per-engine cache instead of the solver — the number the replay
     harness reports as plan-cache effectiveness on repeating streams.
+    ``answer_cache_hits`` counts whole *answers* served from the
+    cross-batch answer cache (disabled unless the engine was built with
+    ``answer_cache_size > 0``).
     """
 
     direct_answers: int = 0
@@ -88,6 +98,7 @@ class EngineStats:
     rewrites_attempted: int = 0
     rewrites_found: int = 0
     decision_cache_hits: int = 0
+    answer_cache_hits: int = 0
 
     def reset(self) -> None:
         self.direct_answers = 0
@@ -95,6 +106,7 @@ class EngineStats:
         self.rewrites_attempted = 0
         self.rewrites_found = 0
         self.decision_cache_hits = 0
+        self.answer_cache_hits = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -103,6 +115,7 @@ class EngineStats:
             "rewrites_attempted": self.rewrites_attempted,
             "rewrites_found": self.rewrites_found,
             "decision_cache_hits": self.decision_cache_hits,
+            "answer_cache_hits": self.answer_cache_hits,
         }
 
 
@@ -152,17 +165,44 @@ class QueryEngine:
         The view store holding documents and materialized views.
     solver:
         Rewriting solver (defaults to the paper's full solver).
+    answer_cache_size:
+        Capacity of the cross-batch answer cache (0 — the default —
+        disables it).  When enabled, whole answer sets are memoized by
+        ``(document name, query memo_key)`` and validated on every hit
+        against the store's current document digest, so an in-place
+        mutation followed by :meth:`ViewStore.refresh
+        <repro.views.store.ViewStore.refresh>` can never serve a stale
+        answer — the digest token moved, the entry is dropped.  Cached
+        sets are shared with callers (the :meth:`answer_many` duplicate
+        contract): copy before mutating.
     """
 
-    def __init__(self, store: ViewStore, solver: RewriteSolver | None = None):
+    def __init__(
+        self,
+        store: ViewStore,
+        solver: RewriteSolver | None = None,
+        *,
+        answer_cache_size: int = 0,
+    ):
+        if answer_cache_size < 0:
+            raise ViewEngineError("answer_cache_size must be >= 0")
         self.store = store
         self.solver = solver or RewriteSolver()
         self.stats = EngineStats()
+        self.answer_cache_size = answer_cache_size
         # Cache of rewrite decisions keyed by (query key, view name).
         # Query keys are memo_key tokens, valid only within one interning
         # epoch — _decision_cache() drops the dict when the epoch moves.
         self._decisions: dict[tuple, RewriteResult] = {}
         self._decisions_epoch = memo_epoch()
+        # Cross-batch answer cache: (document name, query memo_key) ->
+        # (document digest at caching time, answer set, plan).  Same
+        # epoch guard as the decision cache (memo_key tokens die with
+        # the epoch); the digest is re-validated on every hit.
+        self._answers: "OrderedDict[tuple[str, int], tuple[str, set[TNode], QueryPlan]]" = (
+            OrderedDict()
+        )
+        self._answers_epoch = memo_epoch()
 
     def _decision_cache(self) -> dict[tuple, RewriteResult]:
         """The decision cache, cleared if the interning epoch changed."""
@@ -171,6 +211,53 @@ class QueryEngine:
             self._decisions.clear()
             self._decisions_epoch = epoch
         return self._decisions
+
+    # ------------------------------------------------------------------
+    # Cross-batch answer cache
+    # ------------------------------------------------------------------
+    def _answer_cache(self) -> "OrderedDict[tuple[str, int], tuple[str, set[TNode], QueryPlan]]":
+        """The answer cache, cleared if the interning epoch changed."""
+        epoch = memo_epoch()
+        if epoch != self._answers_epoch:
+            self._answers.clear()
+            self._answers_epoch = epoch
+        return self._answers
+
+    def _cached_answer(
+        self, query: Pattern, document: str
+    ) -> tuple[set[TNode], QueryPlan] | None:
+        """A validated cache hit, or None.
+
+        The entry's digest token must equal the store's *current* digest
+        for the document — the validity token that makes the cache safe
+        across :meth:`ViewStore.refresh`.
+        """
+        if self.answer_cache_size == 0:
+            return None
+        cache = self._answer_cache()
+        key = (document, query.memo_key())
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        token, answer, plan = entry
+        if token != self.store.document_digest(document):
+            del cache[key]
+            return None
+        cache.move_to_end(key)
+        self.stats.answer_cache_hits += 1
+        return answer, plan
+
+    def _remember_answer(
+        self, query: Pattern, document: str, answer: set[TNode], plan: QueryPlan
+    ) -> None:
+        if self.answer_cache_size == 0:
+            return
+        cache = self._answer_cache()
+        key = (document, query.memo_key())
+        cache[key] = (self.store.document_digest(document), answer, plan)
+        cache.move_to_end(key)
+        while len(cache) > self.answer_cache_size:
+            cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Planning
@@ -287,12 +374,23 @@ class QueryEngine:
         return evaluate_forest(decision.rewriting, forest)
 
     def answer(self, query: Pattern, document: str) -> set[TNode]:
-        """Answer using the planner's choice (view if possible)."""
+        """Answer using the planner's choice (view if possible).
+
+        With an answer cache enabled, a repeated query skips planning
+        *and* execution entirely (the cached set is shared — copy before
+        mutating).
+        """
+        cached = self._cached_answer(query, document)
+        if cached is not None:
+            return cached[0]
         plan = self.plan(query, document)
         if plan.kind == "view":
             assert plan.view_name is not None
-            return self.answer_with_view(query, plan.view_name, document)
-        return self.answer_direct(query, document)
+            answer = self.answer_with_view(query, plan.view_name, document)
+        else:
+            answer = self.answer_direct(query, document)
+        self._remember_answer(query, document, answer, plan)
+        return answer
 
     # ------------------------------------------------------------------
     # Batched / async serving
@@ -309,8 +407,12 @@ class QueryEngine:
         :class:`~repro.core.embedding.TreeIndex`, and each distinct
         query's view-equivalence prefilter decides all undecided views
         through a single batched containment sweep
-        (:meth:`_seed_equivalent_decisions`).  Answer sets are shared
-        between duplicates — copy before mutating.
+        (:meth:`_seed_equivalent_decisions`).  With an answer cache
+        enabled (``answer_cache_size > 0``) the fold extends *across*
+        batches: a distinct query seen in an earlier batch is served
+        from the cache — digest-validated — without planning or
+        execution.  Answer sets are shared between duplicates — copy
+        before mutating.
 
         Returns a :class:`BatchAnswer` with per-input answers/plans and
         the per-batch :class:`EngineStats` delta.
@@ -323,14 +425,21 @@ class QueryEngine:
         for query in queries:
             key = query.memo_key()
             if key not in answers:
-                plan = self.plan(query, document)
-                if plan.kind == "view":
-                    assert plan.view_name is not None
-                    answer = self.answer_with_view(query, plan.view_name, document)
+                cached = self._cached_answer(query, document)
+                if cached is not None:
+                    answers[key], plans[key] = cached
                 else:
-                    answer = self.answer_direct(query, document)
-                answers[key] = answer
-                plans[key] = plan
+                    plan = self.plan(query, document)
+                    if plan.kind == "view":
+                        assert plan.view_name is not None
+                        answer = self.answer_with_view(
+                            query, plan.view_name, document
+                        )
+                    else:
+                        answer = self.answer_direct(query, document)
+                    self._remember_answer(query, document, answer, plan)
+                    answers[key] = answer
+                    plans[key] = plan
             result.answers.append(answers[key])
             result.plans.append(plans[key])
         result.elapsed_seconds = time.perf_counter() - t0
@@ -346,6 +455,7 @@ class QueryEngine:
         document: str,
         *,
         batch_size: int = 32,
+        executor: Executor | None = None,
     ) -> int:
         """Async serving loop: drain the queue into batches, answer, resolve.
 
@@ -357,14 +467,23 @@ class QueryEngine:
         loop down after the in-flight batch.  Returns the number of
         requests served.
 
-        Planning/execution is synchronous CPU work — the loop yields to
-        the event loop between batches, not within one, so pick
-        ``batch_size`` for the latency you can tolerate.
+        Planning/execution is synchronous CPU work.  Without an
+        ``executor`` the loop yields to the event loop between batches,
+        not within one — pick ``batch_size`` for the latency you can
+        tolerate.  With an ``executor`` each batch's
+        :meth:`answer_many` runs off the event loop via
+        :meth:`~asyncio.loop.run_in_executor`, so other coroutines stay
+        responsive while a batch plans.  The executor must share this
+        engine's address space (a ``ThreadPoolExecutor``): answer sets
+        are live node references.  Process-level sharding is the
+        catalog server's job (:mod:`repro.catalog.server`), which ships
+        picklable requests to workers instead of engine objects.
         """
         if batch_size < 1:
             raise ViewEngineError("serve batch_size must be >= 1")
         served = 0
         stopping = False
+        loop = asyncio.get_running_loop()
         while not stopping:
             item = await requests.get()
             if item is None:
@@ -381,19 +500,33 @@ class QueryEngine:
                     break
                 batch.append(nxt)
             try:
-                result = self.answer_many([query for query, _ in batch], document)
+                queries = [query for query, _ in batch]
+                if executor is not None:
+                    result = await loop.run_in_executor(
+                        executor, self.answer_many, queries, document
+                    )
+                else:
+                    result = self.answer_many(queries, document)
                 for (_, future), answer in zip(batch, result.answers):
                     if not future.done():
                         future.set_result(answer)
             except Exception:
                 # One pathological query must not fail its batchmates:
                 # fall back to per-request answering so only the
-                # offending request(s) carry an exception.
+                # offending request(s) carry an exception.  The fallback
+                # is the same CPU-bound work, so it stays off the event
+                # loop too when an executor was provided.
                 for query, future in batch:
                     if future.done():
                         continue
                     try:
-                        future.set_result(self.answer(query, document))
+                        if executor is not None:
+                            answer = await loop.run_in_executor(
+                                executor, self.answer, query, document
+                            )
+                        else:
+                            answer = self.answer(query, document)
+                        future.set_result(answer)
                     except Exception as exc:
                         future.set_exception(exc)
             served += len(batch)

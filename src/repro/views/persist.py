@@ -19,6 +19,14 @@ layer:
   open rather than poisoning the store — a corrupt or missing entry
   simply falls back to re-evaluation.
 
+Besides materializations, backends persist **selection records**: the
+view advisor's chosen view set for one ``(document digest, workload
+fingerprint)`` pair (see :func:`repro.views.advisor.serialize_selection`).
+Re-advising is the dominant warm-start cost, so a catalog that finds a
+matching selection record skips the advisor entirely; the fingerprint
+binds the advisor's exact inputs, so a changed workload or budget can
+never be served a stale selection.
+
 Keying and integrity
 --------------------
 Node identity does not survive a process, so materializations are
@@ -102,7 +110,9 @@ class BackendStats:
 
     ``corrupt_records`` counts snapshot-log lines rejected on open
     (bad JSON, wrong version, checksum mismatch); each rejected line is
-    skipped, never served.
+    skipped, never served.  The ``selection_*`` counters track advisor
+    selection records separately from materializations — a warm start is
+    one where ``selection_hits`` rose.
     """
 
     hits: int = 0
@@ -110,6 +120,9 @@ class BackendStats:
     saves: int = 0
     invalidations: int = 0
     corrupt_records: int = 0
+    selection_hits: int = 0
+    selection_misses: int = 0
+    selection_saves: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -118,6 +131,9 @@ class BackendStats:
             "saves": self.saves,
             "invalidations": self.invalidations,
             "corrupt_records": self.corrupt_records,
+            "selection_hits": self.selection_hits,
+            "selection_misses": self.selection_misses,
+            "selection_saves": self.selection_saves,
         }
 
 
@@ -132,6 +148,14 @@ class StoreBackend(Protocol):
     failed validation (e.g. out-of-range indexes): the backend drops
     the entry and reclassifies the lookup as a miss in its own stats —
     counter ownership stays inside the backend.
+
+    ``load_selection``/``save_selection`` persist the view advisor's
+    chosen view set per ``(document digest, workload fingerprint)``.
+    Payloads are JSON-serializable dicts produced by
+    :func:`repro.views.advisor.serialize_selection`; backends treat them
+    as opaque.  ``invalidate_document`` drops a document's selections
+    along with its materializations — both are keyed by the digest that
+    just went stale.
 
     The ``durable`` flag tells callers whether entries outlive the
     process (used by tooling/reporting only — the store's logic is
@@ -152,6 +176,12 @@ class StoreBackend(Protocol):
         xpath: str = "",
     ) -> None: ...
 
+    def load_selection(self, doc_digest: str, fingerprint: str) -> dict | None: ...
+
+    def save_selection(
+        self, doc_digest: str, fingerprint: str, payload: dict
+    ) -> None: ...
+
     def invalidate_document(self, doc_digest: str) -> None: ...
 
     def reject_loaded(self, doc_digest: str, pat_digest: str) -> None: ...
@@ -169,7 +199,36 @@ class _RejectLoadedMixin:
         self.stats.corrupt_records += 1
 
 
-class MemoryBackend(_RejectLoadedMixin):
+class _SelectionMapMixin:
+    """Shared selection-record bookkeeping over a ``_selections`` dict.
+
+    Payloads are JSON round-tripped on save and copied on load, so a
+    caller mutating its dict after the fact can never alias the stored
+    record — the same isolation a durable backend gives for free.
+    """
+
+    def load_selection(self, doc_digest: str, fingerprint: str) -> dict | None:
+        payload = self._selections.get((doc_digest, fingerprint))
+        if payload is None:
+            self.stats.selection_misses += 1
+            return None
+        self.stats.selection_hits += 1
+        return json.loads(json.dumps(payload))
+
+    def _store_selection(
+        self, doc_digest: str, fingerprint: str, payload: dict
+    ) -> dict:
+        clean = json.loads(json.dumps(payload))
+        self._selections[(doc_digest, fingerprint)] = clean
+        self.stats.selection_saves += 1
+        return clean
+
+    def _drop_selections(self, doc_digest: str) -> None:
+        for key in [k for k in self._selections if k[0] == doc_digest]:
+            del self._selections[key]
+
+
+class MemoryBackend(_RejectLoadedMixin, _SelectionMapMixin):
     """The in-process backend: a plain dict, nothing survives exit.
 
     This is the default for :class:`~repro.views.store.ViewStore` and
@@ -182,6 +241,7 @@ class MemoryBackend(_RejectLoadedMixin):
     def __init__(self) -> None:
         self.stats = BackendStats()
         self._entries: dict[tuple[str, str], list[int]] = {}
+        self._selections: dict[tuple[str, str], dict] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -205,14 +265,40 @@ class MemoryBackend(_RejectLoadedMixin):
         self._entries[(doc_digest, pat_digest)] = list(node_ids)
         self.stats.saves += 1
 
+    def save_selection(
+        self, doc_digest: str, fingerprint: str, payload: dict
+    ) -> None:
+        self._store_selection(doc_digest, fingerprint, payload)
+
     def invalidate_document(self, doc_digest: str) -> None:
         stale = [key for key in self._entries if key[0] == doc_digest]
         for key in stale:
             del self._entries[key]
+        self._drop_selections(doc_digest)
         self.stats.invalidations += 1
 
     def close(self) -> None:
         pass
+
+
+def _fsync_directory(path: Path) -> None:
+    """Durably persist a directory entry change (rename/replace).
+
+    ``os.replace`` is atomic but its durability requires syncing the
+    *directory*, not just the file.  Platforms whose directories cannot
+    be opened or fsynced (e.g. Windows) simply skip — the rename is
+    still atomic there, only the crash-durability window stays.
+    """
+    try:
+        dir_fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _record_checksum(record: dict) -> str:
@@ -222,12 +308,14 @@ def _record_checksum(record: dict) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-class SnapshotBackend(_RejectLoadedMixin):
+class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
     """Append-only snapshot log: one self-checksummed JSON record per line.
 
-    Records are either ``put`` (a materialization for one
+    Records are ``put`` (a materialization for one
     ``(document digest, pattern digest)`` key — later puts supersede
-    earlier ones) or ``invalidate`` (drop every entry for a document
+    earlier ones), ``selection`` (an advisor selection for one
+    ``(document digest, workload fingerprint)`` key) or ``invalidate``
+    (drop every entry — materializations and selections — for a document
     digest, appended by :meth:`~repro.views.store.ViewStore.refresh`
     when a document's shape changes).  Opening replays the log into an
     in-memory map, skipping — and counting, in
@@ -249,6 +337,7 @@ class SnapshotBackend(_RejectLoadedMixin):
         self.sync = sync
         self.stats = BackendStats()
         self._entries: dict[tuple[str, str], list[int]] = {}
+        self._selections: dict[tuple[str, str], dict] = {}
         # Human-readable provenance per entry (the view's XPath at save
         # time); carried through the log so compaction preserves it.
         self._xpaths: dict[tuple[str, str], str] = {}
@@ -299,11 +388,14 @@ class SnapshotBackend(_RejectLoadedMixin):
             key = (record["doc"], record["pat"])
             self._entries[key] = list(record["ids"])
             self._xpaths[key] = record.get("xpath", "")
+        elif op == "selection":
+            self._selections[(record["doc"], record["fp"])] = record["payload"]
         elif op == "invalidate":
             doc = record["doc"]
             for key in [k for k in self._entries if k[0] == doc]:
                 del self._entries[key]
                 self._xpaths.pop(key, None)
+            self._drop_selections(doc)
         else:  # unknown op from a future version: ignore, keep the rest
             self.stats.corrupt_records += 1
 
@@ -347,11 +439,21 @@ class SnapshotBackend(_RejectLoadedMixin):
         self._xpaths[key] = xpath
         self.stats.saves += 1
 
+    def save_selection(
+        self, doc_digest: str, fingerprint: str, payload: dict
+    ) -> None:
+        clean = self._store_selection(doc_digest, fingerprint, payload)
+        self._append(
+            {"op": "selection", "doc": doc_digest, "fp": fingerprint,
+             "payload": clean}
+        )
+
     def invalidate_document(self, doc_digest: str) -> None:
         self._append({"op": "invalidate", "doc": doc_digest})
         for key in [k for k in self._entries if k[0] == doc_digest]:
             del self._entries[key]
             self._xpaths.pop(key, None)
+        self._drop_selections(doc_digest)
         self.stats.invalidations += 1
 
     def reject_loaded(self, doc_digest: str, pat_digest: str) -> None:
@@ -361,10 +463,15 @@ class SnapshotBackend(_RejectLoadedMixin):
     def compact(self) -> int:
         """Rewrite the log keeping only live entries; returns their count.
 
-        Safe against crashes mid-compaction: the new log is written to a
-        sibling temp file first (the live append handle stays open, so a
-        failed write leaves the backend fully usable) and atomically
-        renamed over the old one.
+        Live materializations *and* live selection records are carried
+        over; superseded puts and anything dropped by an ``invalidate``
+        are gone.  Safe against crashes mid-compaction: the new log is
+        written to a sibling temp file first (the live append handle
+        stays open, so a failed write leaves the backend fully usable),
+        atomically renamed over the old one, and the parent directory is
+        fsynced after the rename — without the directory sync a crash
+        between rename and the directory's own writeback could resurrect
+        the pre-compaction log (or, on some filesystems, neither file).
         """
         tmp = self.path.with_suffix(self.path.suffix + ".compact")
         with open(tmp, "w", encoding="utf-8") as out:
@@ -374,9 +481,15 @@ class SnapshotBackend(_RejectLoadedMixin):
                           "ids": ids, "v": FORMAT_VERSION}
                 record["sum"] = _record_checksum(record)
                 out.write(json.dumps(record, sort_keys=True) + "\n")
+            for (doc, fp), payload in sorted(self._selections.items()):
+                record = {"op": "selection", "doc": doc, "fp": fp,
+                          "payload": payload, "v": FORMAT_VERSION}
+                record["sum"] = _record_checksum(record)
+                out.write(json.dumps(record, sort_keys=True) + "\n")
             out.flush()
             os.fsync(out.fileno())
         os.replace(tmp, self.path)
+        _fsync_directory(self.path.parent)
         # Swap handles only after the replace succeeded — the old handle
         # points at the replaced inode and must not receive new appends.
         self._fh.close()

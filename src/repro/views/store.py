@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.embedding import TreeIndex, evaluate
-from ..errors import UnknownViewError, ViewEngineError
+from ..errors import UnknownDocumentError, UnknownViewError, ViewEngineError
 from ..patterns.ast import Pattern
 from ..patterns.serialize import to_xpath
 from ..xmltree.node import TNode
@@ -139,6 +139,16 @@ class ViewStore:
         """The shape digest persisted materializations are keyed by."""
         return self._digest(name)
 
+    def node_ids(self, name: str, nodes) -> list[int]:
+        """Sorted preorder indexes of ``nodes`` within a named document.
+
+        The process-independent encoding of an answer set — what the
+        backends persist and what the catalog server ships across
+        process boundaries (node identity does not pickle).
+        """
+        position = self._position(name)
+        return sorted(position[id(node)] for node in nodes)
+
     def _materialize(self, pattern: Pattern, doc_name: str) -> frozenset[TNode]:
         """``V(t)`` through the backend: load if present, else evaluate+save.
 
@@ -200,7 +210,7 @@ class ViewStore:
         try:
             return self._documents[name]
         except KeyError:
-            raise ViewEngineError(f"unknown document {name!r}") from None
+            raise UnknownDocumentError(f"unknown document {name!r}") from None
 
     def documents(self) -> list[str]:
         """Registered document names."""

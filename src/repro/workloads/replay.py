@@ -17,6 +17,12 @@ stream through :meth:`QueryEngine.answer_many
 <repro.views.engine.QueryEngine.answer_many>`, folding duplicate
 queries within each batch (:func:`replay_batched`).
 
+The multi-document variant is :func:`replay_catalog`
+(:class:`CatalogReplayConfig`): several independent document+stream
+pairs behind one :class:`~repro.catalog.catalog.Catalog`, advised per
+document (with SQLite-persisted selections warm-starting later runs)
+and replayed as one interleaved, routed request stream.
+
 Determinism contract: for a fixed ``ReplayConfig``, seed and cache
 configuration, every counter in :meth:`ReplayReport.counters` is
 reproducible bit-for-bit — the harness resets the containment caches
@@ -54,9 +60,12 @@ from ..xmltree.generate import random_tree
 from .streams import StreamConfig, StreamSample, sample_stream
 
 __all__ = [
+    "CatalogReplayConfig",
+    "CatalogReplayReport",
     "ReplayConfig",
     "ReplayReport",
     "replay_batched",
+    "replay_catalog",
     "replay_stream",
     "replay_workload",
 ]
@@ -369,6 +378,244 @@ def replay_batched(
     report.distinct_queries = len(distinct)
     _fill_counter_deltas(report, engine, before)
     return report
+
+
+@dataclass
+class CatalogReplayConfig:
+    """A multi-document catalog replay scenario (:func:`replay_catalog`).
+
+    ``documents`` independent document+stream pairs are derived from the
+    seed, registered in one :class:`~repro.catalog.catalog.Catalog`,
+    advised per document (warm-starting from persisted selections when
+    ``db_path`` points at a populated catalog database), and replayed as
+    one interleaved request stream through the catalog router in
+    windows of ``batch_size``.
+    """
+
+    documents: int = 2
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    document_size: int = 300
+    max_views: int = 4
+    db_path: str | Path | None = None
+    batch_size: int = 16
+    answer_cache_size: int = 512
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.documents < 1:
+            raise WorkloadError("catalog replay needs >= 1 document")
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be >= 1")
+
+
+@dataclass
+class CatalogReplayReport:
+    """Outcome of one catalog replay.
+
+    The per-document sections and the aggregate containment delta are
+    deterministic (see :meth:`counters`); ``warm_selections``, the
+    ``backend`` section and the timing fields are exactly what a warm
+    start changes, so they live outside the counters.
+    """
+
+    documents: list[str] = field(default_factory=list)
+    queries: int = 0
+    batches: int = 0
+    folded_queries: int = 0
+    verified_mismatches: int = 0
+    per_document: dict[str, dict] = field(default_factory=dict)
+    containment: dict[str, int] = field(default_factory=dict)
+    #: Documents whose advising was skipped via a persisted selection.
+    warm_selections: int = 0
+    backend: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def queries_per_sec(self) -> float:
+        """Routed throughput (0.0 for an empty or instantaneous run)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.queries / self.elapsed_seconds
+
+    def counters(self) -> dict:
+        """The deterministic portion (same contract as ``ReplayReport``).
+
+        Bit-for-bit reproducible for a fixed config, seed and cache
+        configuration — in-memory, cold-SQLite and warm-SQLite runs all
+        compare equal, because the harness clears the containment
+        caches *between* the advising phase and the replay (a warm
+        start skips advising, so without the reset the two paths would
+        reach the replay with different cache contents).
+        """
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "folded_queries": self.folded_queries,
+            "verified_mismatches": self.verified_mismatches,
+            "documents": list(self.documents),
+            "per_document": {
+                doc: dict(section) for doc, section in self.per_document.items()
+            },
+            "containment": dict(self.containment),
+        }
+
+    def summary(self) -> str:
+        """A human-readable multi-line digest."""
+        lines = [
+            f"catalog replay: {self.queries} queries over "
+            f"{len(self.documents)} documents in {self.elapsed_seconds:.3f}s "
+            f"= {self.queries_per_sec:,.0f} q/s",
+            f"batches: {self.batches}, folded duplicates: {self.folded_queries}",
+            f"warm selections: {self.warm_selections}/{len(self.documents)}",
+        ]
+        for doc, section in sorted(self.per_document.items()):
+            lines.append(
+                f"  {doc}: {section['view_plans']} view / "
+                f"{section['direct_plans']} direct plans, "
+                f"{section['answer_cache_hits']} answer-cache hits"
+            )
+        if self.verified_mismatches:
+            lines.append(
+                f"!! {self.verified_mismatches} answers differed from "
+                "direct evaluation"
+            )
+        return "\n".join(lines)
+
+
+def replay_catalog(
+    config: CatalogReplayConfig | None = None,
+    seed: int | None = None,
+) -> CatalogReplayReport:
+    """Build a multi-document scenario for one seed and replay it routed.
+
+    Per document ``d``: a document and a query stream derive
+    deterministically from ``seed`` (independent sub-seeds), the
+    catalog advises views on the stream's template pool (loading a
+    persisted selection when the backend has one), and the replay
+    interleaves every document's stream round-robin into one request
+    sequence answered through :meth:`Catalog.route
+    <repro.catalog.catalog.Catalog.route>` in windows of
+    ``config.batch_size``.
+
+    Counter isolation: the containment caches are cleared *after* the
+    advising phase, so the replay-phase counters are identical whether
+    advising ran (cold) or was skipped from a persisted selection
+    (warm) — the bit-identity the catalog benchmark asserts.
+    """
+    from ..catalog.catalog import Catalog  # local: keep import acyclic
+
+    config = config or CatalogReplayConfig()
+    clear_cache()
+    CONTAINMENT_STATS.reset()
+    base = 0 if seed is None else int(seed)
+
+    report = CatalogReplayReport()
+    catalog = Catalog(
+        db_path=config.db_path,
+        answer_cache_size=config.answer_cache_size,
+    )
+    try:
+        samples: dict[str, StreamSample] = {}
+        for index in range(config.documents):
+            doc_id = f"doc-{index}"
+            doc_seed = base * 10_007 + index
+            tree = random_tree(config.document_size, seed=doc_seed)
+            samples[doc_id] = sample_stream(config.stream, seed=doc_seed)
+            catalog.register(doc_id, tree)
+            advice = catalog.advise(
+                doc_id,
+                samples[doc_id].templates,
+                weights=samples[doc_id].template_weights(),
+                max_views=config.max_views,
+            )
+            report.documents.append(doc_id)
+            report.warm_selections += int(advice.warm)
+
+        # Advising may or may not have run (warm vs cold); reset the
+        # process-wide containment state so the replay phase below is
+        # bit-identical either way.
+        clear_cache()
+        CONTAINMENT_STATS.reset()
+        engine_before = {
+            doc_id: catalog.entry(doc_id).engine.stats.snapshot()
+            for doc_id in report.documents
+        }
+        containment_before = CONTAINMENT_STATS.snapshot()
+
+        requests: list[tuple[str, Pattern]] = []
+        for position in range(config.stream.length):
+            for doc_id in report.documents:
+                requests.append(
+                    (doc_id, samples[doc_id].entries[position].query)
+                )
+
+        tallies = {
+            doc_id: {
+                "queries": 0,
+                "view_plans": 0,
+                "direct_plans": 0,
+                "answers_total": 0,
+                "plans_by_view": {},
+            }
+            for doc_id in report.documents
+        }
+        distinct: dict[str, set[int]] = {
+            doc_id: set() for doc_id in report.documents
+        }
+        t0 = time.perf_counter()
+        for start in range(0, len(requests), config.batch_size):
+            window = requests[start : start + config.batch_size]
+            routed = catalog.route(window)
+            report.batches += 1
+            for batch in routed.groups.values():
+                report.folded_queries += batch.folded_queries
+            for (doc_id, query), plan, answers in zip(
+                window, routed.plans, routed.answers
+            ):
+                tally = tallies[doc_id]
+                tally["queries"] += 1
+                tally["answers_total"] += len(answers)
+                distinct[doc_id].add(query.memo_key())
+                if plan.kind == "view":
+                    tally["view_plans"] += 1
+                    tally["plans_by_view"][plan.view_name] = (
+                        tally["plans_by_view"].get(plan.view_name, 0) + 1
+                    )
+                else:
+                    tally["direct_plans"] += 1
+                if (
+                    config.verify
+                    and plan.kind == "view"
+                    and answers
+                    != catalog.entry(doc_id).store.evaluate(query, doc_id)
+                ):
+                    report.verified_mismatches += 1
+        report.elapsed_seconds = time.perf_counter() - t0
+
+        containment_after = CONTAINMENT_STATS.snapshot()
+        report.containment = {
+            key: containment_after[key] - containment_before[key]
+            for key in containment_after
+        }
+        report.containment["cache_limit"] = cache_limit()
+        report.containment["engine_cache_limit"] = engine_cache_limit()
+        for doc_id in report.documents:
+            after = catalog.entry(doc_id).engine.stats.snapshot()
+            section = tallies[doc_id]
+            section["distinct_queries"] = len(distinct[doc_id])
+            section["views"] = list(catalog.entry(doc_id).views)
+            section["engine"] = {
+                key: after[key] - engine_before[doc_id][key] for key in after
+            }
+            section["answer_cache_hits"] = section["engine"][
+                "answer_cache_hits"
+            ]
+            report.per_document[doc_id] = section
+            report.queries += section["queries"]
+        report.backend = catalog.backend_stats()
+        return report
+    finally:
+        catalog.close()
 
 
 def replay_workload(

@@ -1,0 +1,204 @@
+"""The hom-subsumption branch prune, promoted into the shared dispatch.
+
+PR 2 introduced the prune inside the view advisor only (compositions
+``R ∘ V`` duplicate query branches in the view's output node).  It is
+sound for *any* pattern — removal is a relaxation and the subsuming
+sibling witnesses the converse containment, so the pruned pattern is
+equivalent — which is why it now lives in
+:func:`repro.core.containment.prune_subsumed_branches` and runs inside
+the dispatch (:func:`~repro.core.containment.contains` /
+:class:`~repro.core.containment.ContainmentBatch`) before the coNP
+canonical fallback.  Those two entry points are exactly how
+:class:`~repro.core.rewrite.RewriteSolver` issues its equivalence tests
+(``rewrite.py`` step 2), so the solver path inherits the prune without
+any code of its own.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.canonical import count_canonical_models
+from repro.core.containment import (
+    STATS,
+    ContainmentBatch,
+    branch_prune_enabled,
+    canonical_containment,
+    clear_cache,
+    contains,
+    expansion_bound,
+    prune_subsumed_branches,
+    set_branch_prune_enabled,
+)
+from repro.core.rewrite import RewriteSolver
+from repro.patterns.parse import parse_pattern
+from repro.patterns.random import PatternConfig, random_pattern
+from repro.patterns.serialize import to_xpath
+
+#: A pair whose containment is true but not homomorphism-decidable, so
+#: the dispatch must fall back to canonical-model enumeration — and the
+#: containee carries a duplicated ``[.//*]`` branch the prune removes.
+#: (Found by seeded search; kept literal so the regression is stable.)
+DUP_CONTAINEE = "c//*/*[a[.//*][.//*]]/e/e[*]"
+CONTAINER = "*[*//e]//*/*//e//*"
+
+
+@pytest.fixture
+def prune_toggle():
+    """Restore the dispatch prune setting after the test."""
+    assert branch_prune_enabled()
+    yield set_branch_prune_enabled
+    set_branch_prune_enabled(True)
+
+
+def _models_checked(p1, p2) -> tuple[bool, int]:
+    clear_cache()
+    STATS.reset()
+    verdict = contains(p1, p2, use_cache=False)
+    return verdict, STATS.canonical_models_checked
+
+
+class TestPruneEquivalence:
+    def test_duplicate_branch_is_removed(self):
+        pattern = parse_pattern("a[.//b][.//b]//c")
+        pruned = prune_subsumed_branches(pattern)
+        assert to_xpath(pruned) == "a[.//b]//c"
+
+    def test_pruned_form_is_equivalent(self):
+        pattern = parse_pattern(DUP_CONTAINEE)
+        pruned = prune_subsumed_branches(pattern)
+        assert pruned.size() < pattern.size()
+        # Verify through the *raw* canonical procedure (no dispatch, no
+        # pruning) so the oracle is independent of the code under test.
+        assert canonical_containment(pattern, pruned)
+        assert canonical_containment(pruned, pattern)
+
+    def test_output_path_branches_survive(self):
+        # A predicate subsumed by its on-path sibling is droppable, but
+        # the selection path itself must never be touched.
+        pattern = parse_pattern("a/b[c]/c")
+        pruned = prune_subsumed_branches(pattern)
+        assert to_xpath(pruned) == "a/b/c"
+
+    def test_unrelated_branches_return_same_object(self):
+        pattern = parse_pattern("a[b][c]//d")
+        assert prune_subsumed_branches(pattern) is pattern
+
+    def test_random_patterns_keep_verdicts(self):
+        from repro.errors import ContainmentBudgetError
+
+        rng = random.Random(5)
+        config = PatternConfig(
+            depth=3, branch_prob=0.6, descendant_prob=0.5, wildcard_prob=0.3
+        )
+        verified = 0
+        for _ in range(60):
+            pattern = random_pattern(config, rng)
+            if pattern.is_empty:
+                continue
+            pruned = prune_subsumed_branches(pattern)
+            try:
+                forward = canonical_containment(
+                    pattern, pruned, max_models=4_096
+                )
+                backward = canonical_containment(
+                    pruned, pattern, max_models=4_096
+                )
+            except ContainmentBudgetError:
+                continue  # model space too big for an oracle check
+            assert forward and backward
+            verified += 1
+        assert verified >= 30, "budget skipped too many pairs to be meaningful"
+
+
+class TestDispatchBenefits:
+    def test_fewer_canonical_models_through_contains(self, prune_toggle):
+        p1 = parse_pattern(DUP_CONTAINEE)
+        p2 = parse_pattern(CONTAINER)
+        prune_toggle(False)
+        unpruned_verdict, unpruned_models = _models_checked(p1, p2)
+        assert unpruned_models > 0, "pair no longer exercises the fallback"
+        prune_toggle(True)
+        pruned_verdict, pruned_models = _models_checked(p1, p2)
+        assert pruned_verdict == unpruned_verdict is True
+        assert pruned_models < unpruned_models
+
+    def test_model_space_shrinks(self):
+        p1 = parse_pattern(DUP_CONTAINEE)
+        pruned = prune_subsumed_branches(p1)
+        bound = expansion_bound(parse_pattern(CONTAINER))
+        assert count_canonical_models(pruned, bound) < count_canonical_models(
+            p1, bound
+        )
+
+    def test_batch_entry_point_prunes_too(self):
+        # The solver's backward direction goes through ContainmentBatch;
+        # the same pair must stay decided (and cheaper) there.
+        p1 = parse_pattern(DUP_CONTAINEE)
+        p2 = parse_pattern(CONTAINER)
+        clear_cache()
+        STATS.reset()
+        batch = ContainmentBatch(p1)
+        assert batch.contains(p2)
+        assert STATS.branch_prunes > 0
+
+
+class TestSolverPath:
+    def test_solver_decisions_identical_with_and_without_prune(
+        self, prune_toggle
+    ):
+        """The promotion must never change a solver verdict.
+
+        A seeded sweep of (query, view) pairs is solved twice — dispatch
+        pruning force-disabled, then enabled — and every status and
+        rewriting must match bit for bit.
+        """
+        rng = random.Random(23)
+        config = PatternConfig(
+            depth=4, branch_prob=0.7, descendant_prob=0.5, wildcard_prob=0.35
+        )
+        pairs = []
+        while len(pairs) < 40:
+            query = random_pattern(config, rng)
+            view = random_pattern(config, rng)
+            if query.is_empty or view.is_empty:
+                continue
+            pairs.append((query, view))
+
+        def sweep():
+            clear_cache()
+            solver = RewriteSolver(use_fallback=False)
+            outcomes = []
+            for query, view in pairs:
+                result = solver.solve(query, view)
+                rewriting = (
+                    result.rewriting.canonical_key()
+                    if result.rewriting is not None
+                    else None
+                )
+                outcomes.append((result.status, result.rule, rewriting))
+            return outcomes
+
+        prune_toggle(False)
+        baseline = sweep()
+        prune_toggle(True)
+        assert sweep() == baseline
+
+    def test_solver_equivalence_test_benefits(self, prune_toggle):
+        """The exact call the solver makes for ``R ∘ V ⊑ P`` gets cheaper.
+
+        ``RewriteSolver.solve`` verifies candidates with
+        ``contains(composition, query)`` (rewrite.py step 2); on a
+        composition-shaped containee with a duplicated branch that call
+        now enumerates strictly fewer canonical models.
+        """
+        composition = parse_pattern(DUP_CONTAINEE)
+        query = parse_pattern(CONTAINER)
+        prune_toggle(False)
+        _, unpruned_models = _models_checked(composition, query)
+        prune_toggle(True)
+        verdict, pruned_models = _models_checked(composition, query)
+        assert verdict is True
+        assert 0 < pruned_models < unpruned_models

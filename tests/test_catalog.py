@@ -1,0 +1,467 @@
+"""Tests for the multi-document catalog subsystem (`repro.catalog`)."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    CatalogServer,
+    CatalogSpec,
+    DocumentSpec,
+    SqliteBackend,
+    build_catalog,
+)
+from repro.errors import (
+    CatalogError,
+    ReproError,
+    UnknownDocumentError,
+    ViewEngineError,
+)
+from repro.patterns.parse import parse_pattern
+from repro.workloads.replay import CatalogReplayConfig, replay_catalog
+from repro.workloads.streams import StreamConfig, sample_stream
+from repro.xmltree.generate import random_tree
+from repro.xmltree.tree import build_tree
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "catalog.db"
+
+
+def small_fleet(count=2, size=200, stream_len=40, seed=100):
+    docs, streams = {}, {}
+    for index in range(count):
+        doc_id = f"doc-{index}"
+        docs[doc_id] = random_tree(size, seed=seed + index)
+        streams[doc_id] = sample_stream(
+            StreamConfig(length=stream_len, templates=5), seed=seed + index
+        )
+    return docs, streams
+
+
+def advise_fleet(catalog, docs, streams, max_views=3):
+    advices = {}
+    for doc_id, tree in docs.items():
+        catalog.register(doc_id, tree)
+        advices[doc_id] = catalog.advise(
+            doc_id,
+            streams[doc_id].templates,
+            weights=streams[doc_id].template_weights(),
+            max_views=max_views,
+        )
+    return advices
+
+
+# ----------------------------------------------------------------------
+# SqliteBackend
+# ----------------------------------------------------------------------
+
+class TestSqliteBackend:
+    def test_round_trip_and_miss(self, db_path):
+        with SqliteBackend(db_path) as backend:
+            assert backend.load("d1", "p1") is None
+            backend.save("d1", "p1", [3, 1, 2], xpath="a/b")
+            assert backend.load("d1", "p1") == [1, 2, 3]
+            assert backend.stats.misses == 1
+            assert backend.stats.hits == 1
+            assert backend.stats.saves == 1
+
+    def test_entries_survive_reopen(self, db_path):
+        with SqliteBackend(db_path) as backend:
+            backend.save("d1", "p1", [0, 5])
+            backend.save_selection("d1", "fp", {"format": 1, "views": []})
+        with SqliteBackend(db_path) as backend:
+            assert backend.load("d1", "p1") == [0, 5]
+            assert backend.load_selection("d1", "fp") == {
+                "format": 1,
+                "views": [],
+            }
+            assert backend.durable
+
+    def test_selection_miss_counts(self, db_path):
+        with SqliteBackend(db_path) as backend:
+            assert backend.load_selection("d1", "nope") is None
+            assert backend.stats.selection_misses == 1
+            backend.save_selection("d1", "fp", {"views": []})
+            assert backend.stats.selection_saves == 1
+
+    def test_invalidate_drops_materializations_and_selections(self, db_path):
+        with SqliteBackend(db_path) as backend:
+            backend.save("d1", "p1", [1])
+            backend.save("d2", "p1", [2])
+            backend.save_selection("d1", "fp", {"views": []})
+            backend.invalidate_document("d1")
+            assert backend.load("d1", "p1") is None
+            assert backend.load_selection("d1", "fp") is None
+            assert backend.load("d2", "p1") == [2]
+            assert backend.stats.invalidations == 1
+
+    def test_reject_loaded_reclassifies(self, db_path):
+        with SqliteBackend(db_path) as backend:
+            backend.save("d1", "p1", [9])
+            assert backend.load("d1", "p1") == [9]
+            backend.reject_loaded("d1", "p1")
+            assert backend.stats.hits == 0
+            assert backend.stats.misses == 1
+            assert backend.stats.corrupt_records == 1
+            assert backend.load("d1", "p1") is None
+
+    def test_corrupt_row_degrades_to_miss(self, db_path):
+        with SqliteBackend(db_path) as backend:
+            backend.save("d1", "p1", [1, 2])
+        conn = sqlite3.connect(db_path)
+        conn.execute(
+            "UPDATE materializations SET ids = 'not-json' WHERE doc = 'd1'"
+        )
+        conn.commit()
+        conn.close()
+        with SqliteBackend(db_path) as backend:
+            assert backend.load("d1", "p1") is None
+            assert backend.stats.corrupt_records == 1
+            assert backend.stats.misses == 1
+            # The corrupt row was dropped; a fresh save repairs it.
+            backend.save("d1", "p1", [1, 2])
+            assert backend.load("d1", "p1") == [1, 2]
+
+    def test_closed_backend_raises_typed_error(self, db_path):
+        backend = SqliteBackend(db_path)
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(CatalogError):
+            backend.load("d1", "p1")
+
+
+class TestSqliteConcurrency:
+    def test_concurrent_readers_under_writer(self, db_path):
+        """Threaded load/save on one WAL database (each its own connection)."""
+        with SqliteBackend(db_path) as backend:
+            for index in range(20):
+                backend.save("doc", f"pat-{index}", [index, index + 1])
+
+        errors: list[BaseException] = []
+        misreads: list[object] = []
+        stop = threading.Event()
+
+        def reader() -> None:
+            try:
+                with SqliteBackend(db_path) as mine:
+                    while not stop.is_set():
+                        for index in range(20):
+                            loaded = mine.load("doc", f"pat-{index}")
+                            # Readers may race the writer below, but a
+                            # loaded entry is always complete and valid.
+                            if loaded is not None and loaded != sorted(loaded):
+                                misreads.append(loaded)
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                with SqliteBackend(db_path) as mine:
+                    for round_ in range(15):
+                        for index in range(20):
+                            mine.save(
+                                "doc", f"pat-{index}", [index, index + round_]
+                            )
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writing = threading.Thread(target=writer)
+        for thread in readers:
+            thread.start()
+        writing.start()
+        writing.join(timeout=60)
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert not misreads, misreads
+        with SqliteBackend(db_path) as backend:
+            assert backend.load("doc", "pat-3") == [3, 17]
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+
+class TestCatalog:
+    def test_register_and_duplicate(self):
+        with Catalog() as catalog:
+            catalog.register("bib", build_tree({"a": ["b", "c"]}))
+            with pytest.raises(CatalogError):
+                catalog.register("bib", build_tree({"a": []}))
+            assert catalog.documents() == ["bib"]
+
+    def test_unknown_document_is_typed_not_keyerror(self):
+        with Catalog() as catalog:
+            catalog.register("known", build_tree({"a": ["b"]}))
+            query = parse_pattern("a/b")
+            for call in (
+                lambda: catalog.answer("nope", query),
+                lambda: catalog.answer_many("nope", [query]),
+                lambda: catalog.advise("nope", [query]),
+                lambda: catalog.route([("known", query), ("nope", query)]),
+                lambda: catalog.entry("nope"),
+            ):
+                with pytest.raises(UnknownDocumentError) as excinfo:
+                    call()
+                assert not isinstance(excinfo.value, KeyError)
+                assert isinstance(excinfo.value, ViewEngineError)
+                assert isinstance(excinfo.value, ReproError)
+
+    def test_route_preserves_request_order(self):
+        with Catalog() as catalog:
+            catalog.register("x", build_tree({"a": [{"b": ["c"]}, "b"]}))
+            catalog.register("y", build_tree({"a": ["b"]}))
+            requests = [
+                ("x", parse_pattern("a/b")),
+                ("y", parse_pattern("a/b")),
+                ("x", parse_pattern("a/b/c")),
+                ("x", parse_pattern("a/b")),  # duplicate: folds with [0]
+            ]
+            routed = catalog.route(requests)
+            assert len(routed.answers) == 4
+            assert routed.answers[0] is routed.answers[3]  # shared set
+            for (doc_id, query), answer in zip(requests, routed.answers):
+                assert answer == catalog.entry(doc_id).store.evaluate(
+                    query, doc_id
+                )
+            assert set(routed.groups) == {"x", "y"}
+            assert routed.groups["x"].folded_queries == 1
+
+    def test_advise_cold_then_warm(self, db_path):
+        docs, streams = small_fleet()
+        with Catalog(db_path=db_path) as catalog:
+            advices = advise_fleet(catalog, docs, streams)
+            assert all(not advice.warm for advice in advices.values())
+            cold_views = {
+                doc_id: list(catalog.entry(doc_id).views) for doc_id in docs
+            }
+            stats = catalog.backend_stats()
+            assert stats["selection_saves"] == len(docs)
+        with Catalog(db_path=db_path) as catalog:
+            advices = advise_fleet(catalog, docs, streams)
+            assert all(advice.warm for advice in advices.values())
+            warm_views = {
+                doc_id: list(catalog.entry(doc_id).views) for doc_id in docs
+            }
+            stats = catalog.backend_stats()
+            assert stats["selection_hits"] == len(docs)
+            assert stats["saves"] == 0  # every forest loaded
+        assert warm_views == cold_views
+
+    def test_changed_workload_does_not_reuse_selection(self, db_path):
+        docs, streams = small_fleet(count=1)
+        with Catalog(db_path=db_path) as catalog:
+            advise_fleet(catalog, docs, streams)
+        with Catalog(db_path=db_path) as catalog:
+            catalog.register("doc-0", docs["doc-0"])
+            # Different budget -> different fingerprint -> cold advise.
+            advice = catalog.advise(
+                "doc-0",
+                streams["doc-0"].templates,
+                weights=streams["doc-0"].template_weights(),
+                max_views=2,
+            )
+            assert not advice.warm
+
+    def test_re_advising_requires_fresh_entry(self):
+        docs, streams = small_fleet(count=1)
+        with Catalog() as catalog:
+            advise_fleet(catalog, docs, streams)
+            with pytest.raises(CatalogError):
+                catalog.advise("doc-0", streams["doc-0"].templates)
+
+    def test_answer_cache_hits_across_batches(self):
+        docs, streams = small_fleet(count=1)
+        with Catalog() as catalog:
+            advise_fleet(catalog, docs, streams)
+            queries = streams["doc-0"].queries[:10]
+            first = catalog.answer_many("doc-0", queries)
+            second = catalog.answer_many("doc-0", queries)
+            engine = catalog.entry("doc-0").engine
+            assert engine.stats.answer_cache_hits >= second.distinct_queries
+            for a, b in zip(first.answers, second.answers):
+                assert a == b
+
+    def test_counters_identical_cold_vs_warm(self, db_path):
+        """The same call sequence yields bit-identical catalog counters."""
+        docs, streams = small_fleet()
+
+        def run(catalog: Catalog) -> dict:
+            from repro.core.containment import clear_cache
+
+            advise_fleet(catalog, docs, streams)
+            clear_cache()  # isolate serving from (maybe-skipped) advising
+            requests = []
+            for position in range(20):
+                for doc_id in docs:
+                    requests.append(
+                        (doc_id, streams[doc_id].queries[position])
+                    )
+            catalog.route(requests)
+            return catalog.counters()
+
+        with Catalog(db_path=db_path) as catalog:
+            cold = run(catalog)
+        with Catalog(db_path=db_path) as catalog:
+            warm = run(catalog)
+        assert warm == cold
+
+
+# ----------------------------------------------------------------------
+# CatalogServer
+# ----------------------------------------------------------------------
+
+def fleet_spec(db_path, docs, streams, max_views=3) -> CatalogSpec:
+    return CatalogSpec(
+        documents=tuple(
+            DocumentSpec.from_tree(
+                doc_id,
+                tree,
+                streams[doc_id].templates,
+                streams[doc_id].template_weights(),
+            )
+            for doc_id, tree in docs.items()
+        ),
+        db_path=str(db_path),
+        max_views=max_views,
+    )
+
+
+def interleaved(docs, streams, length):
+    requests = []
+    for position in range(length):
+        for doc_id in docs:
+            requests.append((doc_id, streams[doc_id].queries[position]))
+    return requests
+
+
+class TestCatalogServer:
+    def test_inline_matches_direct_catalog(self, db_path):
+        docs, streams = small_fleet()
+        spec = fleet_spec(db_path, docs, streams)
+        requests = interleaved(docs, streams, 15)
+        with CatalogServer(spec, workers=0) as server:
+            result = server.serve_requests(requests, batch_size=8)
+            counters = server.counters()
+        assert result.served == len(requests)
+        assert set(counters) == set(docs)
+        # Cross-check against an independently built catalog.
+        catalog = build_catalog(spec)
+        try:
+            for (doc_id, query), ids in zip(requests, result.answer_ids):
+                expected = catalog.node_ids(
+                    doc_id, catalog.entry(doc_id).store.evaluate(query, doc_id)
+                )
+                assert ids == expected
+        finally:
+            catalog.close()
+
+    def test_unknown_document_refused_before_any_work(self, db_path):
+        docs, streams = small_fleet(count=1)
+        spec = fleet_spec(db_path, docs, streams)
+        with CatalogServer(spec, workers=0) as server:
+            with pytest.raises(UnknownDocumentError):
+                server.serve_requests([("ghost", "a/b")])
+
+    def test_closed_server_raises(self, db_path):
+        docs, streams = small_fleet(count=1)
+        server = CatalogServer(fleet_spec(db_path, docs, streams), workers=0)
+        server.close()
+        server.close()  # idempotent
+        with pytest.raises(CatalogError):
+            server.serve_requests([("doc-0", "a")])
+
+    def test_pool_counters_raise_typed_error(self, db_path):
+        docs, streams = small_fleet(count=1)
+        spec = fleet_spec(db_path, docs, streams)
+        server = CatalogServer.__new__(CatalogServer)
+        server._catalog = None
+        with pytest.raises(CatalogError):
+            server.counters()
+
+    @pytest.mark.slow
+    def test_pool_parity_with_inline(self, db_path):
+        """Process-pool serving returns bit-identical answers to inline."""
+        docs, streams = small_fleet(count=2, stream_len=30)
+        spec = fleet_spec(db_path, docs, streams)
+        requests = interleaved(docs, streams, 30)
+        with CatalogServer(spec, workers=0) as inline:
+            baseline = inline.serve_requests(requests, batch_size=16)
+        with CatalogServer(spec, workers=2) as pooled:
+            result = pooled.serve_requests(requests, batch_size=16)
+        assert result.counters() == baseline.counters()
+
+
+# ----------------------------------------------------------------------
+# Catalog replay harness
+# ----------------------------------------------------------------------
+
+class TestCatalogReplay:
+    CONFIG = dict(
+        documents=2,
+        stream=StreamConfig(length=30, templates=5),
+        document_size=200,
+        max_views=3,
+        batch_size=8,
+    )
+
+    def test_counters_bit_identical_memory_cold_warm(self, db_path):
+        memory = replay_catalog(CatalogReplayConfig(**self.CONFIG), seed=4)
+        cold = replay_catalog(
+            CatalogReplayConfig(**self.CONFIG, db_path=db_path), seed=4
+        )
+        warm = replay_catalog(
+            CatalogReplayConfig(**self.CONFIG, db_path=db_path), seed=4
+        )
+        assert cold.counters() == memory.counters()
+        assert warm.counters() == memory.counters()
+        assert cold.warm_selections == 0
+        assert warm.warm_selections == self.CONFIG["documents"]
+        assert warm.backend["selection_hits"] == self.CONFIG["documents"]
+
+    def test_verify_finds_no_mismatches(self):
+        report = replay_catalog(
+            CatalogReplayConfig(**self.CONFIG, verify=True), seed=4
+        )
+        assert report.verified_mismatches == 0
+        assert report.queries == 60
+        assert set(report.per_document) == {"doc-0", "doc-1"}
+        for section in report.per_document.values():
+            assert (
+                section["view_plans"] + section["direct_plans"]
+                == section["queries"]
+            )
+        assert "catalog replay" in report.summary()
+
+    def test_run_to_run_determinism(self):
+        first = replay_catalog(CatalogReplayConfig(**self.CONFIG), seed=11)
+        second = replay_catalog(CatalogReplayConfig(**self.CONFIG), seed=11)
+        assert first.counters() == second.counters()
+
+
+class TestSpecWeights:
+    def test_empty_weights_tuple_surfaces_mismatch(self, db_path):
+        """weights=() is an explicit (wrong) value, not 'no weights'."""
+        tree = build_tree({"a": ["b", "c"]})
+        spec = CatalogSpec(
+            documents=(
+                DocumentSpec(
+                    doc_id="d",
+                    xml="<a><b/><c/></a>",
+                    workload_xpaths=("a/b",),
+                    weights=(),
+                ),
+            ),
+            db_path=str(db_path),
+        )
+        with pytest.raises(ValueError):
+            build_catalog(spec)

@@ -199,6 +199,7 @@ class TestDispatchAndCache:
             "cache_evictions": 0,
             "engine_cache_hits": 0,
             "engine_cache_evictions": 0,
+            "branch_prunes": 0,
         }
 
 

@@ -1,0 +1,131 @@
+"""The engine's cross-batch answer cache and the serve() executor hook."""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ViewEngineError
+from repro.patterns.parse import parse_pattern
+from repro.views.engine import QueryEngine
+from repro.views.store import ViewStore
+from repro.xmltree.generate import random_tree
+from repro.xmltree.tree import build_tree
+
+
+def make_engine(answer_cache_size=8):
+    store = ViewStore()
+    store.add_document("doc", random_tree(120, seed=2))
+    store.define_view("v", parse_pattern("a//b"))
+    return QueryEngine(store, answer_cache_size=answer_cache_size)
+
+
+QUERIES = ["a//b", "a//b[c]", "a/*", "a//b//d"]
+
+
+class TestAnswerCache:
+    def test_disabled_by_default(self):
+        store = ViewStore()
+        store.add_document("doc", random_tree(60, seed=1))
+        engine = QueryEngine(store)
+        query = parse_pattern("a//b")
+        first = engine.answer(query, "doc")
+        second = engine.answer(query, "doc")
+        assert first == second
+        assert engine.stats.answer_cache_hits == 0
+        # Planning still amortizes through the decision cache, but the
+        # answer was recomputed both times.
+        assert engine.stats.direct_answers + engine.stats.view_answers == 2
+
+    def test_negative_size_rejected(self):
+        store = ViewStore()
+        with pytest.raises(ViewEngineError):
+            QueryEngine(store, answer_cache_size=-1)
+
+    def test_repeat_answer_served_from_cache(self):
+        engine = make_engine()
+        query = parse_pattern("a//b[c]")
+        first = engine.answer(query, "doc")
+        executions = engine.stats.direct_answers + engine.stats.view_answers
+        second = engine.answer(query, "doc")
+        assert second is first  # the cached set object itself
+        assert engine.stats.answer_cache_hits == 1
+        assert (
+            engine.stats.direct_answers + engine.stats.view_answers
+            == executions
+        )
+
+    def test_cache_spans_batches(self):
+        engine = make_engine()
+        queries = [parse_pattern(x) for x in QUERIES]
+        first = engine.answer_many(queries, "doc")
+        assert engine.stats.answer_cache_hits == 0
+        second = engine.answer_many(queries, "doc")
+        assert engine.stats.answer_cache_hits == len(QUERIES)
+        for a, b in zip(first.answers, second.answers):
+            assert a is b
+
+    def test_lru_bound_holds(self):
+        engine = make_engine(answer_cache_size=2)
+        queries = [parse_pattern(x) for x in QUERIES]
+        engine.answer_many(queries, "doc")
+        assert len(engine._answers) == 2  # oldest two evicted
+
+    def test_refresh_invalidates_via_digest_token(self):
+        engine = make_engine()
+        store = engine.store
+        query = parse_pattern("a//b")
+        stale = engine.answer(query, "doc")
+        # Mutate the document in place, then refresh (the documented
+        # mutation contract) — the digest token moves.
+        store.document("doc").root.new_child("b")
+        store.refresh("doc")
+        fresh = engine.answer(query, "doc")
+        assert engine.stats.answer_cache_hits == 0
+        assert fresh == store.evaluate(query, "doc")
+        assert fresh != stale
+
+    def test_correctness_against_direct_evaluation(self):
+        engine = make_engine()
+        queries = [parse_pattern(x) for x in QUERIES] * 3
+        batch = engine.answer_many(queries, "doc")
+        for query, answer in zip(queries, batch.answers):
+            assert answer == engine.store.evaluate(query, "doc")
+
+
+class TestServeExecutorHook:
+    def drive(self, executor):
+        store = ViewStore()
+        store.add_document(
+            "doc", build_tree({"a": [{"b": ["c"]}, "b", {"d": ["b"]}]})
+        )
+        engine = QueryEngine(store)
+        queries = [parse_pattern(x) for x in ("a//b", "a/b/c", "a//b")] * 4
+
+        async def scenario():
+            queue: asyncio.Queue = asyncio.Queue()
+            loop = asyncio.get_running_loop()
+            futures = []
+            for query in queries:
+                future = loop.create_future()
+                futures.append(future)
+                queue.put_nowait((query, future))
+            queue.put_nowait(None)
+            served = await engine.serve(
+                queue, "doc", batch_size=4, executor=executor
+            )
+            return served, [future.result() for future in futures]
+
+        served, answers = asyncio.run(scenario())
+        assert served == len(queries)
+        for query, answer in zip(queries, answers):
+            assert answer == store.evaluate(query, "doc")
+
+    def test_serve_with_thread_pool(self):
+        with ThreadPoolExecutor(max_workers=1) as executor:
+            self.drive(executor)
+
+    def test_serve_without_executor_unchanged(self):
+        self.drive(None)

@@ -294,3 +294,120 @@ class TestInvalidation:
             json.loads(line) for line in snapshot_path.read_text().splitlines()
         ]
         assert sorted(r["xpath"] for r in records) == sorted(VIEWS.values())
+
+
+class TestSelectionRecords:
+    PAYLOAD = {
+        "format": 1,
+        "views": [{"xpath": "a//b", "cost": 3.0, "benefit": 2.0}],
+        "uncovered": [],
+    }
+
+    def test_memory_backend_round_trip_and_isolation(self):
+        backend = MemoryBackend()
+        assert backend.load_selection("d1", "fp") is None
+        assert backend.stats.selection_misses == 1
+        payload = {k: v for k, v in self.PAYLOAD.items()}
+        backend.save_selection("d1", "fp", payload)
+        payload["views"] = []  # caller mutation must not alias the store
+        loaded = backend.load_selection("d1", "fp")
+        assert loaded == self.PAYLOAD
+        loaded["uncovered"].append(9)  # nor must a loaded copy
+        assert backend.load_selection("d1", "fp") == self.PAYLOAD
+        assert backend.stats.selection_hits == 2
+        assert backend.stats.selection_saves == 1
+
+    def test_snapshot_backend_persists_selections(self, snapshot_path):
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save_selection("d1", "fp", self.PAYLOAD)
+        with SnapshotBackend(snapshot_path) as backend:
+            assert backend.load_selection("d1", "fp") == self.PAYLOAD
+
+    def test_invalidate_drops_selections_too(self, snapshot_path):
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save_selection("d1", "fp", self.PAYLOAD)
+            backend.save_selection("d2", "fp", self.PAYLOAD)
+            backend.invalidate_document("d1")
+            assert backend.load_selection("d1", "fp") is None
+            assert backend.load_selection("d2", "fp") == self.PAYLOAD
+        # ... and the invalidate record replays the same way on reopen.
+        with SnapshotBackend(snapshot_path) as backend:
+            assert backend.load_selection("d1", "fp") is None
+            assert backend.load_selection("d2", "fp") == self.PAYLOAD
+
+    def test_tampered_selection_record_skipped(self, snapshot_path):
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save_selection("d1", "fp", self.PAYLOAD)
+        lines = snapshot_path.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["payload"]["views"] = []  # checksum now stale
+        snapshot_path.write_text(json.dumps(record) + "\n")
+        with SnapshotBackend(snapshot_path) as backend:
+            assert backend.stats.corrupt_records == 1
+            assert backend.load_selection("d1", "fp") is None
+
+
+class TestCompaction:
+    def test_compact_with_pending_invalidations(self, snapshot_path):
+        """Compaction drops invalidated entries and keeps the rest live.
+
+        The log holds puts for two documents, a selection record each,
+        and a pending ``invalidate`` for one of them; the compacted log
+        must contain only the survivor's records — and reopening it must
+        reconstruct exactly the pre-compaction live state.
+        """
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save("keep", "p1", [1, 2], xpath="a/b")
+            backend.save("keep", "p2", [3], xpath="a//c")
+            backend.save("gone", "p1", [4], xpath="a/d")
+            backend.save_selection("keep", "fp", {"views": []})
+            backend.save_selection("gone", "fp", {"views": []})
+            backend.invalidate_document("gone")
+            live = backend.compact()
+            assert live == 2
+        records = [
+            json.loads(line) for line in snapshot_path.read_text().splitlines()
+        ]
+        assert all(record["doc"] == "keep" for record in records)
+        assert sorted(record["op"] for record in records) == [
+            "put",
+            "put",
+            "selection",
+        ]
+        with SnapshotBackend(snapshot_path) as backend:
+            assert backend.stats.corrupt_records == 0
+            assert backend.load("keep", "p1") == [1, 2]
+            assert backend.load("gone", "p1") is None
+            assert backend.load_selection("keep", "fp") == {"views": []}
+            assert backend.load_selection("gone", "fp") is None
+
+    def test_compact_fsyncs_the_directory(self, snapshot_path, monkeypatch):
+        """The rename is made durable: the parent directory gets fsynced.
+
+        A crash between ``os.replace`` and the directory's own writeback
+        could resurrect the old log; the fix is an explicit directory
+        fsync after the rename.  The filesystem effect is not observable
+        from userspace, so the test pins the call itself.
+        """
+        import repro.views.persist as persist
+
+        synced: list = []
+        real = persist._fsync_directory
+        monkeypatch.setattr(
+            persist,
+            "_fsync_directory",
+            lambda path: (synced.append(path), real(path))[1],
+        )
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save("d1", "p1", [1])
+            backend.compact()
+        assert synced == [snapshot_path.parent]
+
+    def test_backend_usable_after_compact(self, snapshot_path):
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save("d1", "p1", [1])
+            backend.compact()
+            backend.save("d1", "p2", [2])  # append handle was swapped
+        with SnapshotBackend(snapshot_path) as backend:
+            assert backend.load("d1", "p1") == [1]
+            assert backend.load("d1", "p2") == [2]

@@ -89,3 +89,65 @@ class TestAdviseViews:
         result = advise_views(queries, max_views=1, sample=sample)
         covered = set(result.coverage)
         assert covered | set(result.uncovered) == {0, 1}
+
+
+class TestSelectionSerialization:
+    """Persisted selections: fingerprints, round-trips, format guard."""
+
+    def workload(self, p=parse_pattern):
+        return [p("dblp/article[author]"), p("dblp//title"), p("dblp/article")]
+
+    def test_fingerprint_binds_inputs(self):
+        from repro.views.advisor import selection_fingerprint
+
+        queries = self.workload()
+        base = selection_fingerprint(queries, max_views=3)
+        assert base == selection_fingerprint(self.workload(), max_views=3)
+        assert base != selection_fingerprint(queries, max_views=2)
+        assert base != selection_fingerprint(queries[:2], max_views=3)
+        assert base != selection_fingerprint(
+            queries, weights=[2.0, 1.0, 1.0], max_views=3
+        )
+        assert base != selection_fingerprint(queries, max_views=3, max_models=10)
+
+    def test_fingerprint_sees_isomorphism_not_identity(self):
+        from repro.views.advisor import selection_fingerprint
+
+        a = [parse_pattern("dblp/article[author][title]")]
+        b = [parse_pattern("dblp/article[title][author]")]  # same pattern
+        assert selection_fingerprint(a) == selection_fingerprint(b)
+
+    def test_round_trip_reproduces_selection(self, sample=None):
+        from repro.views.advisor import (
+            deserialize_selection,
+            serialize_selection,
+        )
+        from repro.views.persist import pattern_digest
+
+        sample = dblp_like(entries=30, seed=5)
+        result = advise_views(self.workload(), max_views=3, sample=sample)
+        assert result.views, "advisor selected nothing to round-trip"
+        payload = serialize_selection(result)
+        restored = deserialize_selection(payload)
+        assert [pattern_digest(p) for p in restored] == [
+            pattern_digest(view.pattern) for view in result.views
+        ]
+
+    def test_payload_is_json_safe(self):
+        import json
+
+        from repro.views.advisor import serialize_selection
+
+        sample = dblp_like(entries=30, seed=5)
+        result = advise_views(self.workload(), max_views=2, sample=sample)
+        payload = serialize_selection(result)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_format_rejected(self):
+        from repro.errors import ViewEngineError
+        from repro.views.advisor import deserialize_selection
+
+        with pytest.raises(ViewEngineError):
+            deserialize_selection({"format": 999, "views": []})
+        with pytest.raises(ViewEngineError):
+            deserialize_selection({"views": []})
