@@ -1,15 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-containment bench-replay bench-catalog bench-all docs-check
+.PHONY: test test-fast bench bench-check bench-containment bench-replay bench-catalog bench-all docs-check
 
 ## Tier-1 test suite (the driver's gate).
 test:
 	$(PYTHON) -m pytest -x -q
 
-## Quick suite: deselects the long-running Hypothesis property suites.
+## Quick suite: deselects the long-running Hypothesis property suites
+## and the process-spawning multicore suite.
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not slow"
+	$(PYTHON) -m pytest -x -q -m "not slow and not multicore"
 
 ## Aggregate: every recorded benchmark JSON at the repo root.
 ## Compare the JSONs against the committed baselines before/after a PR.
@@ -18,6 +19,11 @@ bench: bench-containment bench-replay bench-catalog
 ## Perf guard: records ops/sec + speedup-vs-seed to BENCH_containment.json.
 bench-containment:
 	$(PYTHON) benchmarks/bench_perf_guard.py
+
+## Regression gate: re-measures and exits non-zero if any number falls
+## below the floors committed in BENCH_containment.json (never rewrites).
+bench-check:
+	$(PYTHON) benchmarks/bench_perf_guard.py --check
 
 ## Workload replay + batched advisor: records queries/sec and the
 ## batched-vs-solver advisor speedup to BENCH_replay.json.

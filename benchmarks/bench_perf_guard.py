@@ -1,28 +1,44 @@
 """Perf guard — ops/sec for the containment hot path, recorded to JSON.
 
 Runs a fixed pattern corpus through :func:`repro.core.containment.contains`
-and the canonical engine, measures operations per second, and measures the
-bitset engine's speedup over the preserved seed implementation
+and the canonical engine, measures operations per second, and compares the
+bitset engine against the preserved seed implementation
 (:mod:`repro.core.embedding_reference`) on patterns with ≥ 4 descendant
 edges.  Results are written to ``BENCH_containment.json`` at the repo
 root so future PRs can diff against this PR's baseline:
 
-    make bench            # or: PYTHONPATH=src python benchmarks/bench_perf_guard.py
+    make bench-containment   # measure + floor-check + rewrite the JSON
+    make bench-check         # measure + floor-check only (CI guard)
 
-The pytest wrapper (``pytest benchmarks/bench_perf_guard.py``) runs the
-same measurements with soft assertions (agreement is exact; the speedup
-threshold is deliberately below the recorded value to avoid flaking on
-slow machines).
+Three columns per speedup case:
+
+* ``seed_ops_per_sec`` — the preserved per-set-bit seed implementation;
+* ``bitset_ops_per_sec`` — a **cold** containment call (all caches
+  cleared first): engine construction + the word-parallel DP over every
+  model;
+* ``multicore_ops_per_sec`` — ``canonical_containment(..., workers=2)``
+  with warm cross-call state: the engine LRU, the per-container embeds
+  memo, and (on a multi-core box) the process shards.  On a single-core
+  box the sharded path degrades to inline (``multicore_mode`` records
+  which happened), and the memo alone carries the speedup.
+
+**Floors are checked into the JSON** (``floors``) and enforced on every
+run: a measurement below its floor makes the script exit non-zero
+*without* rewriting the JSON, so perf regressions fail loudly instead of
+silently re-baselining.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
+from repro.core import parallel
 from repro.core.containment import (
+    STATS,
     canonical_containment,
     clear_cache,
     contains,
@@ -56,6 +72,36 @@ SPEEDUP_CASES = {
     "5-desc-edges-bound-4": ("a//b[c//d]//e//f//g", "a//*/*/g"),
 }
 
+#: PR 5's recorded bitset numbers (this box) — the baseline the
+#: multicore column's gain floors are measured against.
+PR5_BITSET_OPS = {
+    "4-desc-edges-bound-2": 7274.77,
+    "4-desc-edges-bound-5": 135.46,
+    "5-desc-edges-bound-4": 112.34,
+}
+
+#: Per-measurement floors, embedded in the JSON and enforced on every
+#: run.  ``speedup``: cold bitset vs seed.  ``multicore_gain``: the
+#: warm ``workers=2`` column vs PR 5's bitset ops/sec — the big-bound
+#: cases must clear ≥ 4× (the PR 6 acceptance target); the tiny-bound
+#: case only must not regress.
+FLOORS = {
+    "contains_corpus_ops_per_sec": 2000.0,
+    "speedup": {
+        "4-desc-edges-bound-2": 3.0,
+        "4-desc-edges-bound-5": 3.0,
+        "5-desc-edges-bound-4": 3.0,
+    },
+    "multicore_gain": {
+        "4-desc-edges-bound-2": 1.0,
+        "4-desc-edges-bound-5": 4.0,  # the PR 6 acceptance target
+        "5-desc-edges-bound-4": 3.0,
+    },
+}
+
+#: Worker count for the multicore column.
+MULTICORE_WORKERS = 2
+
 
 def _ops_per_sec(fn, min_seconds: float = 1.0, min_rounds: int = 3) -> float:
     fn()  # warmup
@@ -84,20 +130,43 @@ def measure_contains_corpus() -> float:
     return per_corpus * len(pairs)
 
 
-def measure_speedups() -> dict[str, dict[str, float]]:
-    """Bitset vs seed canonical containment on the ≥4-descendant cases."""
-    results: dict[str, dict[str, float]] = {}
+def measure_speedups() -> dict[str, dict]:
+    """Seed vs cold bitset vs warm multicore on the ≥4-descendant cases."""
+    results: dict[str, dict] = {}
     for name, (a, b) in SPEEDUP_CASES.items():
         p1, p2 = parse_pattern(a), parse_pattern(b)
         expected = reference_canonical_containment(p1, p2)
-        actual = canonical_containment(p1, p2)
-        assert actual == expected, f"engine disagreement on {name}"
-        bitset = _ops_per_sec(lambda: canonical_containment(p1, p2))
+        for workers in (0, MULTICORE_WORKERS):
+            clear_cache()
+            actual = canonical_containment(p1, p2, workers=workers)
+            assert actual == expected, (
+                f"engine disagreement on {name} (workers={workers})"
+            )
+
+        def cold() -> None:
+            clear_cache()
+            canonical_containment(p1, p2)
+
+        bitset = _ops_per_sec(cold)
         seed = _ops_per_sec(lambda: reference_canonical_containment(p1, p2))
+        clear_cache()
+        fallbacks_before = STATS.shard_fallbacks
+        multicore = _ops_per_sec(
+            lambda: canonical_containment(p1, p2, workers=MULTICORE_WORKERS)
+        )
+        mode = (
+            "inline-fallback"
+            if STATS.shard_fallbacks > fallbacks_before
+            else "sharded"
+        )
         results[name] = {
             "bitset_ops_per_sec": round(bitset, 2),
             "seed_ops_per_sec": round(seed, 2),
             "speedup": round(bitset / seed, 2),
+            "multicore_ops_per_sec": round(multicore, 2),
+            "multicore_workers": MULTICORE_WORKERS,
+            "multicore_mode": mode,
+            "multicore_gain_vs_pr5": round(multicore / PR5_BITSET_OPS[name], 2),
         }
     return results
 
@@ -106,10 +175,36 @@ def run_guard() -> dict:
     report = {
         "generated_by": "benchmarks/bench_perf_guard.py",
         "python": platform.python_version(),
+        "cpu_count": parallel._cpu_count(),
         "contains_corpus_ops_per_sec": round(measure_contains_corpus(), 2),
         "speedup_vs_seed": measure_speedups(),
+        "pr5_bitset_ops_per_sec": dict(PR5_BITSET_OPS),
+        "floors": FLOORS,
     }
     return report
+
+
+def floor_violations(report: dict) -> list[str]:
+    """Every measurement in ``report`` below its recorded floor."""
+    floors = report.get("floors", FLOORS)
+    problems: list[str] = []
+    corpus_floor = floors["contains_corpus_ops_per_sec"]
+    corpus = report["contains_corpus_ops_per_sec"]
+    if corpus < corpus_floor:
+        problems.append(
+            f"contains_corpus_ops_per_sec {corpus} < floor {corpus_floor}"
+        )
+    for name, row in report["speedup_vs_seed"].items():
+        floor = floors["speedup"].get(name)
+        if floor is not None and row["speedup"] < floor:
+            problems.append(f"{name}: speedup {row['speedup']} < floor {floor}")
+        gain_floor = floors["multicore_gain"].get(name)
+        gain = row.get("multicore_gain_vs_pr5")
+        if gain_floor is not None and gain is not None and gain < gain_floor:
+            problems.append(
+                f"{name}: multicore_gain_vs_pr5 {gain} < floor {gain_floor}"
+            )
+    return problems
 
 
 def write_report(report: dict) -> None:
@@ -122,18 +217,29 @@ def write_report(report: dict) -> None:
 
 def test_perf_guard(report=None):
     guard = run_guard()
-    write_report(guard)
     if report is not None:
         report(json.dumps(guard, indent=2))
-    for name, row in guard["speedup_vs_seed"].items():
-        # Recorded speedups are 5–17×; assert a conservative floor so the
-        # guard flags real regressions without flaking under load.
-        assert row["speedup"] >= 3.0, (name, row)
-    assert guard["contains_corpus_ops_per_sec"] > 100
+    assert floor_violations(guard) == []
+    write_report(guard)
 
 
 if __name__ == "__main__":
+    check_only = "--check" in sys.argv[1:]
     result = run_guard()
-    write_report(result)
+    if check_only and RESULT_PATH.exists():
+        # The committed JSON's floors are the contract; the in-script
+        # table only seeds fresh baselines.
+        committed = json.loads(RESULT_PATH.read_text())
+        result["floors"] = committed.get("floors", FLOORS)
     print(json.dumps(result, indent=2))
-    print(f"\nwritten to {RESULT_PATH}")
+    problems = floor_violations(result)
+    if problems:
+        print("\nFLOOR VIOLATIONS (JSON not rewritten):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        sys.exit(1)
+    if check_only:
+        print(f"\nfloors OK against {RESULT_PATH} (check mode: not rewritten)")
+    else:
+        write_report(result)
+        print(f"\nfloors OK; written to {RESULT_PATH}")

@@ -34,7 +34,7 @@ share pattern/tree objects, which dictates the transport:
 from __future__ import annotations
 
 import time
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -42,6 +42,7 @@ from ..errors import CatalogError, UnknownDocumentError
 from ..patterns.ast import Pattern
 from ..patterns.parse import parse_pattern
 from ..patterns.serialize import to_xpath
+from ..shardpool import ShardPool
 from ..xmltree.parse import parse_xml, to_xml
 from ..xmltree.tree import XMLTree
 from .catalog import Catalog
@@ -219,35 +220,30 @@ class CatalogServer:
         }
         self._closed = False
         self._catalog: Catalog | None = None
-        self._shards: list[ProcessPoolExecutor] = []
+        self._pool: ShardPool | None = None
         if workers == 0:
             self._catalog = build_catalog(spec)
         else:
-            try:
-                for shard_index in range(workers):
-                    shard_spec = replace(
-                        spec,
-                        documents=tuple(
-                            doc
-                            for doc in spec.documents
-                            if self._shard_of[doc.doc_id] == shard_index
+            # ShardPool construction is all-or-nothing: a later shard
+            # failing to start shuts the earlier workers down instead of
+            # leaking them (close() is unreachable on a half-built
+            # server).
+            self._pool = ShardPool(
+                _init_worker,
+                [
+                    (
+                        replace(
+                            spec,
+                            documents=tuple(
+                                doc
+                                for doc in spec.documents
+                                if self._shard_of[doc.doc_id] == shard_index
+                            ),
                         ),
                     )
-                    self._shards.append(
-                        ProcessPoolExecutor(
-                            max_workers=1,
-                            initializer=_init_worker,
-                            initargs=(shard_spec,),
-                        )
-                    )
-            except BaseException:
-                # A later shard failing to construct must not leak the
-                # worker processes of the earlier ones — the caller
-                # never receives the object, so close() is unreachable.
-                for shard in self._shards:
-                    shard.shutdown(wait=False)
-                self._shards = []
-                raise
+                    for shard_index in range(workers)
+                ],
+            )
 
     # ------------------------------------------------------------------
     # Serving
@@ -301,9 +297,10 @@ class CatalogServer:
                     result.by_document.get(doc_id, 0) + len(indexes)
                 )
                 xpaths = [normalized[index][1] for index in indexes]
-                if self._shards:
-                    shard = self._shards[self._shard_of[doc_id]]
-                    future = shard.submit(_serve_in_worker, doc_id, xpaths)
+                if self._pool is not None:
+                    future = self._pool.submit(
+                        self._shard_of[doc_id], _serve_in_worker, doc_id, xpaths
+                    )
                     pending.append((future, doc_id, indexes))
                 else:
                     assert self._catalog is not None
@@ -358,9 +355,9 @@ class CatalogServer:
         if self._closed:
             return
         self._closed = True
-        for shard in self._shards:
-            shard.shutdown(wait=True)
-        self._shards = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         if self._catalog is not None:
             self._catalog.close()
             self._catalog = None

@@ -57,6 +57,7 @@ __all__ = [
     "incremental_models",
     "count_canonical_models",
     "gray_vectors",
+    "gray_vector_at",
     "star_length",
 ]
 
@@ -210,6 +211,59 @@ def gray_vectors(digits: int, base: int) -> Iterator[tuple[int, ...]]:
             f[j + 1] = j + 1
 
 
+def gray_vector_at(rank: int, digits: int, base: int) -> tuple[int, ...]:
+    """The ``rank``-th vector of :func:`gray_vectors`, in O(digits).
+
+    Closed form of the reflected code: write ``rank`` in base ``base``
+    (digit 0 fastest-changing, matching :func:`gray_vectors`); a digit is
+    reflected (``base-1-d``) iff the sum of the already-emitted
+    more-significant *Gray* digits is odd.  This is what lets
+    :meth:`CanonicalEngine.models_slice` start a Gray-code segment at an
+    arbitrary rank without walking the prefix — the entry point for
+    process-sharded model enumeration.
+    """
+    if base < 1:
+        raise ValueError("base must be >= 1")
+    if rank < 0 or rank >= base**digits:
+        raise ValueError(f"rank {rank} outside 0..{base**digits - 1}")
+    if base == 1:
+        return (0,) * digits
+    raw = [0] * digits
+    for i in range(digits):
+        rank, raw[i] = divmod(rank, base)
+    vector = [0] * digits
+    emitted_sum = 0
+    for i in range(digits - 1, -1, -1):
+        vector[i] = raw[i] if emitted_sum % 2 == 0 else base - 1 - raw[i]
+        emitted_sum += vector[i]
+    return tuple(vector)
+
+
+class _QPlan:
+    """A container pattern compiled against one engine's maximal tree.
+
+    Holds the postorder DP steps (label base mask, output flag, child
+    edges as ``(is_child_axis, postorder_slot)``), the per-descendant-
+    edge relevance vector shaping the embeds-memo fingerprint, the
+    fingerprint→verdict memo itself, and a reusable sat buffer.
+    """
+
+    __slots__ = ("q", "steps", "rel", "sat", "memo")
+
+    def __init__(
+        self,
+        q: Pattern,
+        steps: list[tuple[int | None, bool, list[tuple[bool, int]]]],
+        rel: list[bool],
+        n: int,
+    ):
+        self.q = q
+        self.steps = steps
+        self.rel = rel
+        self.sat = [0] * n
+        self.memo: dict[int, bool] = {}
+
+
 class CanonicalEngine:
     """Incremental canonical-model enumerator with a bitset embed test.
 
@@ -242,9 +296,15 @@ class CanonicalEngine:
         "_active",
         "_parent_dyn",
         "_child_mask_dyn",
+        "_patched_mask",
+        "_slot_masks",
+        "_chain_parent_masks",
+        "_c_bits",
         "_output_idx",
         "_root_bit",
         "_q_cache",
+        "memo_hits",
+        "memo_misses",
     )
 
     def __init__(self, pattern: Pattern, max_length: int):
@@ -299,7 +359,21 @@ class CanonicalEngine:
         self._c_idx = [index.index[id(node_map[c])] for _, c in self._edges]
         self._output_idx = index.index[id(node_map[pattern.output])]  # type: ignore[index]
         self._root_bit = 1 << (index.n - 1)
-        self._q_cache: dict[int, tuple[Pattern, list[PNode]]] = {}
+        # Per-edge masks used by the embeds memo: the OR of the edge's
+        # ⊥-slot bits, the chain-child bit, and (for the relevance DP's
+        # union-parents step) every parent the chain child can have
+        # across expansion vectors.
+        self._slot_masks = [
+            sum(1 << s for s in slots) for slots in self._slots
+        ]
+        self._chain_parent_masks = [
+            self._slot_masks[j] | (1 << self._u_idx[j])
+            for j in range(len(self._edges))
+        ]
+        self._c_bits = [1 << c for c in self._c_idx]
+        self._q_cache: dict[int, "_QPlan"] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
         self._reset()
 
     # ------------------------------------------------------------------
@@ -312,6 +386,8 @@ class CanonicalEngine:
         self._parent_dyn = list(index.parent)
         self._child_mask_dyn = list(index.child_mask)
         self._lengths = [self.max_length] * len(self._edges)
+        # At full length every dynamic parent equals its static one.
+        self._patched_mask = 0
         for j in range(len(self._edges)):
             while self._lengths[j] > 1:
                 self._shrink(j)
@@ -332,6 +408,13 @@ class CanonicalEngine:
         self._parent_dyn[c] = new_slot
         self._active |= 1 << new_slot
         self._lengths[j] = length + 1
+        # ``parent_dyn`` diverges from the static parent array only at
+        # chain children whose edge is below full length; track those
+        # bits so the DP can batch everything else word-at-a-time.
+        if self._lengths[j] == self.max_length:
+            self._patched_mask &= ~bit_c
+        else:
+            self._patched_mask |= bit_c
         # Splice the live tree: prev_last → new_slot → c.
         post = self._index.post
         new_t, prev_t, c_t = post[new_slot], post[prev_last], post[c]
@@ -351,6 +434,8 @@ class CanonicalEngine:
         self._parent_dyn[c] = prev
         self._active &= ~(1 << dead_slot)
         self._lengths[j] = length - 1
+        # Shrinking always leaves the edge below full length.
+        self._patched_mask |= 1 << c
         # Splice the live tree: prev adopts c, the dead slot detaches.
         post = self._index.post
         post[prev].add_child(post[c])
@@ -380,6 +465,52 @@ class CanonicalEngine:
             previous = vector
             yield self
 
+    def _seek(self, vector: tuple[int, ...]) -> None:
+        """Jump the live structure to an arbitrary expansion vector.
+
+        ``vector`` is a Gray digit vector (digit ``g`` ↦ expansion length
+        ``g + 1``), applied one grow/shrink at a time so every splice
+        invariant holds throughout.
+        """
+        for j, digit in enumerate(vector):
+            want = digit + 1
+            while self._lengths[j] < want:
+                self._grow(j)
+            while self._lengths[j] > want:
+                self._shrink(j)
+
+    def models_slice(self, start: int, count: int) -> Iterator["CanonicalEngine"]:
+        """Step through Gray ranks ``start .. start+count-1``.
+
+        Same per-rank states as :meth:`models` (rank 0 is τ), but the
+        segment starts at an arbitrary rank via :func:`gray_vector_at`
+        without walking the prefix — this is the unit of work handed to
+        each process shard.  ``models_slice(0, self.total)`` is exactly
+        ``models()``.
+        """
+        if start < 0 or count < 0 or start + count > self.total:
+            raise ValueError(
+                f"slice {start}..{start + count} outside 0..{self.total}"
+            )
+        if count == 0:
+            return
+        self._reset()
+        digits = len(self._edges)
+        previous = gray_vector_at(start, digits, self.max_length)
+        self._seek(previous)
+        yield self
+        for rank in range(start + 1, start + count):
+            vector = gray_vector_at(rank, digits, self.max_length)
+            for j, (old, new) in enumerate(zip(previous, vector)):
+                if old != new:
+                    if new > old:
+                        self._grow(j)
+                    else:
+                        self._shrink(j)
+                    break
+            previous = vector
+            yield self
+
     def current_model(self) -> CanonicalModel:
         """A :class:`CanonicalModel` view of the current state.
 
@@ -404,18 +535,132 @@ class CanonicalEngine:
     #: via the cross-call LRU, so the per-engine container cache must not
     #: grow with the number of distinct containers ever tested.
     _Q_CACHE_LIMIT = 64
+    #: Bound on each plan's fingerprint→verdict memo, cleared wholesale
+    #: on overflow.  The clear is deterministic in enumeration order,
+    #: which the sharded containment driver relies on to replay memo
+    #: counters bit-identically to the inline walk.
+    _MEMO_LIMIT = 8192
 
-    def _postorder_of(self, q: Pattern) -> list[PNode]:
+    def _plan_of(self, q: Pattern) -> "_QPlan":
         # The cache entry holds ``q`` itself: keying by id() alone would
         # let a garbage-collected pattern's address be reused by a new
-        # one, serving a stale postorder (and a wrong verdict).
+        # one, serving a stale plan (and a wrong verdict).
         cached = self._q_cache.get(id(q))
-        if cached is None or cached[0] is not q:
+        if cached is None or cached.q is not q:
             if len(self._q_cache) >= self._Q_CACHE_LIMIT:
                 self._q_cache.clear()
-            cached = (q, pattern_postorder(q.root))  # type: ignore[arg-type]
+            cached = self._compile_plan(q)
             self._q_cache[id(q)] = cached
-        return cached[1]
+        return cached
+
+    def _compile_plan(self, q: Pattern) -> "_QPlan":
+        """Compile ``q`` into postorder DP steps plus a relevance vector.
+
+        The relevance vector marks the descendant edges whose expansion
+        length can influence the DP verdict for this container.  It is
+        derived from an *over-approximating* DP against the maximal
+        tree: no activity restriction (wildcards range over every node,
+        including all ⊥ slots), no output pinning, and union-parents for
+        chain children (a chain child can attach to any of its slots or
+        directly to the chain head, depending on the vector).  Every
+        transition is monotone in the child sat sets, so each
+        ``sat_star`` is a superset of the true sat set under *every*
+        expansion vector.  An edge whose slots never enter any
+        reachable sat set, and whose chain child is never the input of
+        a child-axis step, therefore cannot affect the verdict.
+        """
+        index = self._index
+        label_mask = index.label_mask
+        nodes = pattern_postorder(q.root)  # type: ignore[arg-type]
+        slot_of = {id(node): i for i, node in enumerate(nodes)}
+        output_node = q.output
+        steps: list[tuple[int | None, bool, list[tuple[bool, int]]]] = []
+        for node in nodes:
+            base = (
+                None
+                if node.label == WILDCARD
+                else label_mask.get(node.label, 0)
+            )
+            edges = [
+                (axis is Axis.CHILD, slot_of[id(child)])
+                for axis, child in node.edges
+            ]
+            steps.append((base, node is output_node, edges))
+
+        all_mask = index.all_mask
+        c_bits = self._c_bits
+        chain_parents = self._chain_parent_masks
+        sat_star = [0] * len(steps)
+        union_all = 0
+        child_step_union = 0
+        for i, (base, _is_out, edges) in enumerate(steps):
+            cand = all_mask if base is None else base
+            for is_child, child_slot in edges:
+                if not cand:
+                    break
+                child_sat = sat_star[child_slot]
+                if is_child:
+                    child_step_union |= child_sat
+                    acc = index.parents_of(child_sat)
+                    for j, c_bit in enumerate(c_bits):
+                        if child_sat & c_bit:
+                            acc |= chain_parents[j]
+                else:
+                    acc = index.ancestors_of(child_sat)
+                cand &= acc
+            sat_star[i] = cand
+            union_all |= cand
+
+        rel = [
+            bool(
+                (self._slot_masks[j] & union_all)
+                | (c_bits[j] & child_step_union)
+            )
+            for j in range(len(self._edges))
+        ]
+        return _QPlan(q, steps, rel, len(steps))
+
+    def _embed_dp(self, plan: "_QPlan") -> int:
+        """The word-parallel bitset DP; returns the root's sat mask."""
+        index = self._index
+        active = self._active
+        patched = self._patched_mask
+        parent_dyn = self._parent_dyn
+        parents_of = index.parents_of
+        ancestors_of = index.ancestors_of
+        out_bit = 1 << self._output_idx
+        sat = plan.sat
+        for i, (base, is_out, edges) in enumerate(plan.steps):
+            cand = active if base is None else base & active
+            if is_out:
+                cand &= out_bit
+            for is_child, child_slot in edges:
+                if not cand:
+                    break
+                child_sat = sat[child_slot]
+                if not child_sat:
+                    cand = 0
+                    break
+                if is_child:
+                    plain = child_sat & ~patched
+                    acc = parents_of(plain) if plain else 0
+                    spliced = child_sat & patched
+                    if spliced:
+                        # Only chain children below full length have a
+                        # dynamic parent differing from the static one.
+                        for u in iter_bits(spliced):
+                            p = parent_dyn[u]
+                            if p >= 0:
+                                acc |= 1 << p
+                else:
+                    # Ancestor masks of the maximal tree stay correct:
+                    # splicing ⊥ interiors preserves ancestry among the
+                    # surviving nodes, and ``cand`` is already restricted
+                    # to active nodes.
+                    acc = ancestors_of(child_sat)
+                cand &= acc
+            sat[i] = cand
+        return sat[-1]
 
     def embeds(self, q: Pattern, weak: bool = False) -> bool:
         """Does ``q`` embed into the current model producing its output?
@@ -423,49 +668,90 @@ class CanonicalEngine:
         Root-preserving unless ``weak``; the image of ``q``'s output node
         is pinned to the model's distinguished node, which is exactly the
         per-model condition of the canonical containment test.
+
+        Verdicts are memoized per container on an *active-mask
+        fingerprint*: the exact expansion length of every edge relevant
+        to ``q`` (plus the ``weak`` flag), with irrelevant edges
+        collapsed to a constant.  Gray-code steps that only toggle
+        chains the container cannot observe short-circuit here instead
+        of re-running the DP; hits and misses are counted on the engine
+        and folded into ``ContainmentStats`` by the containment layer.
         """
         if q.is_empty:
             return False
-        index = self._index
-        active = self._active
-        parent_dyn = self._parent_dyn
-        anc_mask = index.anc_mask
-        out_bit = 1 << self._output_idx
-        output_node = q.output
-        sat: dict[int, int] = {}
-        for pnode in self._postorder_of(q):
-            if pnode.label == WILDCARD:
-                cand = active
-            else:
-                cand = index.label_mask.get(pnode.label, 0) & active
-            if pnode is output_node:
-                cand &= out_bit
-            for axis, pchild in pnode.edges:
-                if not cand:
-                    break
-                child_sat = sat[id(pchild)]
-                if not child_sat:
-                    cand = 0
-                    break
-                acc = 0
-                if axis is Axis.CHILD:
-                    for u in iter_bits(child_sat):
-                        p = parent_dyn[u]
-                        if p >= 0:
-                            acc |= 1 << p
-                else:
-                    # Ancestor masks of the maximal tree stay correct:
-                    # splicing ⊥ interiors preserves ancestry among the
-                    # surviving nodes, and ``cand`` is already restricted
-                    # to active nodes.
-                    for u in iter_bits(child_sat):
-                        acc |= anc_mask[u]
-                cand &= acc
-            sat[id(pnode)] = cand
-        root_sat = sat[id(q.root)]
+        plan = self._plan_of(q)
+        radix = self.max_length + 1
+        fp = 1 if weak else 0
+        rel = plan.rel
+        for j, length in enumerate(self._lengths):
+            fp = fp * radix + (length if rel[j] else 0)
+        memo = plan.memo
+        verdict = memo.get(fp)
+        if verdict is not None:
+            self.memo_hits += 1
+            return verdict
+        self.memo_misses += 1
+        root_sat = self._embed_dp(plan)
         if weak:
-            return bool(root_sat)
-        return bool(root_sat & self._root_bit)
+            verdict = bool(root_sat)
+        else:
+            verdict = bool(root_sat & self._root_bit)
+        if len(memo) >= self._MEMO_LIMIT:
+            memo.clear()
+        memo[fp] = verdict
+        return verdict
+
+    def embed_fingerprint(self, q: Pattern, weak: bool = False) -> int:
+        """The :meth:`embeds` memo fingerprint of the *current* vector.
+
+        Shard workers key their returned verdict maps by this value;
+        because the relevance vector and the descendant-edge order are
+        deterministic functions of ``(pattern, max_length, q)``, worker
+        and driver engines agree on every fingerprint.
+        """
+        plan = self._plan_of(q)
+        radix = self.max_length + 1
+        fp = 1 if weak else 0
+        rel = plan.rel
+        for j, length in enumerate(self._lengths):
+            fp = fp * radix + (length if rel[j] else 0)
+        return fp
+
+    def replay_models(
+        self, q: Pattern, weak: bool, verdicts: dict[int, bool], last_rank: int
+    ) -> bool:
+        """Replay Gray ranks ``0..last_rank`` through the embeds memo.
+
+        Used by the sharded containment driver: workers return
+        fingerprint→verdict maps, and the driver pushes the rank
+        sequence through its own engine's memo *without running the DP
+        or touching the live tree* — so memo contents and hit/miss
+        counters end up bit-identical to an inline :meth:`models` walk
+        over the same ranks (including the deterministic
+        overflow clear).  Returns the verdict at ``last_rank``.
+        """
+        plan = self._plan_of(q)
+        radix = self.max_length + 1
+        rel = plan.rel
+        memo = plan.memo
+        digits = len(self._edges)
+        verdict = True
+        for rank in range(last_rank + 1):
+            vector = gray_vector_at(rank, digits, self.max_length)
+            fp = 1 if weak else 0
+            for j, digit in enumerate(vector):
+                fp = fp * radix + (digit + 1 if rel[j] else 0)
+            cached = memo.get(fp)
+            if cached is not None:
+                self.memo_hits += 1
+                verdict = cached
+            else:
+                self.memo_misses += 1
+                verdict = verdicts[fp]
+                if len(memo) >= self._MEMO_LIMIT:
+                    memo.clear()
+                memo[fp] = verdict
+        return verdict
 
 
 def incremental_models(

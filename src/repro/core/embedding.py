@@ -42,11 +42,17 @@ a fixed numbering across mutations.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable, Iterator
 
 from ..patterns.ast import Axis, Pattern, PNode, WILDCARD
 from ..xmltree.node import TNode
 from ..xmltree.tree import XMLTree
+
+try:  # Optional large-tree backend; the table backend needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in the image
+    _np = None
 
 __all__ = [
     "TreeIndex",
@@ -59,6 +65,17 @@ __all__ = [
     "find_embedding",
     "pattern_postorder",
 ]
+
+#: Largest tree for which the per-byte lookup tables are built.  Table
+#: memory is ``2 × 256 × (n/8)`` Python ints of ``n`` bits — ~1 MiB at
+#: the default; beyond it the numpy backend (constant per-call overhead,
+#: no quadratic table) takes over.
+TABLE_BACKEND_MAX_NODES = 1024
+
+#: Masks with at most this many set bits take the per-bit loop even when
+#: a table/numpy backend is active: for very sparse rows the loop's
+#: per-bit cost beats the per-byte (or per-call numpy) overhead.
+SPARSE_POPCOUNT_CUTOFF = 8
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -105,6 +122,28 @@ class TreeIndex:
         Bits of all *proper* ancestors of node ``i``.
     label_mask:
         label -> bits of the nodes carrying that label.
+
+    Word-parallel backends
+    ----------------------
+    :meth:`parents_of` and :meth:`ancestors_of` — the per-edge inner
+    loop of every DP pass — run **word-at-a-time** instead of
+    bit-at-a-time.  The backend is chosen by tree size (overridable via
+    ``backend=``):
+
+    * ``"table"`` (default up to :data:`TABLE_BACKEND_MAX_NODES`):
+      per-byte lookup tables.  ``parent_tbl[p][v]`` is the OR of the
+      parent bits of the nodes encoded by byte value ``v`` at byte
+      position ``p``; a whole ``sat`` row is folded in ``n/8`` table
+      hits instead of ``popcount(row)`` Python-level shifts.
+    * ``"numpy"`` (larger trees, when numpy is importable): the row is
+      unpacked to node indexes once and the parent/ancestor tables are
+      gathered vectorized — constant Python overhead per call, no
+      quadratic table memory.
+    * ``"loop"``: the original per-set-bit loops, kept as the reference
+      the property suite cross-checks the other two against.
+
+    Tables are built lazily on first use; very sparse rows (see
+    :data:`SPARSE_POPCOUNT_CUTOFF`) always take the loop.
     """
 
     __slots__ = (
@@ -118,9 +157,15 @@ class TreeIndex:
         "label_mask",
         "n",
         "all_mask",
+        "nbytes",
+        "backend",
+        "_parent_tbl",
+        "_anc_tbl",
+        "_np_parent",
+        "_np_anc",
     )
 
-    def __init__(self, root: TNode):
+    def __init__(self, root: TNode, backend: str = "auto"):
         self.root = root
         # Iterative postorder (deep-chain safe).
         post: list[TNode] = []
@@ -168,6 +213,81 @@ class TreeIndex:
         self.label_mask = label_mask
         self.n = n
         self.all_mask = (1 << n) - 1
+        self.nbytes = (n + 7) // 8
+        if backend == "auto":
+            if n <= TABLE_BACKEND_MAX_NODES:
+                backend = "table"
+            elif _np is not None:
+                backend = "numpy"
+            else:
+                backend = "loop"
+        elif backend == "numpy" and _np is None:
+            raise ValueError("numpy backend requested but numpy is missing")
+        elif backend not in ("table", "numpy", "loop"):
+            raise ValueError(f"unknown TreeIndex backend {backend!r}")
+        self.backend = backend
+        self._parent_tbl: list[list[int]] | None = None
+        self._anc_tbl: list[list[int]] | None = None
+        self._np_parent = None
+        self._np_anc = None
+
+    # ------------------------------------------------------------------
+    # Word-parallel backends
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> None:
+        """Per-byte lookup tables: ``tbl[p][v]`` folds byte ``v`` at ``p``.
+
+        Built incrementally — each entry extends the entry with its
+        lowest bit cleared — so construction is one OR per table cell.
+        """
+        parent = self.parent
+        anc = self.anc_mask
+        n = self.n
+        parent_tbl: list[list[int]] = []
+        anc_tbl: list[list[int]] = []
+        for pos in range(self.nbytes):
+            base = pos * 8
+            pt = [0] * 256
+            at = [0] * 256
+            for v in range(1, 256):
+                low = v & -v
+                rest = v ^ low
+                i = base + low.bit_length() - 1
+                if i < n:
+                    p = parent[i]
+                    pt[v] = pt[rest] | ((1 << p) if p >= 0 else 0)
+                    at[v] = at[rest] | anc[i]
+                else:  # padding bits of the last byte
+                    pt[v] = pt[rest]
+                    at[v] = at[rest]
+            parent_tbl.append(pt)
+            anc_tbl.append(at)
+        self._parent_tbl = parent_tbl
+        self._anc_tbl = anc_tbl
+
+    def _build_numpy(self) -> None:
+        """Vectorized tables: parent indexes + a packed ancestor matrix."""
+        assert _np is not None
+        self._np_parent = _np.array(self.parent, dtype=_np.int64)
+        rows = [
+            _np.frombuffer(
+                mask.to_bytes(self.nbytes, "little"), dtype=_np.uint8
+            )
+            for mask in self.anc_mask
+        ]
+        self._np_anc = _np.vstack(rows) if rows else _np.zeros(
+            (0, self.nbytes), dtype=_np.uint8
+        )
+
+    def _bit_indexes_np(self, mask: int):
+        """Set-bit indexes of ``mask`` as a numpy array (ascending)."""
+        assert _np is not None
+        packed = _np.frombuffer(
+            mask.to_bytes(self.nbytes, "little"), dtype=_np.uint8
+        )
+        return _np.flatnonzero(
+            _np.unpackbits(packed, bitorder="little", count=self.n)
+        )
 
     # ------------------------------------------------------------------
     # Mask helpers
@@ -182,8 +302,8 @@ class TreeIndex:
             return self.all_mask
         return self.label_mask.get(label, 0)
 
-    def parents_of(self, mask: int) -> int:
-        """Bits of nodes with at least one child in ``mask``."""
+    def parents_of_loop(self, mask: int) -> int:
+        """Per-set-bit :meth:`parents_of`: the reference implementation."""
         result = 0
         parent = self.parent
         for u in iter_bits(mask):
@@ -192,13 +312,63 @@ class TreeIndex:
                 result |= 1 << p
         return result
 
-    def ancestors_of(self, mask: int) -> int:
-        """Bits of nodes with at least one *proper* descendant in ``mask``."""
+    def ancestors_of_loop(self, mask: int) -> int:
+        """Per-set-bit :meth:`ancestors_of`: the reference implementation."""
         result = 0
         anc = self.anc_mask
         for u in iter_bits(mask):
             result |= anc[u]
         return result
+
+    def parents_of(self, mask: int) -> int:
+        """Bits of nodes with at least one child in ``mask``."""
+        if (
+            self.backend == "loop"
+            or mask.bit_count() <= SPARSE_POPCOUNT_CUTOFF
+        ):
+            return self.parents_of_loop(mask)
+        if self.backend == "table":
+            tbl = self._parent_tbl
+            if tbl is None:
+                self._build_tables()
+                tbl = self._parent_tbl
+            result = 0
+            for pos, byte in enumerate(mask.to_bytes(self.nbytes, "little")):
+                if byte:
+                    result |= tbl[pos][byte]
+            return result
+        if self._np_parent is None:
+            self._build_numpy()
+        parents = self._np_parent[self._bit_indexes_np(mask)]
+        parents = parents[parents >= 0]
+        out = _np.zeros(self.nbytes * 8, dtype=_np.uint8)
+        out[parents] = 1
+        return int.from_bytes(
+            _np.packbits(out, bitorder="little").tobytes(), "little"
+        )
+
+    def ancestors_of(self, mask: int) -> int:
+        """Bits of nodes with at least one *proper* descendant in ``mask``."""
+        if (
+            self.backend == "loop"
+            or mask.bit_count() <= SPARSE_POPCOUNT_CUTOFF
+        ):
+            return self.ancestors_of_loop(mask)
+        if self.backend == "table":
+            tbl = self._anc_tbl
+            if tbl is None:
+                self._build_tables()
+                tbl = self._anc_tbl
+            result = 0
+            for pos, byte in enumerate(mask.to_bytes(self.nbytes, "little")):
+                if byte:
+                    result |= tbl[pos][byte]
+            return result
+        if self._np_anc is None:
+            self._build_numpy()
+        rows = self._np_anc[self._bit_indexes_np(mask)]
+        acc = _np.bitwise_or.reduce(rows, axis=0)
+        return int.from_bytes(acc.tobytes(), "little")
 
     def members(self, mask: int) -> set[TNode]:
         """The tree nodes whose bits are set in ``mask``."""
@@ -221,6 +391,12 @@ class Matcher:
     underlying tree object was mutated.
     """
 
+    #: Bound on ``_partial_cache``.  Selection paths are short, but a
+    #: long-lived matcher serving many :meth:`witness` calls against a
+    #: mutating pattern set must not accumulate rows forever — same LRU
+    #: + eviction-counter treatment as the containment caches.
+    PARTIAL_CACHE_LIMIT = 128
+
     def __init__(
         self,
         pattern: Pattern,
@@ -230,7 +406,8 @@ class Matcher:
         self.pattern = pattern
         self.tree_root = tree.root if isinstance(tree, XMLTree) else tree
         self._sat: dict[int, int] = {}
-        self._partial_cache: dict[int, int] = {}
+        self._partial_cache: OrderedDict[int, int] = OrderedDict()
+        self.partial_cache_evictions = 0
         self.tree_index: TreeIndex | None = None
         if not pattern.is_empty:
             self._pattern_post = pattern_postorder(pattern.root)  # type: ignore[arg-type]
@@ -347,8 +524,10 @@ class Matcher:
         Like ``sat`` but ignoring the selection-path child (which the
         forward pass handles).  Cached per selection node.
         """
-        cached = self._partial_cache.get(id(sel_node))
+        cache = self._partial_cache
+        cached = cache.get(id(sel_node))
         if cached is not None:
+            cache.move_to_end(id(sel_node))
             return cached
         ti = self.tree_index
         assert ti is not None
@@ -363,7 +542,10 @@ class Matcher:
                 cand &= ti.parents_of(child_sat)
             else:
                 cand &= ti.ancestors_of(child_sat)
-        self._partial_cache[id(sel_node)] = cand
+        cache[id(sel_node)] = cand
+        while len(cache) > self.PARTIAL_CACHE_LIMIT:
+            cache.popitem(last=False)
+            self.partial_cache_evictions += 1
         return cand
 
     # ------------------------------------------------------------------

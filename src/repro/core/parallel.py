@@ -1,0 +1,244 @@
+"""Process-sharded canonical-model checking (the big-bound regime).
+
+Gray-code segments of :meth:`CanonicalEngine.models` are embarrassingly
+parallel: :func:`~repro.core.canonical.gray_vector_at` opens an
+enumeration at any rank, so the model space splits into contiguous rank
+segments, one per worker process.  The plumbing reuses the catalog
+server's shape (:class:`repro.shardpool.ShardPool`): single-worker
+shards primed once, picklable specs as transport, a deterministic
+inline mode as the semantics reference.
+
+Transport is **structural**, not textual: patterns cross the process
+boundary as postorder node tuples (:func:`pattern_to_spec`), because an
+XPath round-trip does not preserve edge order — and edge order is what
+fixes the descendant-edge indexing, hence the Gray rank↔vector mapping
+and every memo fingerprint the driver replays.  Workers keep small LRU
+caches of decoded patterns and built engines, so a shard serving the
+same ``(pattern, bound)`` stays warm across tasks exactly like a
+catalog shard's planning caches.
+
+Degradation policy (the 1-CPU reference container): requesting
+``workers >= 2`` on a single-core box, for a model space below
+:data:`SHARD_MIN_MODELS`, or after a pool failure silently runs the
+inline walk instead — counted as ``shard_fallbacks`` in
+:class:`~repro.core.containment.ContainmentStats`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from collections import OrderedDict
+
+from ..patterns.ast import Axis, Pattern, PNode
+from ..shardpool import ShardPool
+from .canonical import CanonicalEngine
+from .embedding import pattern_postorder
+
+__all__ = [
+    "SHARD_MIN_MODELS",
+    "effective_workers",
+    "pattern_from_spec",
+    "pattern_to_spec",
+    "shard_pool",
+    "shard_segments",
+    "shutdown_pool",
+]
+
+#: Below this many canonical models, per-task overhead (pickling, IPC)
+#: outweighs any parallel win; such requests run inline.
+SHARD_MIN_MODELS = 32
+
+#: Spec type: ``(postorder node tuples, output slot)`` or ``None`` for Υ.
+PatternSpec = "tuple[tuple[tuple[str, tuple[tuple[int, int], ...]], ...], int] | None"
+
+
+def _cpu_count() -> int:
+    """Visible seam so tests can force single- or multi-core behavior."""
+    return os.cpu_count() or 1
+
+
+def pattern_to_spec(pattern: Pattern):
+    """A picklable structural spec of ``pattern``.
+
+    Postorder node tuples ``(label, ((axis_value, child_slot), ...))``
+    plus the output node's slot.  Unlike an XPath round-trip this
+    preserves **edge order**, which :func:`pattern_from_spec` replays
+    verbatim — so a worker's rebuilt pattern enumerates descendant
+    edges, Gray ranks and memo fingerprints identically to the
+    driver's original.
+    """
+    if pattern.is_empty:
+        return None
+    nodes = pattern_postorder(pattern.root)  # type: ignore[arg-type]
+    slot_of = {id(node): i for i, node in enumerate(nodes)}
+    return (
+        tuple(
+            (
+                node.label,
+                tuple(
+                    (int(axis), slot_of[id(child)])
+                    for axis, child in node.edges
+                ),
+            )
+            for node in nodes
+        ),
+        slot_of[id(pattern.output)],
+    )
+
+
+def pattern_from_spec(spec) -> Pattern:
+    """Rebuild a :class:`Pattern` from :func:`pattern_to_spec` output.
+
+    Iterative (postorder slots resolve children before parents), so
+    chain patterns deeper than the recursion limit decode fine.
+    """
+    if spec is None:
+        return Pattern.empty()
+    node_specs, output_slot = spec
+    built: list[PNode] = []
+    for label, edges in node_specs:
+        built.append(
+            PNode(label, [(Axis(axis), built[slot]) for axis, slot in edges])
+        )
+    return Pattern(built[-1], built[output_slot])
+
+
+def effective_workers(requested: int, total_models: int) -> int:
+    """How many shards a request actually gets (0 = run inline).
+
+    ``requested <= 1`` is inline by definition; multi-worker requests
+    degrade to inline on a single-core box or when the model space is
+    too small to amortize task overhead.  Never exceeds the model
+    count (each shard needs at least one rank).
+    """
+    if requested < 0:
+        raise ValueError("workers must be >= 0")
+    if requested <= 1:
+        return 0
+    if _cpu_count() < 2:
+        return 0
+    if total_models < SHARD_MIN_MODELS:
+        return 0
+    return min(requested, total_models)
+
+
+def shard_segments(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ranks ``0..total-1`` into ``shards`` contiguous segments.
+
+    Balanced to within one rank; every segment is non-empty (callers
+    guarantee ``shards <= total`` via :func:`effective_workers`).
+    """
+    base, extra = divmod(total, shards)
+    segments: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        count = base + (1 if index < extra else 0)
+        segments.append((start, count))
+        start += count
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing (module-level for picklability)
+# ----------------------------------------------------------------------
+
+#: Per-worker cache bounds: a shard typically serves one hot
+#: ``(pattern, bound)`` pair plus a handful of containers.
+_WORKER_ENGINE_LIMIT = 8
+_WORKER_PATTERN_LIMIT = 64
+
+_WORKER_ENGINES: OrderedDict[tuple, CanonicalEngine] = OrderedDict()
+_WORKER_PATTERNS: OrderedDict[tuple, Pattern] = OrderedDict()
+
+
+def _init_worker() -> None:
+    _WORKER_ENGINES.clear()
+    _WORKER_PATTERNS.clear()
+
+
+def _worker_pattern(spec) -> Pattern:
+    """Decode ``spec``, serving the *same* object for repeated specs.
+
+    Identity matters: the engine's per-container plan cache (and with
+    it the embeds memo) is keyed by pattern identity, so a shard
+    re-serving a container must hand the engine the same object.
+    """
+    pattern = _WORKER_PATTERNS.get(spec)
+    if pattern is None:
+        pattern = pattern_from_spec(spec)
+        _WORKER_PATTERNS[spec] = pattern
+        while len(_WORKER_PATTERNS) > _WORKER_PATTERN_LIMIT:
+            _WORKER_PATTERNS.popitem(last=False)
+    else:
+        _WORKER_PATTERNS.move_to_end(spec)
+    return pattern
+
+
+def _worker_engine(p1_spec, bound: int) -> CanonicalEngine:
+    key = (p1_spec, bound)
+    engine = _WORKER_ENGINES.get(key)
+    if engine is None:
+        engine = CanonicalEngine(pattern_from_spec(p1_spec), bound)
+        _WORKER_ENGINES[key] = engine
+        while len(_WORKER_ENGINES) > _WORKER_ENGINE_LIMIT:
+            _WORKER_ENGINES.popitem(last=False)
+    else:
+        _WORKER_ENGINES.move_to_end(key)
+    return engine
+
+
+def _shard_task(
+    p1_spec, bound: int, p2_spec, weak: bool, start: int, count: int
+) -> tuple[int | None, dict[int, bool]]:
+    """Check embeds over Gray ranks ``start .. start+count-1``.
+
+    Returns ``(first failing offset or None, fingerprint→verdict map
+    for every rank checked)``.  Stops at the segment's first failure —
+    the driver only replays up to the *global* first failure, and
+    every rank at or before it is covered by its segment's map.
+    """
+    engine = _worker_engine(p1_spec, bound)
+    q = _worker_pattern(p2_spec)
+    verdicts: dict[int, bool] = {}
+    fail_offset: int | None = None
+    for offset, state in enumerate(engine.models_slice(start, count)):
+        fp = state.embed_fingerprint(q, weak)
+        ok = state.embeds(q, weak=weak)
+        verdicts[fp] = ok
+        if not ok:
+            fail_offset = offset
+            break
+    return fail_offset, verdicts
+
+
+# ----------------------------------------------------------------------
+# Driver-side pool lifecycle
+# ----------------------------------------------------------------------
+
+_POOL: ShardPool | None = None
+
+
+def shard_pool(shards: int) -> ShardPool:
+    """The persistent shard fleet, grown to at least ``shards`` shards.
+
+    Persistent across containment calls so worker caches stay warm;
+    an oversized fleet serves smaller requests by using a prefix of
+    its shards.
+    """
+    global _POOL
+    if _POOL is None or _POOL.closed or len(_POOL) < shards:
+        shutdown_pool()
+        _POOL = ShardPool(_init_worker, [() for _ in range(shards)])
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent fleet (tests, interpreter exit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+
+
+atexit.register(shutdown_pool)

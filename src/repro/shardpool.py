@@ -1,0 +1,73 @@
+"""Leak-safe fleets of single-process executor shards.
+
+Extracted from the catalog server (PR 5), whose picklable-spec pool
+plumbing is also the shape the containment layer's sharded
+canonical-model checking reuses (:mod:`repro.core.parallel`).  The
+shared contract:
+
+* each shard is a ``ProcessPoolExecutor`` with exactly **one** worker,
+  primed by a module-level initializer with that shard's own picklable
+  initargs — so per-shard state (a rebuilt catalog, a warm canonical
+  engine) lives in exactly one process and stays warm across tasks;
+* construction is all-or-nothing: if a later shard fails to start, the
+  earlier shards are shut down instead of leaking their worker
+  processes (the caller never receives the object, so its ``close`` is
+  unreachable).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["ShardPool"]
+
+
+class ShardPool:
+    """A fixed fleet of single-worker ``ProcessPoolExecutor`` shards."""
+
+    __slots__ = ("_shards", "_closed")
+
+    def __init__(
+        self,
+        initializer: Callable[..., None] | None,
+        initargs_per_shard: Sequence[tuple],
+    ):
+        self._closed = False
+        self._shards: list[ProcessPoolExecutor] = []
+        try:
+            for initargs in initargs_per_shard:
+                self._shards.append(
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=initializer,
+                        initargs=initargs,
+                    )
+                )
+        except BaseException:
+            for shard in self._shards:
+                shard.shutdown(wait=False)
+            self._shards = []
+            raise
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, shard_index: int, fn: Callable, /, *args) -> Future:
+        """Submit ``fn(*args)`` to the given shard's worker process."""
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        return self._shards[shard_index].submit(fn, *args)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Shut every shard down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.shutdown(wait=wait)
+        self._shards = []

@@ -31,13 +31,20 @@ from repro.core.containment import (
     contains_all,
     weakly_contains,
 )
-from repro.core.embedding import Matcher
+from repro.core.embedding import Matcher, TreeIndex
 from repro.core.embedding_reference import (
     ReferenceMatcher,
     reference_canonical_containment,
 )
 
 from .strategies import patterns, path_patterns, trees
+
+try:
+    import numpy  # noqa: F401 - availability probe only
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is present in the image
+    HAVE_NUMPY = False
 
 _SETTINGS = dict(max_examples=60, deadline=None)
 
@@ -126,6 +133,51 @@ class TestBatchedApi:
         assert contains_all(p, views, weak=True) == [
             weakly_contains(p, v) for v in views
         ]
+
+
+class TestWordTableBackends:
+    """The word-parallel ``TreeIndex`` backends vs the set-bit reference.
+
+    ``parents_of_loop``/``ancestors_of_loop`` are the preserved per-bit
+    loops; the ``table`` (per-byte lookup) and ``numpy`` (vectorized
+    gather) backends must agree with them on every mask — including
+    dense masks past :data:`SPARSE_POPCOUNT_CUTOFF`, where the
+    word-parallel paths actually engage.
+    """
+
+    BACKENDS = ("table", "numpy") if HAVE_NUMPY else ("table",)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data())
+    def test_masks_agree_with_loop_reference(self, backend, data):
+        tree = data.draw(trees(max_size=12))
+        index = TreeIndex(tree.root, backend=backend)
+        assert index.backend == backend
+        # A handful of random masks per tree, biased dense so the
+        # sparse-popcount shortcut does not mask a broken table.
+        for _ in range(4):
+            mask = data.draw(st.integers(0, (1 << index.n) - 1))
+            assert index.parents_of(mask) == index.parents_of_loop(mask)
+            assert index.ancestors_of(mask) == index.ancestors_of_loop(mask)
+        assert index.parents_of(index.all_mask) == index.parents_of_loop(
+            index.all_mask
+        )
+        assert index.ancestors_of(index.all_mask) == index.ancestors_of_loop(
+            index.all_mask
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @given(patterns(max_size=4), trees(max_size=8))
+    @settings(**_SETTINGS)
+    def test_dp_agrees_across_backends(self, backend, pattern, tree):
+        # The full Matcher DP on an explicitly-backed index must match
+        # the DP on a loop-backed index (and hence the seed matcher).
+        fast = Matcher(pattern, tree, tree_index=TreeIndex(tree.root, backend=backend))
+        slow = Matcher(pattern, tree, tree_index=TreeIndex(tree.root, backend="loop"))
+        assert fast.output_images() == slow.output_images()
+        assert fast.output_images(weak=True) == slow.output_images(weak=True)
+        assert fast.has_embedding() == slow.has_embedding()
 
 
 class TestIncrementalEnumeration:

@@ -200,6 +200,10 @@ class TestDispatchAndCache:
             "engine_cache_hits": 0,
             "engine_cache_evictions": 0,
             "branch_prunes": 0,
+            "embed_memo_hits": 0,
+            "embed_memo_misses": 0,
+            "shard_tasks": 0,
+            "shard_fallbacks": 0,
         }
 
 

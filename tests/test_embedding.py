@@ -135,6 +135,31 @@ class TestMatcher:
         assert not matcher.has_embedding()
 
 
+class TestPartialCacheLimit:
+    def test_lru_evicts_and_counts(self, p, t):
+        # A 5-node selection path against a 2-entry cache: witness() for
+        # every output re-derives partial rows, forcing evictions.
+        pattern = p("a/b/c/d/e")
+        tree = t("a(b(c(d(e))))")
+        matcher = Matcher(pattern, tree)
+        matcher.PARTIAL_CACHE_LIMIT = 2
+        expected = Matcher(pattern, tree).output_images()
+        assert matcher.output_images() == expected
+        assert len(matcher._partial_cache) <= 2
+        assert matcher.partial_cache_evictions >= 3
+        # Evicted rows recompute transparently: witnesses still extract.
+        assert matcher.witness() is not None
+
+    def test_rematch_clears_cache(self, p, t):
+        pattern = p("a/b")
+        tree = t("a(b)")
+        matcher = Matcher(pattern, tree)
+        matcher.output_images()
+        assert matcher._partial_cache
+        matcher.rematch()
+        assert not matcher._partial_cache
+
+
 class TestFindEmbedding:
     def test_witness_is_valid(self, p, t):
         pattern = p("a[x]/b//c")

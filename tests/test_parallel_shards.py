@@ -1,0 +1,313 @@
+"""Process-sharded canonical-model checking (:mod:`repro.core.parallel`).
+
+Covers the rank-addressable Gray enumeration (``gray_vector_at`` /
+``models_slice``), the structural pattern-spec codec, the shard gating
+and degradation policy, and — under the ``multicore`` marker — the
+bit-identity contract: sharded ``canonical_containment`` must reproduce
+the inline walk's verdicts *and* :class:`ContainmentStats` exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import parallel
+from repro.core.canonical import (
+    CanonicalEngine,
+    gray_vector_at,
+    gray_vectors,
+)
+from repro.core.containment import (
+    STATS,
+    canonical_containment,
+    clear_cache,
+    default_workers,
+    set_default_workers,
+)
+from repro.patterns.ast import Pattern
+from repro.patterns.parse import parse_pattern
+
+from .strategies import patterns
+
+
+class TestGrayVectorAt:
+    @pytest.mark.parametrize(
+        "digits,base", [(0, 3), (1, 4), (2, 3), (3, 2), (2, 1), (4, 3), (3, 4)]
+    )
+    def test_matches_enumeration_at_every_rank(self, digits, base):
+        enumerated = list(gray_vectors(digits, base))
+        for rank, vector in enumerate(enumerated):
+            assert gray_vector_at(rank, digits, base) == vector
+
+    def test_rank_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            gray_vector_at(8, 3, 2)
+        with pytest.raises(ValueError):
+            gray_vector_at(-1, 3, 2)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            gray_vector_at(0, 2, 0)
+
+    def test_degenerate_base_one(self):
+        assert gray_vector_at(0, 3, 1) == (0, 0, 0)
+
+
+class TestModelsSlice:
+    BOUND = 3
+
+    def _engine(self) -> CanonicalEngine:
+        return CanonicalEngine(parse_pattern("a//b//c[d]"), self.BOUND)
+
+    def test_concatenated_slices_equal_full_walk(self):
+        engine = self._engine()
+        full = [tuple(engine._lengths) for _ in engine.models()]
+        for shards in (1, 2, 3, engine.total):
+            segments = parallel.shard_segments(engine.total, shards)
+            stitched = [
+                tuple(engine._lengths)
+                for start, count in segments
+                for _ in engine.models_slice(start, count)
+            ]
+            assert stitched == full
+
+    def test_interior_slice_matches_full_walk_window(self):
+        engine = self._engine()
+        full = [tuple(engine._lengths) for _ in engine.models()]
+        window = [
+            tuple(engine._lengths) for _ in engine.models_slice(3, 4)
+        ]
+        assert window == full[3:7]
+
+    def test_empty_slice_yields_nothing(self):
+        engine = self._engine()
+        assert list(engine.models_slice(engine.total, 0)) == []
+
+    def test_out_of_range_slice_rejected(self):
+        engine = self._engine()
+        with pytest.raises(ValueError):
+            list(engine.models_slice(0, engine.total + 1))
+        with pytest.raises(ValueError):
+            list(engine.models_slice(-1, 1))
+
+
+class TestPatternSpecCodec:
+    @given(patterns(max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_is_spec_identical(self, pattern):
+        # Spec equality after a decode/encode cycle is exactly the
+        # edge-order-preservation property the Gray rank mapping needs
+        # (an XPath round-trip would not give it).
+        spec = parallel.pattern_to_spec(pattern)
+        rebuilt = parallel.pattern_from_spec(spec)
+        assert parallel.pattern_to_spec(rebuilt) == spec
+        assert rebuilt.memo_key() == pattern.memo_key()
+
+    def test_empty_pattern_round_trips(self):
+        assert parallel.pattern_to_spec(Pattern.empty()) is None
+        assert parallel.pattern_from_spec(None).is_empty
+
+    def test_spec_is_picklable_and_hashable(self, p):
+        import pickle
+
+        spec = parallel.pattern_to_spec(p("a[b]//c/*"))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        hash(spec)  # worker caches key on the spec directly
+
+
+class TestEffectiveWorkers:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parallel.effective_workers(-1, 100)
+
+    def test_zero_and_one_are_inline(self):
+        assert parallel.effective_workers(0, 10**6) == 0
+        assert parallel.effective_workers(1, 10**6) == 0
+
+    def test_single_core_degrades(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 1)
+        assert parallel.effective_workers(4, 10**6) == 0
+
+    def test_small_model_space_degrades(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+        assert parallel.effective_workers(4, parallel.SHARD_MIN_MODELS - 1) == 0
+        assert (
+            parallel.effective_workers(4, parallel.SHARD_MIN_MODELS) == 4
+        )
+
+    def test_capped_by_model_count(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+        monkeypatch.setattr(parallel, "SHARD_MIN_MODELS", 0)
+        assert parallel.effective_workers(64, 40) == 40
+
+
+class TestShardSegments:
+    @pytest.mark.parametrize(
+        "total,shards", [(1, 1), (7, 2), (8, 3), (100, 7), (5, 5)]
+    )
+    def test_partition_properties(self, total, shards):
+        segments = parallel.shard_segments(total, shards)
+        assert len(segments) == shards
+        # Contiguous, in order, non-empty, covering exactly 0..total-1.
+        position = 0
+        sizes = []
+        for start, count in segments:
+            assert start == position
+            assert count >= 1
+            position += count
+            sizes.append(count)
+        assert position == total
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDefaultWorkers:
+    def test_set_and_restore(self):
+        original = default_workers()
+        try:
+            set_default_workers(2)
+            assert default_workers() == 2
+        finally:
+            set_default_workers(original)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_workers(-1)
+
+
+class TestSingleCoreFallback:
+    def test_fallback_counts_and_verdict_matches(self, p, monkeypatch):
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 1)
+        p1, p2 = p("a//b//c[d]"), p("a//c[d]")
+        clear_cache()
+        STATS.reset()
+        inline = canonical_containment(p1, p2)
+        clear_cache()
+        fallbacks = STATS.shard_fallbacks
+        sharded = canonical_containment(p1, p2, workers=4)
+        assert sharded == inline
+        assert STATS.shard_fallbacks == fallbacks + 1
+
+    def test_small_model_space_falls_back(self, p, monkeypatch):
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 8)
+        clear_cache()
+        STATS.reset()
+        # One descendant edge, bound 3: 3 models < SHARD_MIN_MODELS.
+        assert canonical_containment(p("a//b[c]"), p("a//b"), workers=4)
+        assert STATS.shard_fallbacks == 1
+        assert STATS.shard_tasks == 0
+
+
+# ----------------------------------------------------------------------
+# Real worker processes (deselected by ``make test-fast``)
+# ----------------------------------------------------------------------
+
+#: Pattern pool for the bit-identity sweep.  Mixed True/False verdicts
+#: (early termination paths), wildcards, branches, varying descendant
+#: counts — 15 × 15 ordered pairs = 225 > 200 cross-checked pairs.
+BIT_IDENTITY_POOL = [
+    "a//b//c",
+    "a//b//c[d]",
+    "a//c[d]",
+    "a//*//e",
+    "a/*//e",
+    "a//*/e",
+    "a//b[c]//d",
+    "a//b//d",
+    "a[x]//b//c",
+    "a//b[.//x]//c",
+    "a//*//*/e",
+    "a//a//a",
+    "*//b//c",
+    "a//b/*//c",
+    "a//*",
+]
+
+
+@pytest.fixture
+def forced_sharding(monkeypatch):
+    """Pretend to be a 4-core box with no small-space cutoff."""
+    monkeypatch.setattr(parallel, "_cpu_count", lambda: 4)
+    monkeypatch.setattr(parallel, "SHARD_MIN_MODELS", 0)
+    yield
+    parallel.shutdown_pool()
+
+
+@pytest.mark.multicore
+class TestShardedBitIdentity:
+    def _snapshot_without_mode_keys(self) -> dict[str, int]:
+        snap = STATS.snapshot()
+        # The only keys allowed to differ between modes are the
+        # mode-specific bookkeeping counters themselves.
+        snap.pop("shard_tasks")
+        snap.pop("shard_fallbacks")
+        return snap
+
+    def _run(self, p1, p2, weak: bool, workers: int):
+        clear_cache()
+        STATS.reset()
+        verdict = canonical_containment(p1, p2, weak=weak, workers=workers)
+        return verdict, self._snapshot_without_mode_keys()
+
+    def test_verdicts_and_stats_bit_identical(self, forced_sharding):
+        pool = [parse_pattern(s) for s in BIT_IDENTITY_POOL]
+        checked = 0
+        sharded_runs = 0
+        for p1, p2 in itertools.product(pool, pool):
+            weak = checked % 5 == 0  # sprinkle weak semantics in
+            inline_verdict, inline_stats = self._run(p1, p2, weak, 0)
+            fallbacks = STATS.shard_fallbacks
+            sharded_verdict, sharded_stats = self._run(p1, p2, weak, 2)
+            assert sharded_verdict == inline_verdict, (p1, p2, weak)
+            assert sharded_stats == inline_stats, (p1, p2, weak)
+            if STATS.shard_fallbacks == fallbacks:
+                sharded_runs += 1
+            checked += 1
+        assert checked >= 200
+        # The gating monkeypatch must have actually engaged the shards.
+        assert sharded_runs == checked
+
+    def test_memo_state_identical_after_repeat_calls(self, forced_sharding, p):
+        # Cross-call warmth: the second call over the same pair must see
+        # the same memo hit/miss split in both modes.
+        p1, p2 = p("a//b//c//d[x]"), p("a//*/*/d[x]")
+        clear_cache()
+        STATS.reset()
+        canonical_containment(p1, p2, workers=0)
+        canonical_containment(p1, p2, workers=0)
+        inline = self._snapshot_without_mode_keys()
+        clear_cache()
+        STATS.reset()
+        canonical_containment(p1, p2, workers=2)
+        canonical_containment(p1, p2, workers=2)
+        sharded = self._snapshot_without_mode_keys()
+        assert sharded == inline
+
+    def test_shard_tasks_counted(self, forced_sharding, p):
+        clear_cache()
+        STATS.reset()
+        canonical_containment(p("a//b//c//d[x]"), p("a//d[x]"), workers=2)
+        assert STATS.shard_tasks == 2
+        assert STATS.shard_fallbacks == 0
+
+
+@pytest.mark.multicore
+class TestShardPoolLifecycle:
+    def test_pool_grows_and_is_reused(self, forced_sharding):
+        first = parallel.shard_pool(1)
+        assert parallel.shard_pool(1) is first  # prefix reuse
+        grown = parallel.shard_pool(2)
+        assert grown is not first
+        assert len(grown) == 2
+        assert parallel.shard_pool(2) is grown
+        parallel.shutdown_pool()
+        assert grown.closed
+
+    def test_closed_pool_rejects_submit(self, forced_sharding):
+        pool = parallel.shard_pool(1)
+        parallel.shutdown_pool()
+        with pytest.raises(RuntimeError):
+            pool.submit(0, parallel._cpu_count)
