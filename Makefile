@@ -1,16 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-check bench-containment bench-replay bench-catalog bench-all docs-check
+.PHONY: test test-unit test-fast lint bench bench-check bench-containment bench-replay bench-catalog bench-all docs-check
 
-## Tier-1 test suite (the driver's gate).
-test:
+## Full local gate: lint, the tier-1 suite, docs drift, and the
+## benchmark floors (perf + view-plan ratios) — everything a PR must
+## keep green.
+test: lint test-unit docs-check bench-check
+
+## Tier-1 test suite alone (the driver's gate).
+test-unit:
 	$(PYTHON) -m pytest -x -q
 
 ## Quick suite: deselects the long-running Hypothesis property suites
 ## and the process-spawning multicore suite.
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow and not multicore"
+
+## Exception-handler hygiene: no bare except / swallowed interrupts
+## (stdlib AST checker; the container has no ruff).
+lint:
+	$(PYTHON) tools/lint_exceptions.py
 
 ## Aggregate: every recorded benchmark JSON at the repo root.
 ## Compare the JSONs against the committed baselines before/after a PR.
@@ -21,9 +31,12 @@ bench-containment:
 	$(PYTHON) benchmarks/bench_perf_guard.py
 
 ## Regression gate: re-measures and exits non-zero if any number falls
-## below the floors committed in BENCH_containment.json (never rewrites).
+## below the floors committed in the BENCH JSONs (never rewrites them).
+## Two halves: perf floors (ops/sec) and deterministic view-plan-ratio
+## floors (planning coverage).
 bench-check:
 	$(PYTHON) benchmarks/bench_perf_guard.py --check
+	$(PYTHON) benchmarks/bench_ratio_guard.py
 
 ## Workload replay + batched advisor: records queries/sec and the
 ## batched-vs-solver advisor speedup to BENCH_replay.json.

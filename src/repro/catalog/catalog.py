@@ -123,6 +123,11 @@ class Catalog:
     max_models:
         Canonical-model budget handed to each engine's solver and the
         advisor (None = unbounded).
+    tractable_only:
+        Handed to each engine: True (default) restricts intersection
+        plans to the tractable merge regime; False also accepts
+        certificate-carrying intractable-regime merges (see
+        :mod:`repro.core.intersect`).
     """
 
     def __init__(
@@ -132,6 +137,7 @@ class Catalog:
         backend: StoreBackend | None = None,
         answer_cache_size: int = DEFAULT_ANSWER_CACHE,
         max_models: int | None = None,
+        tractable_only: bool = True,
     ) -> None:
         if db_path is not None and backend is not None:
             raise CatalogError("pass db_path or backend, not both")
@@ -142,6 +148,7 @@ class Catalog:
         self.backend: StoreBackend = backend
         self.answer_cache_size = answer_cache_size
         self.max_models = max_models
+        self.tractable_only = tractable_only
         self._entries: dict[str, CatalogEntry] = {}
 
     # ------------------------------------------------------------------
@@ -157,6 +164,7 @@ class Catalog:
             store,
             solver=RewriteSolver(use_fallback=False, max_models=self.max_models),
             answer_cache_size=self.answer_cache_size,
+            tractable_only=self.tractable_only,
         )
         entry = CatalogEntry(
             doc_id=doc_id,
@@ -248,6 +256,30 @@ class Catalog:
             fingerprint=fingerprint,
             warm=warm,
         )
+
+    def define_views(
+        self, doc_id: str, patterns: Sequence[Pattern]
+    ) -> list[str]:
+        """Define explicit views over one document (no advisor involved).
+
+        For fleets whose views are curated rather than advised — e.g.
+        partial views published by independent providers, the regime
+        intersection plans exist for.  Names continue the ``view-N``
+        numbering after any advised views; materializations flow through
+        the storage backend exactly like advised ones (same digest
+        keying), so explicit views warm-start too.  When combining with
+        :meth:`advise`, advise first — it refuses a document that
+        already has views (its warm-start contract binds the advised
+        set alone).
+        """
+        entry = self.entry(doc_id)
+        names: list[str] = []
+        for pattern in patterns:
+            name = f"view-{len(entry.views)}"
+            entry.store.define_view(name, pattern)
+            entry.views.append(name)
+            names.append(name)
+        return names
 
     # ------------------------------------------------------------------
     # Serving

@@ -63,13 +63,17 @@ class DocumentSpec:
     ``workload_xpaths``/``weights`` are the advisor inputs — they (not
     the selected views) are what the selection fingerprint binds, so a
     worker rebuilding from this spec computes the same fingerprint and
-    warm-starts from the same persisted selection.
+    warm-starts from the same persisted selection.  ``view_xpaths`` are
+    *explicit* views defined after advising (curated partial views, the
+    intersection-plan regime) — see :meth:`Catalog.define_views
+    <repro.catalog.catalog.Catalog.define_views>`.
     """
 
     doc_id: str
     xml: str
     workload_xpaths: tuple[str, ...] = ()
     weights: tuple[float, ...] | None = None
+    view_xpaths: tuple[str, ...] = ()
 
     @classmethod
     def from_tree(
@@ -78,12 +82,14 @@ class DocumentSpec:
         tree: XMLTree,
         workload: Sequence[Pattern] = (),
         weights: Sequence[float] | None = None,
+        views: Sequence[Pattern] = (),
     ) -> "DocumentSpec":
         return cls(
             doc_id=doc_id,
             xml=to_xml(tree),
             workload_xpaths=tuple(to_xpath(query) for query in workload),
             weights=tuple(weights) if weights is not None else None,
+            view_xpaths=tuple(to_xpath(view) for view in views),
         )
 
 
@@ -96,6 +102,7 @@ class CatalogSpec:
     max_views: int = 4
     answer_cache_size: int = 512
     max_models: int | None = None
+    tractable_only: bool = True
 
 
 def build_catalog(spec: CatalogSpec) -> Catalog:
@@ -109,6 +116,7 @@ def build_catalog(spec: CatalogSpec) -> Catalog:
         db_path=spec.db_path,
         answer_cache_size=spec.answer_cache_size,
         max_models=spec.max_models,
+        tractable_only=spec.tractable_only,
     )
     try:
         for doc in spec.documents:
@@ -125,6 +133,11 @@ def build_catalog(spec: CatalogSpec) -> Catalog:
                         list(doc.weights) if doc.weights is not None else None
                     ),
                     max_views=spec.max_views,
+                )
+            if doc.view_xpaths:
+                catalog.define_views(
+                    doc.doc_id,
+                    [parse_pattern(x) for x in doc.view_xpaths],
                 )
     except Exception:
         catalog.close()

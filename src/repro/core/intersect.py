@@ -1,0 +1,294 @@
+"""Intersection rewritings: answering ``P`` as ``(R1∘V1) ∩ … ∩ (Rk∘Vk)``.
+
+Single-view rewriting (Section 2.4) needs one view whose composition is
+*equivalent* to the query; that caps how many queries are
+view-answerable.  Cautis/Deutsch/Ileana/Onose ("Rewriting XPath Queries
+using View Intersections") show that intersecting several compensated
+views answers strictly more queries inside XP{//,[],*} — at the price
+of an intractable general problem, with a tractable subfragment.  This
+module is the *pattern-level* half of that idea:
+
+* a **part** is one view's compensated composition ``Qi = Ri ∘ Vi``
+  with ``P ⊑ Qi`` verified (so ``P(t) ⊆ Qi(t)`` on every ``t``) — the
+  engine builds parts from the natural candidates of §3.1;
+* :func:`merge_parts` merges the parts into a single *merged pattern*
+  ``M`` whose evaluation equals ``∩ Qi(t)`` whenever the merge is
+  **exact** (see below). The caller then decides ``M ⊑ P`` with one
+  ordinary containment test; together with the per-part forward
+  containments this closes the chain
+
+      P(t) ⊆ ∩ Qi(t) ⊆ M(t) ⊆ P(t)
+
+  and the intersection answers the query exactly.
+
+Exactness — when does ``∩ Qi(t) ⊆ M(t)`` hold?
+----------------------------------------------
+All parts must agree on the selection spine: same depth ``d`` (the
+query's), identical top-down axis sequences, and position-wise
+glb-compatible labels.  ``M`` is then the shared spine (glb labels)
+carrying *every* part's branches.  A node ``n ∈ ∩ Qi(t)`` gives one
+embedding ``ei`` per part, but a single embedding of ``M`` needs the
+parts' spine images to coincide.  A spine position is **forced** when
+every embedding necessarily maps it to the same tree node:
+
+* *top-forced* — all axes above it are child edges (the image is the
+  unique depth-``p`` node on the root path), or
+* *bottom-forced* — all axes below it are child edges (the image is
+  the unique ancestor of ``n`` at child-distance ``d − p``).
+
+With at most one descendant edge on the spine every position is forced
+and the merge is unconditionally exact — that is the **tractable**
+regime (``tractable_only=True``, the default, mirroring the paper's
+tractability/completeness toggle).  With ``tractable_only=False`` a
+merge with unforced positions is still accepted when each maximal
+unforced segment is **dominated** by one part ``j``: at every position
+of the segment the glb label equals part ``j``'s label and every other
+part's branch set is a subset (up to isomorphism) of part ``j``'s —
+then ``ej``'s images witness the whole segment and exactness survives.
+Merges that satisfy neither condition are rejected (``None``), never
+guessed at: the engine simply keeps the direct plan, so the toggle
+trades completeness, not soundness.
+"""
+
+from __future__ import annotations
+
+from ..patterns.ast import Axis, Pattern, PNode
+from .composition import glb
+
+__all__ = [
+    "forced_spine_positions",
+    "fragment_views",
+    "merge_parts",
+    "spine_branches",
+]
+
+
+def forced_spine_positions(axes: list[Axis]) -> list[bool]:
+    """Which of the ``d+1`` spine positions every embedding must agree on.
+
+    Position ``p`` is forced iff ``axes[:p]`` are all child edges
+    (top-forced) or ``axes[p:]`` are all child edges (bottom-forced).
+    The root and the output position are always forced.
+    """
+    d = len(axes)
+    top = [True] * (d + 1)
+    for p in range(1, d + 1):
+        top[p] = top[p - 1] and axes[p - 1] is Axis.CHILD
+    bottom = [True] * (d + 1)
+    for p in range(d - 1, -1, -1):
+        bottom[p] = bottom[p + 1] and axes[p] is Axis.CHILD
+    return [t or b for t, b in zip(top, bottom)]
+
+
+def _subtree_key(axis: Axis, node: PNode):
+    """Order-insensitive canonical key of one branch (axis + subtree)."""
+    return (
+        int(axis),
+        node.label,
+        tuple(sorted(_subtree_key(a, c) for a, c in node.edges)),
+    )
+
+
+def spine_branches(pattern: Pattern) -> list[list[tuple[Axis, PNode]]]:
+    """Per spine position, the non-spine edges hanging off that node.
+
+    The spine edge out of each position is excluded; every edge of the
+    output node is a branch (there is no spine edge below it).
+    """
+    path = pattern.selection_path()
+    branches: list[list[tuple[Axis, PNode]]] = []
+    for p, node in enumerate(path):
+        spine_child = path[p + 1] if p + 1 < len(path) else None
+        branches.append(
+            [
+                (axis, child)
+                for axis, child in node.edges
+                if child is not spine_child
+            ]
+        )
+    return branches
+
+
+def _dominated_segment(
+    segment: list[int],
+    labels: list[str],
+    paths: list[list[PNode]],
+    branch_keys: list[list[frozenset]],
+) -> bool:
+    """Is some part ``j`` a uniform witness for the whole unforced segment?
+
+    Part ``j`` dominates when, at every position of the segment, the
+    merged (glb) label equals ``j``'s own label and every other part's
+    branch set is an isomorphism-subset of ``j``'s — then ``ej``'s spine
+    images satisfy all of ``M``'s constraints over the segment.
+    """
+    for j in range(len(paths)):
+        if all(
+            labels[p] == paths[j][p].label
+            and all(
+                branch_keys[i][p] <= branch_keys[j][p]
+                for i in range(len(paths))
+                if i != j
+            )
+            for p in segment
+        ):
+            return True
+    return False
+
+
+def merge_parts(
+    parts: list[Pattern], *, tractable_only: bool = True
+) -> Pattern | None:
+    """Merge part patterns into one whose evaluation is ``∩ parts(t)``.
+
+    Returns ``None`` whenever exactness cannot be established — spines
+    of different shapes, glb-incompatible labels, or (descendant-heavy
+    spines) no dominating part for some unforced segment.  A non-None
+    result ``M`` satisfies ``∩ parts(t) ⊆ M(t)`` on every document and
+    ``M ⊑ parts[i]`` for each part, so ``M(t) = ∩ parts(t)``.
+    """
+    if len(parts) < 2 or any(part.is_empty for part in parts):
+        return None
+    axes = parts[0].selection_axes()
+    if any(part.selection_axes() != axes for part in parts[1:]):
+        return None
+    d = len(axes)
+    paths = [part.selection_path() for part in parts]
+    labels: list[str] = []
+    for p in range(d + 1):
+        label = paths[0][p].label
+        for path in paths[1:]:
+            merged_label = glb(label, path[p].label)
+            if merged_label is None:
+                return None
+            label = merged_label
+        labels.append(label)
+    forced = forced_spine_positions(axes)
+    if not all(forced):
+        if tractable_only:
+            return None
+        all_branches = [spine_branches(part) for part in parts]
+        branch_keys = [
+            [
+                frozenset(_subtree_key(axis, node) for axis, node in row)
+                for row in per_part
+            ]
+            for per_part in all_branches
+        ]
+        segment: list[int] = []
+        for p in range(d + 2):
+            if p <= d and not forced[p]:
+                segment.append(p)
+                continue
+            if segment and not _dominated_segment(
+                segment, labels, paths, branch_keys
+            ):
+                return None
+            segment = []
+    spine = [PNode(labels[p]) for p in range(d + 1)]
+    for p in range(d):
+        spine[p].add(axes[p], spine[p + 1])
+    for part in parts:
+        for p, row in enumerate(spine_branches(part)):
+            for axis, child in row:
+                spine[p].add(axis, child.deep_copy())
+    return Pattern(spine[0], spine[d])
+
+
+def fragment_views(
+    query: Pattern,
+    *,
+    depth: int | None = None,
+    position: int | None = None,
+    split: "tuple[int, ...] | None" = None,
+) -> tuple[Pattern, Pattern] | None:
+    """Split one spine node's branch constraints across two prefix views.
+
+    The inverse of :func:`merge_parts` as a view *generator*: two
+    depth-``depth`` prefixes of the query (default one above the
+    output), each keeping only part of the branch subtrees at spine
+    position ``position`` (default: the eligible position with the most
+    branches) and everything else.  ``split`` names the branch indexes
+    (edge order at that position) the first view keeps; the second
+    keeps the complement (default: even indexes).  Each view
+    over-approximates the query, but their compensated compositions
+    merge back to it, so
+    :meth:`~repro.views.engine.QueryEngine.plan_intersection` can find a
+    width-2 plan.  This is the paper's motivating multi-source scenario
+    (each provider publishes part of the predicates) made concrete for
+    workload/benchmark construction.
+
+    Note the halves are *structurally* weaker, not always semantically:
+    a branch implied by the rest of its half (by the spine itself, or by
+    a sibling branch) leaves that half still equivalent to the full
+    prefix, and a single view then answers the query.  Callers wanting
+    intersection-*only* views must probe the result — the catalog
+    benchmark plans each candidate pair against a throwaway engine,
+    trying several splits, and keeps only ``"intersection"`` kinds.
+
+    The default position is restricted to positions that can work at
+    all: *forced* ones (:func:`forced_spine_positions` over the query's
+    full spine — at an unforced position the halves' disjoint branch
+    sets defeat the dominance certificate and :func:`merge_parts`
+    rejects the merge) and *strictly above the view output* (the
+    natural-candidate compensation carries every branch of the output
+    position, which would restore a split there into both compositions
+    and make each half equivalent on its own).  An explicit ``position``
+    is taken as given.
+
+    Returns ``None`` when the query is empty, no eligible position has
+    at least two branches to split, ``depth``/``position`` are out of
+    range (``0 ≤ position ≤ depth ≤ query.depth``), or ``split`` does
+    not leave both views at least one branch.
+    """
+    if query.is_empty:
+        return None
+    d = query.depth
+    m = d - 1 if depth is None else depth
+    if not 0 <= m <= d:
+        return None
+    path = query.selection_path()
+    rows = [
+        [
+            child
+            for _, child in path[p].edges
+            if child is not (path[p + 1] if p < d else None)
+        ]
+        for p in range(m + 1)
+    ]
+    if position is None:
+        forced = forced_spine_positions(query.selection_axes())
+        eligible = [p for p in range(m) if forced[p]]
+        if not eligible:
+            return None
+        position = max(eligible, key=lambda p: (len(rows[p]), -p))
+    if not 0 <= position <= m or len(rows[position]) < 2:
+        return None
+    count = len(rows[position])
+    first = (
+        {i for i in range(count) if i % 2 == 0}
+        if split is None
+        else {i for i in split if 0 <= i < count}
+    )
+    if not first or len(first) == count:
+        return None
+
+    def build(keep_first: bool) -> Pattern:
+        copy, mapping = query.copy_with_map()
+        cpath = [mapping[node] for node in path]
+        node = cpath[position]
+        spine_child = cpath[position + 1] if position < d else None
+        branches = [c for _, c in node.edges if c is not spine_child]
+        drop = {
+            id(c)
+            for i, c in enumerate(branches)
+            if (i in first) != keep_first
+        }
+        node.edges = [(a, c) for a, c in node.edges if id(c) not in drop]
+        if m < d:
+            cpath[m].edges = [
+                (a, c) for a, c in cpath[m].edges if c is not cpath[m + 1]
+            ]
+        return Pattern(cpath[0], cpath[m])
+
+    return build(True), build(False)

@@ -44,11 +44,21 @@ class ShardPool:
                         initargs=initargs,
                     )
                 )
-        except BaseException:
-            for shard in self._shards:
-                shard.shutdown(wait=False)
-            self._shards = []
+        except (KeyboardInterrupt, SystemExit):
+            # Interrupts still get leak-safe cleanup but must propagate
+            # untouched — callers' fallback paths (which catch
+            # ``Exception``) are not allowed to swallow them.
+            self._discard_partial()
             raise
+        except Exception:
+            self._discard_partial()
+            raise
+
+    def _discard_partial(self) -> None:
+        """Tear down a half-built fleet without waiting on workers."""
+        for shard in self._shards:
+            shard.shutdown(wait=False)
+        self._shards = []
 
     def __len__(self) -> int:
         return len(self._shards)

@@ -2,10 +2,15 @@
 
 The engine answers a query pattern ``P`` over a document ``t`` either
 
-* **directly** — evaluating ``P`` on ``t``, or
+* **directly** — evaluating ``P`` on ``t``,
 * **via a view** — finding a rewriting ``R`` with ``R ∘ V ≡ P``
   (Section 2.4) and evaluating ``R`` over the stored forest ``V(t)``;
-  by Proposition 2.4 the answers are identical.
+  by Proposition 2.4 the answers are identical, or
+* **via an intersection of views** — when no single view suffices,
+  finding a bounded-width combination whose compensated compositions
+  ``Ri ∘ Vi`` provably sandwich ``P`` (:mod:`repro.core.intersect`);
+  execution intersects the legs' forest evaluations by preorder index
+  and never touches the document.
 
 The engine records per-query plans and counters, which benchmark C5 uses
 to reproduce the paper's motivating speedup scenario (the view forest is
@@ -55,30 +60,65 @@ from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import itertools
+
+from ..core.candidates import natural_candidates
 from ..core.composition import compose
-from ..core.containment import contains, contains_all
+from ..core.containment import (
+    ContainmentBatch,
+    contains,
+    contains_all,
+    prune_subsumed_branches_memoized,
+)
 from ..core.embedding import evaluate, evaluate_forest
+from ..core.intersect import merge_parts
 from ..core.rewrite import RewriteResult, RewriteSolver, RewriteStatus
-from ..errors import ViewEngineError
+from ..errors import ContainmentBudgetError, ViewEngineError
 from ..patterns.ast import Pattern, memo_epoch
 from ..xmltree.node import TNode
 from .store import ViewStore
 
-__all__ = ["QueryPlan", "EngineStats", "BatchAnswer", "QueryEngine"]
+__all__ = [
+    "IntersectionPart",
+    "QueryPlan",
+    "EngineStats",
+    "BatchAnswer",
+    "QueryEngine",
+]
+
+
+@dataclass(frozen=True)
+class IntersectionPart:
+    """One leg of an intersection plan: a compensated view.
+
+    Executing the leg evaluates ``rewriting`` over the stored forest
+    ``V(t)`` of ``view_name`` — exactly a single-view plan's execution,
+    except the result is one *over-approximation* ``P(t) ⊆ (R ∘ V)(t)``
+    rather than the answer itself.
+    """
+
+    view_name: str
+    rewriting: Pattern
 
 
 @dataclass
 class QueryPlan:
     """How a query was (or would be) answered.
 
-    ``kind`` is ``"view"`` or ``"direct"``; for view plans, ``view_name``
-    and the verified ``rewriting`` are set.
+    ``kind`` is ``"view"``, ``"intersection"`` or ``"direct"``.  For
+    view plans, ``view_name`` and the verified ``rewriting`` are set.
+    For intersection plans, ``parts`` holds the compensated views (a
+    two-level DAG: every leg feeds one intersection node) and ``merged``
+    the pattern the legs' intersection was verified equivalent to the
+    query through.
     """
 
     kind: str
     view_name: str | None = None
     rewriting: Pattern | None = None
     rewrite_result: RewriteResult | None = None
+    parts: tuple[IntersectionPart, ...] = ()
+    merged: Pattern | None = None
 
 
 @dataclass
@@ -90,7 +130,11 @@ class EngineStats:
     harness reports as plan-cache effectiveness on repeating streams.
     ``answer_cache_hits`` counts whole *answers* served from the
     cross-batch answer cache (disabled unless the engine was built with
-    ``answer_cache_size > 0``).
+    ``answer_cache_size > 0``).  ``intersection_attempts`` counts
+    intersection *searches* (run only when no single view answers and
+    not served from the per-engine intersection cache),
+    ``intersection_plans`` the searches that produced a verified plan,
+    and ``intersection_answers`` plan executions.
     """
 
     direct_answers: int = 0
@@ -99,6 +143,9 @@ class EngineStats:
     rewrites_found: int = 0
     decision_cache_hits: int = 0
     answer_cache_hits: int = 0
+    intersection_attempts: int = 0
+    intersection_plans: int = 0
+    intersection_answers: int = 0
 
     def reset(self) -> None:
         self.direct_answers = 0
@@ -107,6 +154,9 @@ class EngineStats:
         self.rewrites_found = 0
         self.decision_cache_hits = 0
         self.answer_cache_hits = 0
+        self.intersection_attempts = 0
+        self.intersection_plans = 0
+        self.intersection_answers = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -116,6 +166,9 @@ class EngineStats:
             "rewrites_found": self.rewrites_found,
             "decision_cache_hits": self.decision_cache_hits,
             "answer_cache_hits": self.answer_cache_hits,
+            "intersection_attempts": self.intersection_attempts,
+            "intersection_plans": self.intersection_plans,
+            "intersection_answers": self.intersection_answers,
         }
 
 
@@ -172,10 +225,30 @@ class QueryEngine:
         against the store's current document digest, so an in-place
         mutation followed by :meth:`ViewStore.refresh
         <repro.views.store.ViewStore.refresh>` can never serve a stale
-        answer — the digest token moved, the entry is dropped.  Cached
-        sets are shared with callers (the :meth:`answer_many` duplicate
-        contract): copy before mutating.
+        answer — the digest token moved, the entry is dropped.  Entries
+        are stored as frozen copies and every hit returns a *fresh*
+        mutable set, so callers may mutate returned answers freely
+        without corrupting later hits.
+    intersections:
+        When True (the default) a query no single view answers is
+        additionally planned as an **intersection of views** (see
+        :mod:`repro.core.intersect`): bounded-width view combinations
+        whose compensated compositions provably sandwich the query.
+    tractable_only:
+        Restrict intersection merges to the tractable regime (at most
+        one descendant edge on the shared selection spine, where the
+        merge is unconditionally exact).  ``False`` also accepts
+        descendant-heavy spines through the dominated-segment analysis —
+        more complete, same soundness, more merge work per query.
+    max_intersection_width:
+        Largest number of views combined into one intersection plan
+        (>= 2; combinations are enumerated smallest-width first).
     """
+
+    #: Cap on merged-containment tests per intersection search — the
+    #: combination space is polynomial but a pathological store should
+    #: not stall planning; the search gives up (direct plan) past it.
+    _INTERSECTION_TEST_LIMIT = 16
 
     def __init__(
         self,
@@ -183,13 +256,29 @@ class QueryEngine:
         solver: RewriteSolver | None = None,
         *,
         answer_cache_size: int = 0,
+        intersections: bool = True,
+        tractable_only: bool = True,
+        max_intersection_width: int = 2,
     ):
         if answer_cache_size < 0:
             raise ViewEngineError("answer_cache_size must be >= 0")
+        if max_intersection_width < 2:
+            raise ViewEngineError("max_intersection_width must be >= 2")
         self.store = store
         self.solver = solver or RewriteSolver()
         self.stats = EngineStats()
         self.answer_cache_size = answer_cache_size
+        self.intersections = intersections
+        self.tractable_only = tractable_only
+        self.max_intersection_width = max_intersection_width
+        # Intersection-plan cache: (query key, view-set token) -> plan
+        # or None.  Misses are cached too — the search is the expensive
+        # part either way.  Epoch-guarded like the decision cache, and
+        # keyed on the view *set* so a store mutation invalidates
+        # naturally.  Plans are document-independent: parts execute
+        # against whichever document the caller names.
+        self._intersections: dict[tuple, QueryPlan | None] = {}
+        self._intersections_epoch = memo_epoch()
         # Cache of rewrite decisions keyed by (query key, view name).
         # Query keys are memo_key tokens, valid only within one interning
         # epoch — _decision_cache() drops the dict when the epoch moves.
@@ -199,7 +288,7 @@ class QueryEngine:
         # (document digest at caching time, answer set, plan).  Same
         # epoch guard as the decision cache (memo_key tokens die with
         # the epoch); the digest is re-validated on every hit.
-        self._answers: "OrderedDict[tuple[str, int], tuple[str, set[TNode], QueryPlan]]" = (
+        self._answers: "OrderedDict[tuple[str, int], tuple[str, frozenset[TNode], QueryPlan]]" = (
             OrderedDict()
         )
         self._answers_epoch = memo_epoch()
@@ -212,10 +301,18 @@ class QueryEngine:
             self._decisions_epoch = epoch
         return self._decisions
 
+    def _intersection_cache(self) -> dict[tuple, "QueryPlan | None"]:
+        """The intersection-plan cache, epoch-guarded like decisions."""
+        epoch = memo_epoch()
+        if epoch != self._intersections_epoch:
+            self._intersections.clear()
+            self._intersections_epoch = epoch
+        return self._intersections
+
     # ------------------------------------------------------------------
     # Cross-batch answer cache
     # ------------------------------------------------------------------
-    def _answer_cache(self) -> "OrderedDict[tuple[str, int], tuple[str, set[TNode], QueryPlan]]":
+    def _answer_cache(self) -> "OrderedDict[tuple[str, int], tuple[str, frozenset[TNode], QueryPlan]]":
         """The answer cache, cleared if the interning epoch changed."""
         epoch = memo_epoch()
         if epoch != self._answers_epoch:
@@ -230,7 +327,10 @@ class QueryEngine:
 
         The entry's digest token must equal the store's *current* digest
         for the document — the validity token that makes the cache safe
-        across :meth:`ViewStore.refresh`.
+        across :meth:`ViewStore.refresh`.  Hits return a **fresh**
+        mutable set per call: the cached entry is a frozen copy, so a
+        caller mutating one returned answer can never corrupt what later
+        hits see.
         """
         if self.answer_cache_size == 0:
             return None
@@ -245,7 +345,7 @@ class QueryEngine:
             return None
         cache.move_to_end(key)
         self.stats.answer_cache_hits += 1
-        return answer, plan
+        return set(answer), plan
 
     def _remember_answer(
         self, query: Pattern, document: str, answer: set[TNode], plan: QueryPlan
@@ -254,7 +354,13 @@ class QueryEngine:
             return
         cache = self._answer_cache()
         key = (document, query.memo_key())
-        cache[key] = (self.store.document_digest(document), answer, plan)
+        # Store a defensive frozen copy: the caller owns (and may
+        # mutate) the set it was handed, the cache owns this one.
+        cache[key] = (
+            self.store.document_digest(document),
+            frozenset(answer),
+            plan,
+        )
         cache.move_to_end(key)
         while len(cache) > self.answer_cache_size:
             cache.popitem(last=False)
@@ -327,7 +433,8 @@ class QueryEngine:
     def plan(self, query: Pattern, document: str) -> QueryPlan:
         """Choose a plan: the usable view with the smallest stored forest.
 
-        Falls back to a direct plan when no view admits a rewriting.
+        When no single view admits a rewriting, tries an intersection
+        plan (``intersections=True``); falls back to a direct plan.
         """
         best: QueryPlan | None = None
         best_size: int | None = None
@@ -345,7 +452,112 @@ class QueryEngine:
                     rewrite_result=decision,
                 )
                 best_size = size
+        if best is None and self.intersections:
+            best = self.plan_intersection(query)
         return best or QueryPlan(kind="direct")
+
+    def plan_intersection(self, query: Pattern) -> QueryPlan | None:
+        """A verified intersection plan for ``query``, or None.
+
+        Searches bounded-width view combinations whose compensated
+        compositions ``Qi = Ri ∘ Vi`` sandwich the query:
+
+        * per part, ``P ⊑ Qi`` through one shared
+          :class:`~repro.core.containment.ContainmentBatch` (so
+          ``P(t) ⊆ ∩ Qi(t)``);
+        * the parts merge into an exact pattern ``M`` with
+          ``∩ Qi(t) ⊆ M(t)`` (:func:`~repro.core.intersect.merge_parts`);
+        * one backward test ``M ⊑ P`` closes ``∩ Qi(t) = P(t)``.
+
+        Results — including misses — are cached per (query, view set);
+        plans are document-independent.  Containment-budget overruns
+        count the combination as unverified rather than failing the
+        query (the solver's ``max_models`` is respected throughout).
+        """
+        if query.is_empty or not self.intersections:
+            return None
+        views = [
+            view
+            for view in self.store.views()
+            if not view.pattern.is_empty
+            and view.pattern.depth <= query.depth
+        ]
+        if len(views) < 2:
+            return None
+        token = tuple(
+            (view.name, view.pattern.memo_key()) for view in views
+        )
+        cache = self._intersection_cache()
+        key = (query.memo_key(), token)
+        if key in cache:
+            return cache[key]
+        self.stats.intersection_attempts += 1
+        plan = self._search_intersection(query, views)
+        if plan is not None:
+            self.stats.intersection_plans += 1
+        cache[key] = plan
+        return plan
+
+    def _search_intersection(self, query: Pattern, views) -> QueryPlan | None:
+        budget = self.solver.max_models
+        try:
+            batch = ContainmentBatch(query, max_models=budget)
+        except ContainmentBudgetError:
+            return None
+        # One part per view: the first natural candidate (§3.1) whose
+        # composition provably over-approximates the query.  The
+        # un-relaxed candidate is tried first — it is the tighter part.
+        parts: list[tuple[str, Pattern, Pattern]] = []
+        for view in views:
+            for candidate in natural_candidates(query, view.pattern.depth):
+                composition = compose(candidate, view.pattern)
+                if composition.is_empty:
+                    continue
+                composition = prune_subsumed_branches_memoized(composition)
+                try:
+                    forward = batch.contains(composition)
+                except ContainmentBudgetError:
+                    continue
+                if forward:
+                    parts.append((view.name, candidate, composition))
+                    break
+        if len(parts) < 2:
+            return None
+        part_keys = {composition.memo_key() for _, _, composition in parts}
+        tested = 0
+        for width in range(2, min(self.max_intersection_width, len(parts)) + 1):
+            for combo in itertools.combinations(range(len(parts)), width):
+                if tested >= self._INTERSECTION_TEST_LIMIT:
+                    return None
+                merged = merge_parts(
+                    [parts[i][2] for i in combo],
+                    tractable_only=self.tractable_only,
+                )
+                if merged is None:
+                    continue
+                merged = prune_subsumed_branches_memoized(merged)
+                if merged.memo_key() in part_keys:
+                    # Degenerate combination: the merge collapses onto a
+                    # single part, which the solver already rejected.
+                    continue
+                tested += 1
+                try:
+                    exact = contains(merged, query, max_models=budget)
+                except ContainmentBudgetError:
+                    continue
+                if exact:
+                    return QueryPlan(
+                        kind="intersection",
+                        parts=tuple(
+                            IntersectionPart(
+                                view_name=parts[i][0],
+                                rewriting=parts[i][1],
+                            )
+                            for i in combo
+                        ),
+                        merged=merged,
+                    )
+        return None
 
     # ------------------------------------------------------------------
     # Execution
@@ -373,22 +585,54 @@ class QueryEngine:
         self.stats.view_answers += 1
         return evaluate_forest(decision.rewriting, forest)
 
+    def answer_with_intersection(
+        self, query: Pattern, plan: QueryPlan, document: str
+    ) -> set[TNode]:
+        """Execute an intersection plan over the stored forests.
+
+        Each leg evaluates its compensation over its view's forest
+        (never the document); leg results meet as **sorted preorder
+        indexes** — the store's process-independent node encoding —
+        with an early exit once the running intersection is empty.
+        """
+        if plan.kind != "intersection" or not plan.parts:
+            raise ViewEngineError(
+                f"not an intersection plan (kind: {plan.kind!r})"
+            )
+        ids: set[int] | None = None
+        for part in plan.parts:
+            forest = self.store.view_answers(part.view_name, document)
+            nodes = evaluate_forest(part.rewriting, forest)
+            part_ids = set(self.store.node_ids(document, nodes))
+            ids = part_ids if ids is None else ids & part_ids
+            if not ids:
+                break
+        self.stats.intersection_answers += 1
+        return self.store.nodes_at(document, ids or ())
+
+    def _execute(
+        self, query: Pattern, plan: QueryPlan, document: str
+    ) -> set[TNode]:
+        """Run one plan (shared by :meth:`answer` / :meth:`answer_many`)."""
+        if plan.kind == "view":
+            assert plan.view_name is not None
+            return self.answer_with_view(query, plan.view_name, document)
+        if plan.kind == "intersection":
+            return self.answer_with_intersection(query, plan, document)
+        return self.answer_direct(query, document)
+
     def answer(self, query: Pattern, document: str) -> set[TNode]:
         """Answer using the planner's choice (view if possible).
 
         With an answer cache enabled, a repeated query skips planning
-        *and* execution entirely (the cached set is shared — copy before
-        mutating).
+        *and* execution entirely; every hit returns a fresh set the
+        caller owns outright.
         """
         cached = self._cached_answer(query, document)
         if cached is not None:
             return cached[0]
         plan = self.plan(query, document)
-        if plan.kind == "view":
-            assert plan.view_name is not None
-            answer = self.answer_with_view(query, plan.view_name, document)
-        else:
-            answer = self.answer_direct(query, document)
+        answer = self._execute(query, plan, document)
         self._remember_answer(query, document, answer, plan)
         return answer
 
@@ -411,8 +655,9 @@ class QueryEngine:
         enabled (``answer_cache_size > 0``) the fold extends *across*
         batches: a distinct query seen in an earlier batch is served
         from the cache — digest-validated — without planning or
-        execution.  Answer sets are shared between duplicates — copy
-        before mutating.
+        execution.  Within one batch, duplicates share the same answer
+        set object — copy before mutating; cross-batch cache hits hand
+        each batch a fresh copy.
 
         Returns a :class:`BatchAnswer` with per-input answers/plans and
         the per-batch :class:`EngineStats` delta.
@@ -430,13 +675,7 @@ class QueryEngine:
                     answers[key], plans[key] = cached
                 else:
                     plan = self.plan(query, document)
-                    if plan.kind == "view":
-                        assert plan.view_name is not None
-                        answer = self.answer_with_view(
-                            query, plan.view_name, document
-                        )
-                    else:
-                        answer = self.answer_direct(query, document)
+                    answer = self._execute(query, plan, document)
                     self._remember_answer(query, document, answer, plan)
                     answers[key] = answer
                     plans[key] = plan
@@ -552,3 +791,20 @@ class QueryEngine:
         composed = compose(decision.rewriting, self.store.view(view_name).pattern)
         via_composition = evaluate(composed, self.store.document(document))
         return via_view == direct == via_composition
+
+    def verify_intersection(self, query: Pattern, document: str) -> bool | None:
+        """Check an intersection plan end-to-end on one document.
+
+        Returns None when the planner does not choose an intersection
+        for ``query``; otherwise True iff executing the plan equals the
+        direct evaluation *and* the merged pattern's own evaluation —
+        the ``∩ Qi(t) = M(t) = P(t)`` chain, observed on ``t``.
+        """
+        plan = self.plan(query, document)
+        if plan.kind != "intersection":
+            return None
+        via_intersection = self.answer_with_intersection(query, plan, document)
+        direct = evaluate(query, self.store.document(document))
+        assert plan.merged is not None
+        via_merged = evaluate(plan.merged, self.store.document(document))
+        return via_intersection == direct == via_merged

@@ -53,10 +53,19 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Protocol, Sequence
+
+logger = logging.getLogger(__name__)
+
+#: Process-wide once-flag for the directory-fsync warning: the failure
+#: is non-fatal and typically environmental (platform without openable
+#: directories), so one log line per process is signal, more is noise.
+#: The per-backend count lives in ``BackendStats.fsync_failures``.
+_FSYNC_FAILURE_LOGGED = False
 
 from ..patterns.ast import Pattern
 from ..xmltree.tree import XMLTree
@@ -112,7 +121,10 @@ class BackendStats:
     (bad JSON, wrong version, checksum mismatch); each rejected line is
     skipped, never served.  The ``selection_*`` counters track advisor
     selection records separately from materializations — a warm start is
-    one where ``selection_hits`` rose.
+    one where ``selection_hits`` rose.  ``fsync_failures`` counts
+    directory-fsync failures after a compaction rename: non-fatal (the
+    rename stays atomic) but a crash-durability window the operator
+    should be able to see instead of it vanishing into a bare ``pass``.
     """
 
     hits: int = 0
@@ -123,6 +135,7 @@ class BackendStats:
     selection_hits: int = 0
     selection_misses: int = 0
     selection_saves: int = 0
+    fsync_failures: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -134,6 +147,7 @@ class BackendStats:
             "selection_hits": self.selection_hits,
             "selection_misses": self.selection_misses,
             "selection_saves": self.selection_saves,
+            "fsync_failures": self.fsync_failures,
         }
 
 
@@ -281,24 +295,41 @@ class MemoryBackend(_RejectLoadedMixin, _SelectionMapMixin):
         pass
 
 
-def _fsync_directory(path: Path) -> None:
+def _fsync_directory(path: Path) -> bool:
     """Durably persist a directory entry change (rename/replace).
 
     ``os.replace`` is atomic but its durability requires syncing the
     *directory*, not just the file.  Platforms whose directories cannot
-    be opened or fsynced (e.g. Windows) simply skip — the rename is
-    still atomic there, only the crash-durability window stays.
+    be opened or fsynced (e.g. Windows) skip — the rename is still
+    atomic there, only the crash-durability window stays.  Returns
+    ``True`` when the directory entry was durably synced so callers can
+    count (and log) the failure instead of losing it silently.
     """
     try:
         dir_fd = os.open(path, os.O_RDONLY)
     except OSError:
-        return
+        return False
     try:
         os.fsync(dir_fd)
     except OSError:
-        pass
+        return False
     finally:
         os.close(dir_fd)
+    return True
+
+
+def _note_fsync_failure(stats: BackendStats, path: Path) -> None:
+    """Count a directory-fsync failure; warn once per process."""
+    global _FSYNC_FAILURE_LOGGED
+    stats.fsync_failures += 1
+    if not _FSYNC_FAILURE_LOGGED:
+        _FSYNC_FAILURE_LOGGED = True
+        logger.warning(
+            "directory fsync failed after compacting %s: the rename is "
+            "atomic but not crash-durable (counted in "
+            "BackendStats.fsync_failures; logged once per process)",
+            path,
+        )
 
 
 def _record_checksum(record: dict) -> str:
@@ -489,7 +520,8 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
             out.flush()
             os.fsync(out.fileno())
         os.replace(tmp, self.path)
-        _fsync_directory(self.path.parent)
+        if not _fsync_directory(self.path.parent):
+            _note_fsync_failure(self.stats, self.path)
         # Swap handles only after the replace succeeded — the old handle
         # points at the replaced inode and must not receive new appends.
         self._fh.close()

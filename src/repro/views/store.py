@@ -149,6 +149,25 @@ class ViewStore:
         position = self._position(name)
         return sorted(position[id(node)] for node in nodes)
 
+    def nodes_at(self, name: str, ids) -> set[TNode]:
+        """Resolve preorder indexes back to live nodes (:meth:`node_ids`
+        inverse).
+
+        The engine's intersection plans meet their legs as preorder-id
+        sets and resolve the survivors through here; raises on an
+        out-of-range index (ids must come from this document).
+        """
+        order = self._preorder(name)
+        resolved = set()
+        for i in ids:
+            if not 0 <= i < len(order):
+                raise ViewEngineError(
+                    f"preorder index {i} out of range for document "
+                    f"{name!r} ({len(order)} nodes)"
+                )
+            resolved.add(order[i])
+        return resolved
+
     def _materialize(self, pattern: Pattern, doc_name: str) -> frozenset[TNode]:
         """``V(t)`` through the backend: load if present, else evaluate+save.
 

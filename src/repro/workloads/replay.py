@@ -163,6 +163,7 @@ class ReplayReport:
     queries: int = 0
     distinct_queries: int = 0
     view_plans: int = 0
+    intersection_plans: int = 0
     direct_plans: int = 0
     answers_total: int = 0
     verified_mismatches: int = 0
@@ -190,8 +191,14 @@ class ReplayReport:
 
     @property
     def view_plan_ratio(self) -> float:
-        """Fraction of queries answered from a materialized view."""
-        return self.view_plans / self.queries if self.queries else 0.0
+        """Fraction of queries answered from materialized views.
+
+        Counts single-view *and* intersection plans — both answer
+        entirely from stored forests, never touching the document.
+        """
+        if not self.queries:
+            return 0.0
+        return (self.view_plans + self.intersection_plans) / self.queries
 
     def latency_ms(self, quantile: float) -> float:
         """Latency quantile (nearest-rank) over the per-query timings."""
@@ -220,6 +227,7 @@ class ReplayReport:
             "queries": self.queries,
             "distinct_queries": self.distinct_queries,
             "view_plans": self.view_plans,
+            "intersection_plans": self.intersection_plans,
             "direct_plans": self.direct_plans,
             "answers_total": self.answers_total,
             "verified_mismatches": self.verified_mismatches,
@@ -239,6 +247,7 @@ class ReplayReport:
             f"in {self.elapsed_seconds:.3f}s "
             f"= {self.queries_per_sec:,.0f} q/s",
             f"plans: {self.view_plans} via views, "
+            f"{self.intersection_plans} via intersections, "
             f"{self.direct_plans} direct "
             f"(view ratio {self.view_plan_ratio:.0%})",
             f"latency ms: p50={self.latency_ms(0.5):.3f} "
@@ -267,6 +276,11 @@ class ReplayReport:
         return "\n".join(lines)
 
 
+def _intersection_label(plan) -> str:
+    """The ``plans_by_view`` key for an intersection plan's view combo."""
+    return "∩".join(sorted(part.view_name for part in plan.parts))
+
+
 def replay_stream(
     engine: QueryEngine,
     queries: Sequence[Pattern],
@@ -292,6 +306,13 @@ def replay_stream(
             report.plans_by_view[plan.view_name] = (
                 report.plans_by_view.get(plan.view_name, 0) + 1
             )
+        elif plan.kind == "intersection":
+            answers = engine.answer_with_intersection(query, plan, document)
+            report.intersection_plans += 1
+            label = _intersection_label(plan)
+            report.plans_by_view[label] = (
+                report.plans_by_view.get(label, 0) + 1
+            )
         else:
             answers = engine.answer_direct(query, document)
             report.direct_plans += 1
@@ -299,13 +320,14 @@ def replay_stream(
         report.queries += 1
         report.answers_total += len(answers)
         distinct.add(query.memo_key())
-        # Only view-plan answers can differ from direct evaluation
-        # (direct plans *are* a store evaluation), so only they are
-        # worth the extra Prop 2.4 cross-check — done outside the timed
-        # window so throughput and latencies describe the same work.
+        # Only view-backed answers (single-view or intersection) can
+        # differ from direct evaluation (direct plans *are* a store
+        # evaluation), so only they are worth the extra cross-check —
+        # done outside the timed window so throughput and latencies
+        # describe the same work.
         if (
             verify
-            and plan.kind == "view"
+            and plan.kind != "direct"
             and answers != engine.store.evaluate(query, document)
         ):
             report.verified_mismatches += 1
@@ -331,9 +353,10 @@ def replay_batched(
     queries inside a window are planned and executed once.  Per-query
     latencies are the batch wall time divided evenly across its queries
     (individual timings do not exist in a folded batch); counters are
-    exact.  ``verify`` cross-checks each *distinct* view-planned query
-    per batch against direct evaluation and counts a mismatch once per
-    affected query, matching :func:`replay_stream`'s semantics.
+    exact.  ``verify`` cross-checks each *distinct* view-backed query
+    (single-view or intersection plan) per batch against direct
+    evaluation and counts a mismatch once per affected query, matching
+    :func:`replay_stream`'s semantics.
     """
     if batch_size < 1:
         raise WorkloadError("batch_size must be >= 1")
@@ -357,15 +380,21 @@ def replay_batched(
                 report.plans_by_view[plan.view_name] = (
                     report.plans_by_view.get(plan.view_name, 0) + 1
                 )
+            elif plan.kind == "intersection":
+                report.intersection_plans += 1
+                label = _intersection_label(plan)
+                report.plans_by_view[label] = (
+                    report.plans_by_view.get(label, 0) + 1
+                )
             else:
                 report.direct_plans += 1
         if verify:
-            # One direct evaluation per distinct view-planned query;
+            # One direct evaluation per distinct view-backed query;
             # duplicates share its verdict (evaluation is deterministic,
             # so this counts exactly what per-query checking would).
             verdicts: dict[int, bool] = {}
             for query, plan, answers in zip(chunk, result.plans, result.answers):
-                if plan.kind != "view":
+                if plan.kind == "direct":
                     continue
                 key = query.memo_key()
                 if key not in verdicts:
@@ -437,6 +466,23 @@ class CatalogReplayReport:
             return 0.0
         return self.queries / self.elapsed_seconds
 
+    @property
+    def view_plan_ratio(self) -> float:
+        """Fraction of routed queries answered from stored forests.
+
+        Single-view and intersection plans both count — same semantics
+        as :attr:`ReplayReport.view_plan_ratio`, aggregated over every
+        document.
+        """
+        if not self.queries:
+            return 0.0
+        served = sum(
+            section.get("view_plans", 0)
+            + section.get("intersection_plans", 0)
+            for section in self.per_document.values()
+        )
+        return served / self.queries
+
     def counters(self) -> dict:
         """The deterministic portion (same contract as ``ReplayReport``).
 
@@ -471,6 +517,7 @@ class CatalogReplayReport:
         for doc, section in sorted(self.per_document.items()):
             lines.append(
                 f"  {doc}: {section['view_plans']} view / "
+                f"{section.get('intersection_plans', 0)} intersection / "
                 f"{section['direct_plans']} direct plans, "
                 f"{section['answer_cache_hits']} answer-cache hits"
             )
@@ -553,6 +600,7 @@ def replay_catalog(
             doc_id: {
                 "queries": 0,
                 "view_plans": 0,
+                "intersection_plans": 0,
                 "direct_plans": 0,
                 "answers_total": 0,
                 "plans_by_view": {},
@@ -581,11 +629,17 @@ def replay_catalog(
                     tally["plans_by_view"][plan.view_name] = (
                         tally["plans_by_view"].get(plan.view_name, 0) + 1
                     )
+                elif plan.kind == "intersection":
+                    tally["intersection_plans"] += 1
+                    label = _intersection_label(plan)
+                    tally["plans_by_view"][label] = (
+                        tally["plans_by_view"].get(label, 0) + 1
+                    )
                 else:
                     tally["direct_plans"] += 1
                 if (
                     config.verify
-                    and plan.kind == "view"
+                    and plan.kind != "direct"
                     and answers
                     != catalog.entry(doc_id).store.evaluate(query, doc_id)
                 ):

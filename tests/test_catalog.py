@@ -465,3 +465,94 @@ class TestSpecWeights:
         )
         with pytest.raises(ValueError):
             build_catalog(spec)
+
+
+# ----------------------------------------------------------------------
+# Explicit (curated) views and the tractable_only plumbing
+# ----------------------------------------------------------------------
+
+class TestExplicitViews:
+    """Curated partial views: the intersection-plan serving regime."""
+
+    QUERY = "a[w][z]/b/c"
+    HALVES = ("a[w]/b", "a[z]/b")
+
+    def _document(self):
+        return build_tree({"a": ["w", "z", {"b": ["c", "d"]}, "x"]})
+
+    def test_define_views_numbers_and_materializes(self):
+        with Catalog() as catalog:
+            catalog.register("doc", self._document())
+            names = catalog.define_views(
+                "doc", [parse_pattern(x) for x in self.HALVES]
+            )
+            assert names == ["view-0", "view-1"]
+            assert catalog.entry("doc").views == names
+
+    def test_advise_refuses_a_document_with_explicit_views(self):
+        with Catalog() as catalog:
+            catalog.register("doc", self._document())
+            catalog.define_views("doc", [parse_pattern(self.HALVES[0])])
+            with pytest.raises(CatalogError):
+                catalog.advise("doc", [parse_pattern("a/b")])
+
+    def test_intersection_served_through_the_catalog(self):
+        with Catalog(tractable_only=False) as catalog:
+            catalog.register("doc", self._document())
+            catalog.define_views(
+                "doc", [parse_pattern(x) for x in self.HALVES]
+            )
+            query = parse_pattern(self.QUERY)
+            entry = catalog.entry("doc")
+            assert entry.engine.plan(query, "doc").kind == "intersection"
+            expected = entry.store.evaluate(query, "doc")
+            assert catalog.answer("doc", query) == expected
+
+    def test_tractable_only_reaches_every_engine(self):
+        for toggle in (True, False):
+            with Catalog(tractable_only=toggle) as catalog:
+                catalog.register("doc", self._document())
+                assert catalog.entry("doc").engine.tractable_only is toggle
+
+    def test_spec_round_trips_explicit_views(self, db_path):
+        tree = self._document()
+        spec = CatalogSpec(
+            documents=(
+                DocumentSpec.from_tree(
+                    "doc",
+                    tree,
+                    views=[parse_pattern(x) for x in self.HALVES],
+                ),
+            ),
+            db_path=str(db_path),
+            tractable_only=False,
+        )
+        assert spec.documents[0].view_xpaths == self.HALVES
+        catalog = build_catalog(spec)
+        try:
+            assert catalog.entry("doc").views == ["view-0", "view-1"]
+            assert catalog.entry("doc").engine.tractable_only is False
+            query = parse_pattern(self.QUERY)
+            expected = catalog.entry("doc").store.evaluate(query, "doc")
+            assert catalog.answer("doc", query) == expected
+            routed = catalog.route([("doc", query)])
+            assert routed.plans[0].kind == "intersection"
+        finally:
+            catalog.close()
+
+    def test_server_reports_intersection_plan_kinds(self, db_path):
+        spec = CatalogSpec(
+            documents=(
+                DocumentSpec.from_tree(
+                    "doc",
+                    self._document(),
+                    views=[parse_pattern(x) for x in self.HALVES],
+                ),
+            ),
+            db_path=str(db_path),
+            tractable_only=False,
+        )
+        query = parse_pattern(self.QUERY)
+        with CatalogServer(spec, workers=0) as server:
+            result = server.serve_requests([("doc", query)])
+        assert result.plan_kinds == ["intersection"]

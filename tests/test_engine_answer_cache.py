@@ -50,7 +50,10 @@ class TestAnswerCache:
         first = engine.answer(query, "doc")
         executions = engine.stats.direct_answers + engine.stats.view_answers
         second = engine.answer(query, "doc")
-        assert second is first  # the cached set object itself
+        # Equal content, but a fresh set per hit — the cached entry is a
+        # defensive copy the caller can never reach (aliasing bugfix).
+        assert second == first
+        assert second is not first
         assert engine.stats.answer_cache_hits == 1
         assert (
             engine.stats.direct_answers + engine.stats.view_answers
@@ -65,7 +68,28 @@ class TestAnswerCache:
         second = engine.answer_many(queries, "doc")
         assert engine.stats.answer_cache_hits == len(QUERIES)
         for a, b in zip(first.answers, second.answers):
-            assert a is b
+            assert a == b
+            assert a is not b  # cache hits are unaliased copies
+
+    def test_mutating_a_returned_answer_never_corrupts_the_cache(self):
+        """Regression: cached entries used to alias the returned set.
+
+        A caller mutating the set it was handed would corrupt the cache
+        for every later hit — both mutating the *original* (pre-caching)
+        answer and mutating a *hit* must leave later hits pristine.
+        """
+        engine = make_engine()
+        query = parse_pattern("a//b[c]")
+        expected = engine.store.evaluate(query, "doc")
+        first = engine.answer(query, "doc")
+        first.clear()  # mutate the original answer object
+        second = engine.answer(query, "doc")
+        assert engine.stats.answer_cache_hits == 1
+        assert second == expected
+        second.add(object())  # mutate a cache hit
+        third = engine.answer(query, "doc")
+        assert engine.stats.answer_cache_hits == 2
+        assert third == expected
 
     def test_lru_bound_holds(self):
         engine = make_engine(answer_cache_size=2)

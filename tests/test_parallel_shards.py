@@ -201,6 +201,97 @@ class TestSingleCoreFallback:
         assert STATS.shard_tasks == 0
 
 
+class TestShardPoolInterruptPropagation:
+    """Interrupts must escape pool construction (regression).
+
+    The fleet build used to wrap everything in a broad handler, so a
+    Ctrl-C during shard spawn was swallowed into the inline-fallback
+    path.  Interrupts now clean up the partial fleet and re-raise; only
+    genuine ``Exception`` failures stay eligible for fallback.
+    """
+
+    @staticmethod
+    def _executor_factory(created, fail_with):
+        """Fake ``ProcessPoolExecutor``: first call records, second raises."""
+
+        def make(*, max_workers, initializer=None, initargs=()):
+            if created:
+                raise fail_with("second shard failed to start")
+            fake = type(
+                "FakeExecutor", (), {"shutdowns": None, "shutdown": None}
+            )()
+            fake.shutdowns = []
+            fake.shutdown = lambda wait=True: fake.shutdowns.append(wait)
+            created.append(fake)
+            return fake
+
+        return make
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_interrupt_propagates_with_cleanup(self, monkeypatch, interrupt):
+        import repro.shardpool as shardpool
+
+        created: list = []
+        monkeypatch.setattr(
+            shardpool,
+            "ProcessPoolExecutor",
+            self._executor_factory(created, interrupt),
+        )
+        with pytest.raises(interrupt):
+            shardpool.ShardPool(None, [(), ()])
+        # The half-built fleet was discarded without waiting on workers.
+        assert [fake.shutdowns for fake in created] == [[False]]
+
+    def test_ordinary_failure_also_cleans_and_raises(self, monkeypatch):
+        import repro.shardpool as shardpool
+
+        created: list = []
+        monkeypatch.setattr(
+            shardpool,
+            "ProcessPoolExecutor",
+            self._executor_factory(created, RuntimeError),
+        )
+        with pytest.raises(RuntimeError):
+            shardpool.ShardPool(None, [(), ()])
+        assert [fake.shutdowns for fake in created] == [[False]]
+
+
+class TestDispatchInterruptPropagation:
+    """The containment driver's fallback must not eat interrupts."""
+
+    @pytest.fixture
+    def gating(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_cpu_count", lambda: 4)
+        monkeypatch.setattr(parallel, "SHARD_MIN_MODELS", 0)
+
+    def test_interrupt_escapes_the_sharded_path(self, p, gating, monkeypatch):
+        def interrupted_pool(shards):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel, "shard_pool", interrupted_pool)
+        clear_cache()
+        STATS.reset()
+        with pytest.raises(KeyboardInterrupt):
+            canonical_containment(p("a//b//c[d]"), p("a//c[d]"), workers=2)
+        # Specifically NOT the silent inline fallback.
+        assert STATS.shard_fallbacks == 0
+
+    def test_pool_failure_still_falls_back_inline(self, p, gating, monkeypatch):
+        def broken_pool(shards):
+            raise RuntimeError("spawn failed")
+
+        monkeypatch.setattr(parallel, "shard_pool", broken_pool)
+        p1, p2 = p("a//b//c[d]"), p("a//c[d]")
+        clear_cache()
+        STATS.reset()
+        expected = canonical_containment(p1, p2, workers=0)
+        clear_cache()
+        STATS.reset()
+        assert canonical_containment(p1, p2, workers=2) == expected
+        assert STATS.shard_fallbacks == 1
+        assert STATS.shard_tasks == 0
+
+
 # ----------------------------------------------------------------------
 # Real worker processes (deselected by ``make test-fast``)
 # ----------------------------------------------------------------------

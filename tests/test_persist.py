@@ -403,6 +403,55 @@ class TestCompaction:
             backend.compact()
         assert synced == [snapshot_path.parent]
 
+    def test_fsync_failure_counted_and_logged_once(
+        self, snapshot_path, monkeypatch, caplog
+    ):
+        """A failed directory fsync is observable, never silent (regression).
+
+        The failure used to vanish: ``_fsync_directory`` returned and
+        nobody looked.  Now every failure bumps
+        ``BackendStats.fsync_failures`` and the first one per process
+        logs a warning — counted always, logged once.
+        """
+        import logging
+
+        import repro.views.persist as persist
+
+        monkeypatch.setattr(persist, "_fsync_directory", lambda path: False)
+        monkeypatch.setattr(persist, "_FSYNC_FAILURE_LOGGED", False)
+        with SnapshotBackend(snapshot_path) as backend:
+            backend.save("d1", "p1", [1])
+            with caplog.at_level(logging.WARNING, logger=persist.logger.name):
+                backend.compact()
+                assert backend.stats.fsync_failures == 1
+                backend.compact()
+                assert backend.stats.fsync_failures == 2
+            assert backend.stats.snapshot()["fsync_failures"] == 2
+        warnings = [
+            record
+            for record in caplog.records
+            if "fsync" in record.getMessage()
+        ]
+        assert len(warnings) == 1  # log-once; the counter carries the rest
+
+    def test_fsync_directory_failure_paths_return_false(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.views.persist as persist
+
+        def deny_open(path, flags):
+            raise OSError("directories not openable here")
+
+        monkeypatch.setattr(persist.os, "open", deny_open)
+        assert persist._fsync_directory(tmp_path) is False
+        monkeypatch.undo()
+
+        def deny_fsync(fd):
+            raise OSError("EINVAL")
+
+        monkeypatch.setattr(persist.os, "fsync", deny_fsync)
+        assert persist._fsync_directory(tmp_path) is False
+
     def test_backend_usable_after_compact(self, snapshot_path):
         with SnapshotBackend(snapshot_path) as backend:
             backend.save("d1", "p1", [1])

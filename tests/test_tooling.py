@@ -1,0 +1,101 @@
+"""The repo's stdlib lint tooling (``tools/lint_exceptions.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location(
+        "lint_exceptions", REPO_ROOT / "tools" / "lint_exceptions.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLintExceptions:
+    def test_repository_is_clean(self):
+        lint = _load_lint()
+        assert lint.run_lint(lint.default_paths()) == []
+
+    def test_flags_bare_except(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+        problems = lint.run_lint([bad])
+        assert len(problems) == 1 and ":3:" in problems[0]
+
+    def test_flags_swallowed_base_exception(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    pass\nexcept BaseException:\n    result = None\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_reraising_handler_allowed(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\n"
+            "except BaseException:\n    cleanup = True\n    raise\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_conditional_reraise_not_enough(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    pass\n"
+            "except BaseException:\n"
+            "    if True:\n        raise\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_noqa_suppresses(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\n"
+            "except BaseException:  # noqa: BLE001 - deliberate\n"
+            "    pass\n"
+            "try:\n    pass\n"
+            "except:  # noqa\n    pass\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_unrelated_noqa_code_does_not_suppress(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    pass\nexcept:  # noqa: F401\n    pass\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_tuple_containing_base_exception_flagged(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    pass\n"
+            "except (ValueError, BaseException):\n    pass\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_plain_exception_handler_allowed(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\nexcept Exception:\n    pass\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        problems = lint.run_lint([bad])
+        assert len(problems) == 1 and "syntax error" in problems[0]

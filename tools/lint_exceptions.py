@@ -1,0 +1,160 @@
+"""AST lint: forbid handlers that swallow interrupts.
+
+The ``ShardPool`` bug this PR fixes was a textbook instance: a broad
+``except BaseException`` around the process-pool dispatch ate
+``KeyboardInterrupt`` and turned Ctrl-C into a silent inline fallback.
+This checker keeps the class of bug out of the tree permanently,
+without external tooling — the reference container has no ruff, so a
+stdlib :mod:`ast` walk is the gate (the rule is ruff's ``E722`` plus
+the ``BaseException`` half of ``BLE001``).
+
+Flagged, per ``except`` clause:
+
+* bare ``except:``;
+* ``except BaseException`` (alone or inside a tuple) whose handler body
+  does not unconditionally re-raise (a top-level bare ``raise``).
+
+Suppression: a ``# noqa`` / ``# noqa: BLE001`` / ``# noqa: E722``
+comment on the ``except`` line — used by tests that collect exceptions
+crossing thread boundaries on purpose.
+
+Run with:
+
+    make lint     # or: python tools/lint_exceptions.py [paths...]
+
+Exits non-zero listing ``path:line: message`` for every violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories scanned when no paths are given on the command line.
+DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+
+#: noqa codes that silence this checker (a plain ``# noqa`` also does).
+NOQA_CODES = {"E722", "BLE001"}
+
+
+def _mentions_base_exception(node: ast.expr | None) -> bool:
+    """Does the handler's type expression name ``BaseException``?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_base_exception(el) for el in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "BaseException"
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body contain a top-level bare ``raise``?
+
+    Top-level only: a ``raise`` inside an ``if`` may not run, and the
+    interrupt would still be swallowed on the other branch.
+    """
+    return any(
+        isinstance(stmt, ast.Raise) and stmt.exc is None
+        for stmt in handler.body
+    )
+
+
+def _noqa_lines(source: str) -> set[int]:
+    """1-based line numbers carrying a suppressing ``# noqa`` comment."""
+    lines: set[int] = set()
+    for number, line in enumerate(source.splitlines(), start=1):
+        _, _, comment = line.partition("#")
+        if not comment:
+            continue
+        directive = comment.strip()
+        if not directive.lower().startswith("noqa"):
+            continue
+        rest = directive[4:].strip()
+        if not rest.startswith(":"):
+            lines.add(number)  # plain "# noqa" (anything after is prose)
+            continue
+        codes = {
+            code.strip().upper()
+            for code in rest[1:].strip().split(" ")[0].split(",")
+        }
+        if codes & NOQA_CODES:
+            lines.add(number)
+    return lines
+
+
+def check_file(path: Path) -> list[str]:
+    """``path:line: message`` for every violation in one file."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    suppressed = _noqa_lines(source)
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.lineno in suppressed:
+            continue
+        if node.type is None:
+            problems.append(
+                f"{path}:{node.lineno}: bare 'except:' swallows "
+                "KeyboardInterrupt/SystemExit — catch Exception instead"
+            )
+        elif _mentions_base_exception(node.type) and not _reraises(node):
+            problems.append(
+                f"{path}:{node.lineno}: 'except BaseException' without a "
+                "bare re-raise swallows interrupts — catch Exception, or "
+                "re-raise"
+            )
+    return problems
+
+
+def run_lint(paths: list[Path]) -> list[str]:
+    problems: list[str] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            problems.extend(check_file(file))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# pytest wrapper (tests/test_tooling.py imports and asserts this)
+# ----------------------------------------------------------------------
+
+def default_paths() -> list[Path]:
+    return [
+        REPO_ROOT / root
+        for root in DEFAULT_ROOTS
+        if (REPO_ROOT / root).is_dir()
+    ]
+
+
+if __name__ == "__main__":
+    targets = (
+        [Path(arg) for arg in sys.argv[1:]]
+        if len(sys.argv) > 1
+        else default_paths()
+    )
+    found = run_lint(targets)
+    for problem in found:
+        print(problem, file=sys.stderr)
+    if found:
+        sys.exit(1)
+    def _short(target: Path) -> str:
+        try:
+            return str(target.relative_to(REPO_ROOT))
+        except ValueError:
+            return str(target)
+
+    print(
+        "exception-handler lint OK "
+        f"({', '.join(_short(target) for target in targets)})"
+    )
