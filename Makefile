@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-unit test-fast lint bench bench-check bench-containment bench-replay bench-catalog bench-all docs-check
+.PHONY: test test-unit test-fast test-soak lint bench bench-check bench-containment bench-replay bench-catalog bench-all docs-check
 
 ## Full local gate: lint, the tier-1 suite, docs drift, and the
 ## benchmark floors (perf + view-plan ratios) — everything a PR must
@@ -12,10 +12,17 @@ test: lint test-unit docs-check bench-check
 test-unit:
 	$(PYTHON) -m pytest -x -q
 
-## Quick suite: deselects the long-running Hypothesis property suites
-## and the process-spawning multicore suite.
+## Quick suite: deselects the long-running Hypothesis property suites,
+## the process-spawning multicore suite, and the serving-tier /
+## fault-injection suites (PR 8).
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not slow and not multicore"
+	$(PYTHON) -m pytest -x -q -m "not slow and not multicore and not async_serve and not faultinject"
+
+## Soak: sweep the open-loop serving replay over many seeds, asserting
+## answer bit-identity per seed.  SOAK_SEEDS sets the sweep width
+## (default 2 keeps the tier-1 run fast; CI can raise it).
+test-soak:
+	SOAK_SEEDS=8 $(PYTHON) -m pytest tests/test_serve_async.py -q -m soak
 
 ## Exception-handler hygiene: no bare except / swallowed interrupts
 ## (stdlib AST checker; the container has no ruff).

@@ -53,7 +53,12 @@ from repro.core.intersect import (
 from repro.patterns.random import PatternConfig
 from repro.views.engine import QueryEngine
 from repro.views.store import ViewStore
-from repro.workloads.replay import CatalogReplayConfig, replay_catalog
+from repro.workloads.replay import (
+    CatalogReplayConfig,
+    ServeReplayConfig,
+    replay_catalog,
+    replay_serve,
+)
 from repro.workloads.streams import StreamConfig, sample_stream
 from repro.xmltree.generate import random_tree
 
@@ -116,6 +121,21 @@ REPLAY_CONFIG = dict(
     batch_size=12,
 )
 REPLAY_SEED = 9
+
+#: Sustained-load scenario (PR 8): the asyncio front end under an
+#: open-loop Poisson arrival stream.  Shared fleet shape for the two
+#: runs; the arrival rates and the deadline are per-run below.
+SUSTAINED_CONFIG = dict(
+    documents=3,
+    stream=StreamConfig(length=80, templates=6),
+    document_size=300,
+    max_views=3,
+    batch_size=16,
+)
+SUSTAINED_SEED = 17
+SUSTAINED_RATE = 3_000.0
+OVERLOAD_RATE = 20_000.0
+OVERLOAD_DEADLINE_SEC = 0.02
 
 
 def _fleet():
@@ -341,6 +361,81 @@ def measure_serving() -> dict:
     return result
 
 
+def measure_sustained_load() -> dict:
+    """The async front end under open-loop Poisson arrivals (PR 8).
+
+    Two runs over the same derived fleet and request sequence:
+
+    * **sustained** — backpressure mode (``overflow="wait"``), no
+      deadline: every request must be served and every answer must be
+      bit-identical to the synchronous inline path (this is the half
+      ``bench_ratio_guard.py`` enforces from the committed record);
+    * **overload** — arrivals far above service capacity with a short
+      per-request deadline and ``overflow="reject"``: sheds and
+      rejections are *recorded* (wall-clock-dependent by design), and
+      every surviving answer must still be bit-identical.
+
+    Latency percentiles are measured from each request's *scheduled*
+    arrival time, so queueing delay is never hidden (no coordinated
+    omission).
+    """
+    sustained = replay_serve(
+        ServeReplayConfig(
+            **SUSTAINED_CONFIG,
+            arrival_rate=SUSTAINED_RATE,
+            overflow="wait",
+        ),
+        seed=SUSTAINED_SEED,
+    )
+    assert sustained.served == sustained.requests, (
+        "backpressure mode must serve everything: "
+        f"{sustained.served}/{sustained.requests}"
+    )
+    assert sustained.answers_identical, "async answers diverged from inline"
+    overload = replay_serve(
+        ServeReplayConfig(
+            **SUSTAINED_CONFIG,
+            arrival_rate=OVERLOAD_RATE,
+            timeout=OVERLOAD_DEADLINE_SEC,
+            max_pending=32,
+            overflow="reject",
+        ),
+        seed=SUSTAINED_SEED,
+    )
+    assert overload.mismatches == 0, "a surviving answer diverged"
+    return {
+        "scenario": (
+            f"{SUSTAINED_CONFIG['documents']} docs x "
+            f"{SUSTAINED_CONFIG['stream'].length} queries, open-loop"
+        ),
+        "requests": sustained.requests,
+        "arrival_rate_per_sec": SUSTAINED_RATE,
+        "served": sustained.served,
+        "queries_per_sec": round(sustained.queries_per_sec, 2),
+        "latency_ms": {
+            "p50": round(sustained.latency_ms(0.50), 3),
+            "p95": round(sustained.latency_ms(0.95), 3),
+            "p99": round(sustained.latency_ms(0.99), 3),
+        },
+        "answers_identical_to_inline": (
+            sustained.answers_identical and overload.mismatches == 0
+        ),
+        "overload": {
+            "arrival_rate_per_sec": OVERLOAD_RATE,
+            "deadline_ms": OVERLOAD_DEADLINE_SEC * 1000.0,
+            "served": overload.served,
+            "shed_deadline": overload.shed,
+            "rejected_admission": overload.rejected,
+            "shed_rate": round(overload.shed_rate, 3),
+            "latency_ms": {
+                "p50": round(overload.latency_ms(0.50), 3),
+                "p95": round(overload.latency_ms(0.95), 3),
+                "p99": round(overload.latency_ms(0.99), 3),
+            },
+        },
+    }
+
+
 def run_benchmark() -> dict:
     return {
         "generated_by": "benchmarks/bench_catalog.py",
@@ -348,6 +443,7 @@ def run_benchmark() -> dict:
         "warm_start": measure_warm_start(),
         "replay_identity": measure_replay_identity(),
         "serving": measure_serving(),
+        "sustained_load": measure_sustained_load(),
         "floors": RATIO_FLOORS,
     }
 
@@ -392,6 +488,10 @@ def test_bench_catalog(report=None):
     # required of the pools).
     for workers, row in serving["pools"].items():
         assert row["queries_per_sec"] > 25, (workers, row)
+    sustained = result["sustained_load"]
+    assert sustained["answers_identical_to_inline"], sustained
+    assert sustained["served"] == sustained["requests"], sustained
+    assert sustained["latency_ms"]["p50"] <= sustained["latency_ms"]["p99"]
 
 
 if __name__ == "__main__":

@@ -17,7 +17,11 @@ baseline.  Four checks:
 * the catalog *serving* ratios (``view_plan_ratio`` and
   ``intersection_plan_ratio``) — checked against the committed record
   only, because re-measuring serving advises a whole fleet (minutes);
-  ``make bench-catalog`` refreshes that record.
+  ``make bench-catalog`` refreshes that record;
+* the async serving tier's sustained-load record (PR 8) — the committed
+  ``sustained_load.answers_identical_to_inline`` flag must be ``true``:
+  the open-loop replay's surviving answers were bit-identical to the
+  synchronous inline path when the record was made.
 
 Run with:
 
@@ -129,6 +133,14 @@ def floor_violations(
                 problems.append(
                     f"serving (committed): {key} {recorded} < floor {floor}"
                 )
+    sustained = catalog_report.get("sustained_load")
+    if sustained is not None and not sustained.get(
+        "answers_identical_to_inline", False
+    ):
+        problems.append(
+            "sustained_load (committed): async serving answers were not "
+            "bit-identical to the inline path when the record was made"
+        )
     return problems
 
 

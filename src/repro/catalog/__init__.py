@@ -12,10 +12,17 @@ The layer above :mod:`repro.views` for the many-documents regime:
   digest-validated cross-batch answer caching;
 * :class:`~repro.catalog.server.CatalogServer` — batch sharding across
   a process pool (planning is CPU-bound), with a deterministic
-  single-process mode that keeps counters regression-testable.
+  single-process mode that keeps counters regression-testable;
+* :class:`~repro.catalog.serving.AsyncFrontEnd` — the asyncio serving
+  tier over the server (:meth:`CatalogServer.serve
+  <repro.catalog.server.CatalogServer.serve>`): bounded admission with
+  backpressure or rejection, per-document round-robin fairness,
+  deadline shedding against injectable clocks, a retry-once /
+  degrade-to-inline failure ladder, and graceful drain on close.
 
-See ``docs/architecture.md`` ("Catalog layer") for the design notes and
-``benchmarks/bench_catalog.py`` for the recorded numbers.
+See ``docs/architecture.md`` ("Catalog layer", "PR 8 — serving tier")
+for the design notes and ``benchmarks/bench_catalog.py`` for the
+recorded numbers.
 """
 
 from .catalog import Catalog, CatalogAdvice, CatalogEntry, RoutedAnswer
@@ -26,9 +33,11 @@ from .server import (
     DocumentSpec,
     build_catalog,
 )
+from .serving import AsyncFrontEnd, ServeStats
 from .sqlite_backend import SqliteBackend
 
 __all__ = [
+    "AsyncFrontEnd",
     "Catalog",
     "CatalogAdvice",
     "CatalogEntry",
@@ -37,6 +46,7 @@ __all__ = [
     "CatalogSpec",
     "DocumentSpec",
     "RoutedAnswer",
+    "ServeStats",
     "SqliteBackend",
     "build_catalog",
 ]

@@ -41,6 +41,7 @@ from typing import Sequence
 
 from ..core.rewrite import RewriteSolver
 from ..errors import CatalogError, UnknownDocumentError
+from ..faults import FaultPolicy
 from ..patterns.ast import Pattern
 from ..views.advisor import (
     advise_views,
@@ -128,6 +129,11 @@ class Catalog:
         plans to the tractable merge regime; False also accepts
         certificate-carrying intractable-regime merges (see
         :mod:`repro.core.intersect`).
+    fault_policy:
+        Deterministic fault-injection hooks (:mod:`repro.faults`)
+        handed to the SQLite backend built from ``db_path`` — the test
+        seam for backend I/O-error degradation.  Only meaningful with
+        ``db_path``; an explicit ``backend`` carries its own policy.
     """
 
     def __init__(
@@ -138,12 +144,20 @@ class Catalog:
         answer_cache_size: int = DEFAULT_ANSWER_CACHE,
         max_models: int | None = None,
         tractable_only: bool = True,
+        fault_policy: FaultPolicy | None = None,
     ) -> None:
         if db_path is not None and backend is not None:
             raise CatalogError("pass db_path or backend, not both")
+        if fault_policy is not None and db_path is None:
+            raise CatalogError(
+                "fault_policy rides on the SQLite backend — pass db_path "
+                "(an explicit backend carries its own policy)"
+            )
         if backend is None:
             backend = (
-                SqliteBackend(db_path) if db_path is not None else MemoryBackend()
+                SqliteBackend(db_path, fault_policy=fault_policy)
+                if db_path is not None
+                else MemoryBackend()
             )
         self.backend: StoreBackend = backend
         self.answer_cache_size = answer_cache_size

@@ -35,10 +35,18 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Callable, Sequence, TYPE_CHECKING
 
-from ..errors import CatalogError, UnknownDocumentError
+from ..errors import (
+    CatalogError,
+    RequestTimeout,
+    ShardCrashError,
+    UnknownDocumentError,
+)
+from ..faults import FaultPolicy
 from ..patterns.ast import Pattern
 from ..patterns.parse import parse_pattern
 from ..patterns.serialize import to_xpath
@@ -46,6 +54,9 @@ from ..shardpool import ShardPool
 from ..xmltree.parse import parse_xml, to_xml
 from ..xmltree.tree import XMLTree
 from .catalog import Catalog
+
+if TYPE_CHECKING:
+    from .serving import AsyncFrontEnd
 
 __all__ = [
     "CatalogServer",
@@ -216,13 +227,35 @@ class CatalogServer:
         shards batches document-affinely across ``n`` worker processes
         that rebuild the catalog from the spec (warm-starting from
         ``spec.db_path`` when set).
+    result_timeout:
+        Upper bound, in seconds, on how long :meth:`serve_requests`
+        waits for any single worker future — a dead or wedged worker
+        surfaces as a typed :class:`~repro.errors.RequestTimeout`
+        instead of blocking the caller forever.  ``None`` disables the
+        bound (the pre-PR-8 behavior; not recommended).
+    fault_policy:
+        Deterministic fault-injection hooks (:mod:`repro.faults`):
+        consulted by the shard pool before every submission and by the
+        async front end's inline execution path.  ``None`` (default)
+        injects nothing.
     """
 
-    def __init__(self, spec: CatalogSpec, workers: int = 0) -> None:
+    def __init__(
+        self,
+        spec: CatalogSpec,
+        workers: int = 0,
+        *,
+        result_timeout: float | None = 300.0,
+        fault_policy: FaultPolicy | None = None,
+    ) -> None:
         if workers < 0:
             raise CatalogError("workers must be >= 0")
+        if result_timeout is not None and result_timeout <= 0:
+            raise CatalogError("result_timeout must be positive or None")
         self.spec = spec
         self.workers = workers
+        self.result_timeout = result_timeout
+        self._fault_policy = fault_policy
         self._known = {doc.doc_id for doc in spec.documents}
         # Document -> shard affinity: position in the sorted id list,
         # modulo the worker count.  Deterministic, so a document's
@@ -233,6 +266,7 @@ class CatalogServer:
         }
         self._closed = False
         self._catalog: Catalog | None = None
+        self._fallback: Catalog | None = None
         self._pool: ShardPool | None = None
         if workers == 0:
             self._catalog = build_catalog(spec)
@@ -256,6 +290,7 @@ class CatalogServer:
                     )
                     for shard_index in range(workers)
                 ],
+                fault_policy=fault_policy,
             )
 
     # ------------------------------------------------------------------
@@ -319,8 +354,22 @@ class CatalogServer:
                     assert self._catalog is not None
                     ids, kinds = self._serve_inline(doc_id, xpaths)
                     self._scatter(result, indexes, ids, kinds)
-        for future, _, indexes in pending:
-            ids, kinds = future.result()
+        for future, doc_id, indexes in pending:
+            # Bounded wait: a dead or wedged worker must surface as a
+            # typed error, not hang this caller forever (the pre-PR-8
+            # pool path blocked indefinitely on a never-completing
+            # future).
+            try:
+                ids, kinds = future.result(timeout=self.result_timeout)
+            except FutureTimeoutError:
+                raise RequestTimeout(
+                    f"shard worker for {doc_id!r} gave no result within "
+                    f"{self.result_timeout}s"
+                ) from None
+            except BrokenProcessPool as exc:
+                raise ShardCrashError(
+                    f"shard worker for {doc_id!r} died mid-batch: {exc}"
+                ) from exc
             self._scatter(result, indexes, ids, kinds)
         result.elapsed_seconds = time.perf_counter() - t0
         return result
@@ -335,6 +384,63 @@ class CatalogServer:
             self._catalog.node_ids(doc_id, answer) for answer in batch.answers
         ]
         return ids, [plan.kind for plan in batch.plans]
+
+    def _degraded_inline(
+        self, doc_id: str, xpaths: list[str]
+    ) -> tuple[list[list[int]], list[str]]:
+        """Last rung of the failure ladder: serve from an in-process
+        catalog rebuilt from the spec (built lazily on first degrade,
+        then kept warm for subsequent degraded batches)."""
+        if self._fallback is None:
+            self._fallback = build_catalog(self.spec)
+        queries = [parse_pattern(x) for x in xpaths]
+        batch = self._fallback.answer_many(doc_id, queries)
+        ids = [
+            self._fallback.node_ids(doc_id, answer)
+            for answer in batch.answers
+        ]
+        return ids, [plan.kind for plan in batch.plans]
+
+    # ------------------------------------------------------------------
+    # Async front end
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        *,
+        max_pending: int = 256,
+        batch_size: int = 32,
+        overflow: str = "wait",
+        default_timeout: float | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> "AsyncFrontEnd":
+        """Build the async serving front end over this server.
+
+        Returns an :class:`~repro.catalog.serving.AsyncFrontEnd` — a
+        bounded admission queue (``max_pending``; the ``overflow``
+        policy is ``"wait"`` for backpressure or ``"reject"`` for
+        :class:`~repro.errors.AdmissionRejected`), per-document
+        round-robin fairness, per-request deadlines against ``clock``
+        (injectable; defaults to ``time.monotonic``) and graceful
+        drain on close.  Use as an async context manager::
+
+            async with server.serve(max_pending=64) as front:
+                ids = await front.request("doc-0", "a/b")
+
+        The front end serves through this server's pool (or inline
+        catalog) — close the front end before closing the server.
+        """
+        if self._closed:
+            raise CatalogError("CatalogServer is closed")
+        from .serving import AsyncFrontEnd  # late: import cycle
+
+        return AsyncFrontEnd(
+            self,
+            max_pending=max_pending,
+            batch_size=batch_size,
+            overflow=overflow,
+            default_timeout=default_timeout,
+            clock=clock,
+        )
 
     @staticmethod
     def _scatter(
@@ -374,6 +480,9 @@ class CatalogServer:
         if self._catalog is not None:
             self._catalog.close()
             self._catalog = None
+        if self._fallback is not None:
+            self._fallback.close()
+            self._fallback = None
 
     def __enter__(self) -> "CatalogServer":
         return self

@@ -23,7 +23,13 @@ mode, which gives
 
 Durability is SQLite's: committed transactions survive the process.  A
 corrupt or missing row degrades to re-evaluation through the protocol's
-miss path, the same contract as every other backend.
+miss path, the same contract as every other backend.  SQLite *I/O
+errors* degrade the same way (PR 8): a failing read is a miss, a
+failing write is skipped — serving stays up, only durability is lost,
+and ``stats.io_errors`` counts every such degradation.  The
+``fault_policy`` hook (:mod:`repro.faults`) injects exactly those
+errors deterministically so the degrade path is testable without a
+breaking disk.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..errors import CatalogError
+from ..faults import FaultPolicy
 from ..views.persist import BackendStats
 
 __all__ = ["SqliteBackend"]
@@ -80,10 +87,17 @@ class SqliteBackend:
 
     durable = True
 
-    def __init__(self, path: str | Path, *, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout: float = 30.0,
+        fault_policy: FaultPolicy | None = None,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.stats = BackendStats()
+        self.fault_policy = fault_policy
         self._conn: sqlite3.Connection | None = sqlite3.connect(
             self.path, timeout=timeout, check_same_thread=False
         )
@@ -97,6 +111,22 @@ class SqliteBackend:
             raise CatalogError(f"SqliteBackend at {self.path} is closed")
         return self._conn
 
+    def _maybe_fault(self, op: str) -> None:
+        """Raise the injected fault for ``op``, if the policy scripts one.
+
+        Raised *inside* each operation's protected region, so injected
+        faults exercise exactly the degrade path a real
+        ``sqlite3.Error`` would.  Only ``error`` actions raise here
+        (``delay`` advances the policy's clock as a side effect; the
+        crash/hang kinds are shard-pool concepts).
+        """
+        if self.fault_policy is None:
+            return
+        action = self.fault_policy.on_backend(op)
+        if action is not None and action.kind == "error":
+            assert action.exc is not None
+            raise action.exc
+
     # ------------------------------------------------------------------
     # Materializations (StoreBackend protocol)
     # ------------------------------------------------------------------
@@ -107,10 +137,18 @@ class SqliteBackend:
         return int(row[0])
 
     def load(self, doc_digest: str, pat_digest: str) -> list[int] | None:
-        row = self._cursor().execute(
-            "SELECT ids FROM materializations WHERE doc = ? AND pat = ?",
-            (doc_digest, pat_digest),
-        ).fetchone()
+        try:
+            self._maybe_fault("load")
+            row = self._cursor().execute(
+                "SELECT ids FROM materializations WHERE doc = ? AND pat = ?",
+                (doc_digest, pat_digest),
+            ).fetchone()
+        except sqlite3.Error:
+            # An I/O-layer failure degrades to a miss: the store
+            # re-evaluates, serving proceeds, the counter records it.
+            self.stats.io_errors += 1
+            self.stats.misses += 1
+            return None
         if row is None:
             self.stats.misses += 1
             return None
@@ -142,13 +180,20 @@ class SqliteBackend:
         *,
         xpath: str = "",
     ) -> None:
-        conn = self._cursor()
-        conn.execute(
-            "INSERT OR REPLACE INTO materializations (doc, pat, xpath, ids) "
-            "VALUES (?, ?, ?, ?)",
-            (doc_digest, pat_digest, xpath, json.dumps(sorted(node_ids))),
-        )
-        conn.commit()
+        try:
+            self._maybe_fault("save")
+            conn = self._cursor()
+            conn.execute(
+                "INSERT OR REPLACE INTO materializations "
+                "(doc, pat, xpath, ids) VALUES (?, ?, ?, ?)",
+                (doc_digest, pat_digest, xpath, json.dumps(sorted(node_ids))),
+            )
+            conn.commit()
+        except sqlite3.Error:
+            # A failed write loses durability, never availability: the
+            # in-memory materialization is still served.
+            self.stats.io_errors += 1
+            return
         self.stats.saves += 1
 
     def invalidate_document(self, doc_digest: str) -> None:
@@ -175,10 +220,16 @@ class SqliteBackend:
     # Selection records
     # ------------------------------------------------------------------
     def load_selection(self, doc_digest: str, fingerprint: str) -> dict | None:
-        row = self._cursor().execute(
-            "SELECT payload FROM selections WHERE doc = ? AND fp = ?",
-            (doc_digest, fingerprint),
-        ).fetchone()
+        try:
+            self._maybe_fault("load_selection")
+            row = self._cursor().execute(
+                "SELECT payload FROM selections WHERE doc = ? AND fp = ?",
+                (doc_digest, fingerprint),
+            ).fetchone()
+        except sqlite3.Error:
+            self.stats.io_errors += 1
+            self.stats.selection_misses += 1
+            return None
         if row is None:
             self.stats.selection_misses += 1
             return None
@@ -201,13 +252,18 @@ class SqliteBackend:
     def save_selection(
         self, doc_digest: str, fingerprint: str, payload: dict
     ) -> None:
-        conn = self._cursor()
-        conn.execute(
-            "INSERT OR REPLACE INTO selections (doc, fp, payload) "
-            "VALUES (?, ?, ?)",
-            (doc_digest, fingerprint, json.dumps(payload, sort_keys=True)),
-        )
-        conn.commit()
+        try:
+            self._maybe_fault("save_selection")
+            conn = self._cursor()
+            conn.execute(
+                "INSERT OR REPLACE INTO selections (doc, fp, payload) "
+                "VALUES (?, ?, ?)",
+                (doc_digest, fingerprint, json.dumps(payload, sort_keys=True)),
+            )
+            conn.commit()
+        except sqlite3.Error:
+            self.stats.io_errors += 1
+            return
         self.stats.selection_saves += 1
 
     # ------------------------------------------------------------------

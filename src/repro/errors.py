@@ -20,6 +20,10 @@ __all__ = [
     "UnknownViewError",
     "UnknownDocumentError",
     "CatalogError",
+    "ServingError",
+    "AdmissionRejected",
+    "RequestTimeout",
+    "ShardCrashError",
     "DocumentSyntaxError",
     "WorkloadError",
 ]
@@ -108,6 +112,44 @@ class CatalogError(ViewEngineError):
 
     Examples: registering the same document id twice, or serving through
     a :class:`~repro.catalog.server.CatalogServer` that has been closed.
+    """
+
+
+class ServingError(ViewEngineError):
+    """Base class for errors raised by the async serving front end.
+
+    The serving tier's failure modes are part of its API — overload,
+    deadline expiry and worker death each get their own subclass so a
+    client can tell "retry later" from "retry now elsewhere" from
+    "give up".
+    """
+
+
+class AdmissionRejected(ServingError):
+    """Raised when a bounded admission queue refuses a new request.
+
+    The overload signal of the serving tier: the queue is full and the
+    front end's overflow policy is ``"reject"``.  Clients should back
+    off; nothing was enqueued.
+    """
+
+
+class RequestTimeout(ServingError):
+    """Raised when a request misses its deadline or a worker stalls.
+
+    Set on a request future when its deadline expires before dispatch
+    (the shed path), and raised by the synchronous pool path when a
+    worker future exceeds its bounded ``result`` wait instead of
+    blocking the caller forever.
+    """
+
+
+class ShardCrashError(ServingError):
+    """Raised when a worker shard is dead (or simulated dead).
+
+    Surfaced by :class:`~repro.shardpool.ShardPool` for submissions to
+    a crashed shard and by the serving front end when a batch's shard
+    died and the retry/degrade ladder was exhausted.
     """
 
 

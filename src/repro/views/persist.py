@@ -125,6 +125,10 @@ class BackendStats:
     directory-fsync failures after a compaction rename: non-fatal (the
     rename stays atomic) but a crash-durability window the operator
     should be able to see instead of it vanishing into a bare ``pass``.
+    ``io_errors`` counts storage operations that failed at the I/O
+    layer (e.g. SQLite errors): reads degrade to misses and writes are
+    skipped — serving proceeds, durability is what was lost, and this
+    counter is how an operator notices.
     """
 
     hits: int = 0
@@ -136,6 +140,7 @@ class BackendStats:
     selection_misses: int = 0
     selection_saves: int = 0
     fsync_failures: int = 0
+    io_errors: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -148,6 +153,7 @@ class BackendStats:
             "selection_misses": self.selection_misses,
             "selection_saves": self.selection_saves,
             "fsync_failures": self.fsync_failures,
+            "io_errors": self.io_errors,
         }
 
 

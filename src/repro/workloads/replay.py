@@ -37,7 +37,9 @@ excluded from :meth:`ReplayReport.counters`.
 
 from __future__ import annotations
 
+import asyncio
 import math
+import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,7 +52,7 @@ from ..core.containment import (
     engine_cache_limit,
 )
 from ..core.rewrite import RewriteSolver
-from ..errors import WorkloadError
+from ..errors import AdmissionRejected, RequestTimeout, WorkloadError
 from ..patterns.ast import Pattern
 from ..views.advisor import advise_views
 from ..views.engine import QueryEngine
@@ -64,8 +66,11 @@ __all__ = [
     "CatalogReplayReport",
     "ReplayConfig",
     "ReplayReport",
+    "ServeReplayConfig",
+    "ServeReplayReport",
     "replay_batched",
     "replay_catalog",
+    "replay_serve",
     "replay_stream",
     "replay_workload",
 ]
@@ -670,6 +675,242 @@ def replay_catalog(
         return report
     finally:
         catalog.close()
+
+
+@dataclass
+class ServeReplayConfig:
+    """An open-loop serving scenario (:func:`replay_serve`).
+
+    The same derived fleet as :class:`CatalogReplayConfig` — ``documents``
+    independent document+stream pairs per seed — but driven through the
+    asyncio serving tier (:meth:`CatalogServer.serve
+    <repro.catalog.server.CatalogServer.serve>`) as an **open-loop**
+    arrival process: request ``i`` is *scheduled* at a Poisson arrival
+    time (exponential inter-arrival gaps at ``arrival_rate`` requests
+    per second, drawn from the seed) and latency is measured from that
+    scheduled arrival, not from when the producer managed to submit —
+    queueing delay under overload is part of the number, never hidden
+    (no coordinated omission).
+
+    ``timeout`` is the per-request deadline in seconds (``None`` serves
+    everything); ``overflow`` is the admission policy (``"wait"`` for
+    backpressure, ``"reject"`` to shed at the door); ``workers`` picks
+    inline (0) or pooled serving.
+    """
+
+    documents: int = 2
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    document_size: int = 300
+    max_views: int = 4
+    arrival_rate: float = 2000.0
+    timeout: float | None = None
+    max_pending: int = 64
+    batch_size: int = 16
+    overflow: str = "wait"
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.documents < 1:
+            raise WorkloadError("serve replay needs >= 1 document")
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be >= 1")
+        if self.max_pending < 1:
+            raise WorkloadError("max_pending must be >= 1")
+        if self.arrival_rate <= 0.0:
+            raise WorkloadError("arrival_rate must be > 0")
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise WorkloadError("timeout must be > 0 (or None)")
+
+
+@dataclass
+class ServeReplayReport:
+    """Outcome of one open-loop serving replay.
+
+    ``requests = served + shed + rejected + failed`` always holds.
+    *Which* requests survive a deadline is wall-clock-dependent, but
+    every survivor's answer must be bit-identical to the synchronous
+    inline path's — ``mismatches`` counts violations and stays 0.  With
+    ``overflow="wait"`` and no timeout, ``served == requests`` exactly.
+    """
+
+    requests: int = 0
+    served: int = 0
+    shed: int = 0
+    rejected: int = 0
+    failed: int = 0
+    #: Survivors whose answers differed from the inline baseline.
+    mismatches: int = 0
+    serve_counters: dict = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def answers_identical(self) -> bool:
+        """Every survivor matched the inline baseline bit-for-bit."""
+        return self.served > 0 and self.mismatches == 0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests shed or rejected (0.0 for empty runs)."""
+        if not self.requests:
+            return 0.0
+        return (self.shed + self.rejected) / self.requests
+
+    @property
+    def queries_per_sec(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.served / self.elapsed_seconds
+
+    def latency_ms(self, quantile: float) -> float:
+        """Served-request latency quantile (nearest-rank), from the
+        *scheduled* arrival time to answer completion."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = math.ceil(quantile * len(ordered)) - 1
+        return ordered[min(len(ordered) - 1, max(rank, 0))]
+
+    def summary(self) -> str:
+        """A human-readable multi-line digest."""
+        lines = [
+            f"serve replay: {self.served}/{self.requests} served "
+            f"in {self.elapsed_seconds:.3f}s "
+            f"= {self.queries_per_sec:,.0f} q/s",
+            f"shed: {self.shed} deadline, {self.rejected} admission "
+            f"(shed rate {self.shed_rate:.1%}), {self.failed} failed",
+            f"latency ms: p50={self.latency_ms(0.5):.3f} "
+            f"p95={self.latency_ms(0.95):.3f} "
+            f"p99={self.latency_ms(0.99):.3f}",
+        ]
+        if self.mismatches:
+            lines.append(
+                f"!! {self.mismatches} answers differed from the inline path"
+            )
+        return "\n".join(lines)
+
+
+def replay_serve(
+    config: ServeReplayConfig | None = None,
+    seed: int | None = None,
+) -> ServeReplayReport:
+    """Drive one seed's fleet through the async serving tier, open-loop.
+
+    The fleet derives exactly as in :func:`replay_catalog` (same
+    sub-seed scheme, so the request *content* is deterministic per
+    seed).  The synchronous inline path answers the whole request
+    sequence first — that is the baseline — then the asyncio front end
+    replays it as a Poisson arrival stream: a producer coroutine sleeps
+    until each request's scheduled arrival, submits it (awaiting
+    admission under backpressure, counting
+    :class:`~repro.errors.AdmissionRejected` under ``"reject"``), and
+    every completion is classified as served, shed
+    (:class:`~repro.errors.RequestTimeout`) or failed.
+
+    Per-request latency runs from the scheduled arrival to completion.
+    Survivor answers are compared index-for-index against the baseline;
+    any difference counts in ``mismatches`` (the bench asserts 0).
+    """
+    from ..catalog.server import (  # local: keep import acyclic
+        CatalogServer,
+        CatalogSpec,
+        DocumentSpec,
+    )
+
+    config = config or ServeReplayConfig()
+    clear_cache()
+    CONTAINMENT_STATS.reset()
+    base = 0 if seed is None else int(seed)
+
+    doc_ids: list[str] = []
+    samples: dict[str, StreamSample] = {}
+    documents: list[DocumentSpec] = []
+    for index in range(config.documents):
+        doc_id = f"doc-{index}"
+        doc_seed = base * 10_007 + index
+        tree = random_tree(config.document_size, seed=doc_seed)
+        sample = sample_stream(config.stream, seed=doc_seed)
+        doc_ids.append(doc_id)
+        samples[doc_id] = sample
+        documents.append(
+            DocumentSpec.from_tree(
+                doc_id,
+                tree,
+                sample.templates,
+                sample.template_weights(),
+            )
+        )
+    spec = CatalogSpec(documents=tuple(documents), max_views=config.max_views)
+
+    requests: list[tuple[str, Pattern]] = []
+    for position in range(config.stream.length):
+        for doc_id in doc_ids:
+            requests.append((doc_id, samples[doc_id].entries[position].query))
+
+    # Poisson arrival schedule: exponential gaps, derived from the seed
+    # so the *schedule* (not the wall-clock outcome) is reproducible.
+    rng = random.Random(base * 65_537 + 11)
+    offsets: list[float] = []
+    t_arrival = 0.0
+    for _ in requests:
+        t_arrival += rng.expovariate(config.arrival_rate)
+        offsets.append(t_arrival)
+
+    report = ServeReplayReport(requests=len(requests))
+    with CatalogServer(spec, workers=config.workers) as server:
+        baseline = server.serve_requests(
+            requests, batch_size=config.batch_size
+        )
+
+        async def _replay() -> dict:
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            done_at: dict[int, float] = {}
+            outstanding: dict[int, tuple[float, asyncio.Future]] = {}
+            front = server.serve(
+                max_pending=config.max_pending,
+                batch_size=config.batch_size,
+                overflow=config.overflow,
+                default_timeout=config.timeout,
+            )
+            async with front:
+                for index, (offset, (doc_id, query)) in enumerate(
+                    zip(offsets, requests)
+                ):
+                    delay = (start + offset) - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                    try:
+                        future = await front.submit(doc_id, query)
+                    except AdmissionRejected:
+                        report.rejected += 1
+                        continue
+                    future.add_done_callback(
+                        lambda _fut, i=index: done_at.setdefault(
+                            i, loop.time()
+                        )
+                    )
+                    outstanding[index] = (start + offset, future)
+            # close() drained: every future is resolved by here.
+            for index, (scheduled, future) in outstanding.items():
+                exc = future.exception()
+                if exc is None:
+                    report.served += 1
+                    report.latencies_ms.append(
+                        (done_at[index] - scheduled) * 1000.0
+                    )
+                    if future.result() != baseline.answer_ids[index]:
+                        report.mismatches += 1
+                elif isinstance(exc, RequestTimeout):
+                    report.shed += 1
+                else:
+                    report.failed += 1
+            return front.counters()
+
+        t0 = time.perf_counter()
+        report.serve_counters = asyncio.run(_replay())
+        report.elapsed_seconds = time.perf_counter() - t0
+    return report
 
 
 def replay_workload(

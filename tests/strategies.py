@@ -58,6 +58,53 @@ def path_patterns(draw, max_depth: int = 4, wildcard: bool = True, desc: bool = 
 
 
 @st.composite
+def arrival_streams(
+    draw,
+    documents: int = 2,
+    queries: int = 4,
+    max_events: int = 12,
+):
+    """An event stream for the async serving front end (PR 8).
+
+    Yields a list of tagged tuples interleaving admissions, virtual-time
+    advances and fault arming:
+
+    * ``("submit", doc_index, query_index, timeout_steps_or_None)`` —
+      admit query ``query_index`` (from the test's fixed pool) against
+      document ``doc_index``, with an optional relative deadline;
+    * ``("advance", steps)`` — advance the injected
+      :class:`~repro.faults.VirtualClock`;
+    * ``("crash",)`` — arm a one-shot injected shard crash on the next
+      dispatched batch (the retry-once ladder must absorb it).
+
+    Time is integer steps (1 step = 1.0 virtual second), so deadline
+    comparisons are exact — no float-epsilon flakiness.  Submits are
+    weighted 3:1:1 so most streams actually exercise the serving path.
+    """
+    count = draw(st.integers(min_value=1, max_value=max_events))
+    kinds = st.sampled_from(
+        ["submit", "submit", "submit", "advance", "crash"]
+    )
+    events = []
+    for _ in range(count):
+        kind = draw(kinds)
+        if kind == "submit":
+            events.append(
+                (
+                    "submit",
+                    draw(st.integers(0, documents - 1)),
+                    draw(st.integers(0, queries - 1)),
+                    draw(st.one_of(st.none(), st.integers(1, 5))),
+                )
+            )
+        elif kind == "advance":
+            events.append(("advance", draw(st.integers(1, 3))))
+        else:
+            events.append(("crash",))
+    return events
+
+
+@st.composite
 def trees(draw, max_size: int = 7, alphabet=SMALL_ALPHABET):
     """A random labeled tree with at most ``max_size`` nodes."""
     size = draw(st.integers(min_value=1, max_value=max_size))

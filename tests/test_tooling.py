@@ -99,3 +99,84 @@ class TestLintExceptions:
         bad.write_text("def broken(:\n")
         problems = lint.run_lint([bad])
         assert len(problems) == 1 and "syntax error" in problems[0]
+
+
+class TestCancelledErrorRule:
+    """PR 8: handlers must never swallow ``asyncio.CancelledError``."""
+
+    def test_flags_swallowed_cancellation(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import asyncio\n"
+            "try:\n    pass\n"
+            "except asyncio.CancelledError:\n    result = None\n"
+        )
+        problems = lint.run_lint([bad])
+        assert len(problems) == 1 and "CancelledError" in problems[0]
+
+    def test_flags_bare_imported_name(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from asyncio import CancelledError\n"
+            "try:\n    pass\n"
+            "except CancelledError:\n    pass\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_flags_tuple_spelling(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import asyncio\n"
+            "try:\n    pass\n"
+            "except (ValueError, asyncio.CancelledError):\n    pass\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_cleanup_then_reraise_allowed(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import asyncio\n"
+            "try:\n    pass\n"
+            "except asyncio.CancelledError:\n"
+            "    cleanup = True\n    raise\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_conditional_reraise_not_enough(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import asyncio\n"
+            "try:\n    pass\n"
+            "except asyncio.CancelledError:\n"
+            "    if True:\n        raise\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_asy_noqa_suppresses(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import asyncio\n"
+            "try:\n    pass\n"
+            "except asyncio.CancelledError:  # noqa: ASY001 - on purpose\n"
+            "    pass\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_unrelated_cancelled_error_class_untouched(self, tmp_path):
+        """Only the name matters — but that is the point: any
+        ``CancelledError`` (asyncio's or concurrent.futures') breaks
+        cancellation when swallowed, so both spellings are flagged."""
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from concurrent.futures import CancelledError\n"
+            "try:\n    pass\n"
+            "except CancelledError:\n    pass\n"
+        )
+        assert len(lint.run_lint([bad])) == 1

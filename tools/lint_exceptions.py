@@ -12,11 +12,17 @@ Flagged, per ``except`` clause:
 
 * bare ``except:``;
 * ``except BaseException`` (alone or inside a tuple) whose handler body
-  does not unconditionally re-raise (a top-level bare ``raise``).
+  does not unconditionally re-raise (a top-level bare ``raise``);
+* ``except asyncio.CancelledError`` (alone or inside a tuple) whose
+  handler body does not unconditionally re-raise.  On modern Python
+  ``CancelledError`` derives from ``BaseException`` precisely so broad
+  handlers cannot eat it; a handler that names it and then swallows it
+  breaks task cancellation — ``close()`` hangs, drains never finish
+  (the async serving tier's graceful-drain contract, PR 8).
 
-Suppression: a ``# noqa`` / ``# noqa: BLE001`` / ``# noqa: E722``
-comment on the ``except`` line — used by tests that collect exceptions
-crossing thread boundaries on purpose.
+Suppression: a ``# noqa`` / ``# noqa: BLE001`` / ``# noqa: E722`` /
+``# noqa: ASY001`` comment on the ``except`` line — used by tests that
+collect exceptions crossing thread boundaries on purpose.
 
 Run with:
 
@@ -37,7 +43,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
 
 #: noqa codes that silence this checker (a plain ``# noqa`` also does).
-NOQA_CODES = {"E722", "BLE001"}
+NOQA_CODES = {"E722", "BLE001", "ASY001"}
 
 
 def _mentions_base_exception(node: ast.expr | None) -> bool:
@@ -50,6 +56,23 @@ def _mentions_base_exception(node: ast.expr | None) -> bool:
         return node.id == "BaseException"
     if isinstance(node, ast.Attribute):
         return node.attr == "BaseException"
+    return False
+
+
+def _mentions_cancelled_error(node: ast.expr | None) -> bool:
+    """Does the handler's type expression name ``CancelledError``?
+
+    Matches ``asyncio.CancelledError`` (any attribute spelling) and the
+    bare imported name, alone or inside a tuple.
+    """
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_cancelled_error(el) for el in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id == "CancelledError"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "CancelledError"
     return False
 
 
@@ -112,6 +135,12 @@ def check_file(path: Path) -> list[str]:
                 f"{path}:{node.lineno}: 'except BaseException' without a "
                 "bare re-raise swallows interrupts — catch Exception, or "
                 "re-raise"
+            )
+        elif _mentions_cancelled_error(node.type) and not _reraises(node):
+            problems.append(
+                f"{path}:{node.lineno}: 'except CancelledError' without a "
+                "bare re-raise swallows task cancellation — clean up, "
+                "then re-raise"
             )
     return problems
 
