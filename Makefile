@@ -13,10 +13,11 @@ test-unit:
 	$(PYTHON) -m pytest -x -q
 
 ## Quick suite: deselects the long-running Hypothesis property suites,
-## the process-spawning multicore suite, and the serving-tier /
-## fault-injection suites (PR 8).
+## the process-spawning multicore suite, the serving-tier /
+## fault-injection suites (PR 8), and the replicated read-tier suites
+## (PR 9).
 test-fast:
-	$(PYTHON) -m pytest -x -q -m "not slow and not multicore and not async_serve and not faultinject"
+	$(PYTHON) -m pytest -x -q -m "not slow and not multicore and not async_serve and not faultinject and not replica"
 
 ## Soak: sweep the open-loop serving replay over many seeds, asserting
 ## answer bit-identity per seed.  SOAK_SEEDS sets the sweep width

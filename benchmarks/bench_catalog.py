@@ -137,6 +137,19 @@ SUSTAINED_RATE = 3_000.0
 OVERLOAD_RATE = 20_000.0
 OVERLOAD_DEADLINE_SEC = 0.02
 
+#: Replicated read tier scenario (PR 9): the same open-loop stream
+#: served entirely by read replicas warm-started from the writer's
+#: shipped snapshot log.  Measured at each replica count below.
+REPLICATED_CONFIG = dict(
+    documents=3,
+    stream=StreamConfig(length=80, templates=6),
+    document_size=300,
+    max_views=3,
+    batch_size=16,
+)
+REPLICATED_SEED = 23
+REPLICA_COUNTS = (2, 4)
+
 
 def _fleet():
     """The benchmark fleet: documents plus advisor/serving streams."""
@@ -436,6 +449,65 @@ def measure_sustained_load() -> dict:
     }
 
 
+def measure_replicated_load() -> dict:
+    """The open-loop stream through the replicated read tier (PR 9).
+
+    One run per replica count: every read is dispatched round-robin
+    across replicas warm-started from the writer's shipped snapshot
+    log (the writer never answers — ``writer_fallbacks`` must stay 0
+    with no faults injected), and every answer must be bit-identical
+    to the synchronous writer-inline baseline.  Throughput and
+    latency are recorded; the bit-identity flags are what
+    ``bench_ratio_guard.py`` enforces from the committed record.
+    """
+    tiers: dict[str, dict] = {}
+    requests = 0
+    for count in REPLICA_COUNTS:
+        outcome = replay_serve(
+            ServeReplayConfig(
+                **REPLICATED_CONFIG,
+                arrival_rate=SUSTAINED_RATE,
+                overflow="wait",
+                replicas=count,
+            ),
+            seed=REPLICATED_SEED,
+        )
+        assert outcome.served == outcome.requests, (
+            f"{count} replicas: {outcome.served}/{outcome.requests} served"
+        )
+        assert outcome.answers_identical, (
+            f"{count} replicas: a replica answer diverged from inline"
+        )
+        replication = outcome.replication
+        assert replication["writer_fallbacks"] == 0, replication
+        assert replication["replica_answers"] == outcome.requests, replication
+        requests = outcome.requests
+        tiers[str(count)] = {
+            "queries_per_sec": round(outcome.queries_per_sec, 2),
+            "latency_ms": {
+                "p50": round(outcome.latency_ms(0.50), 3),
+                "p99": round(outcome.latency_ms(0.99), 3),
+            },
+            "snapshot_records": replication["writer_seqno"],
+            "records_shipped": replication["records_shipped"],
+            "replica_answers": replication["replica_answers"],
+            "replicas_warm": all(
+                row["warm"] for row in replication["replicas"]
+            ),
+            "answers_identical_to_inline": outcome.answers_identical,
+        }
+    return {
+        "scenario": (
+            f"{REPLICATED_CONFIG['documents']} docs x "
+            f"{REPLICATED_CONFIG['stream'].length} queries, open-loop, "
+            "replica-served"
+        ),
+        "requests": requests,
+        "arrival_rate_per_sec": SUSTAINED_RATE,
+        "tiers": tiers,
+    }
+
+
 def run_benchmark() -> dict:
     return {
         "generated_by": "benchmarks/bench_catalog.py",
@@ -444,6 +516,7 @@ def run_benchmark() -> dict:
         "replay_identity": measure_replay_identity(),
         "serving": measure_serving(),
         "sustained_load": measure_sustained_load(),
+        "replicated_load": measure_replicated_load(),
         "floors": RATIO_FLOORS,
     }
 
@@ -492,6 +565,14 @@ def test_bench_catalog(report=None):
     assert sustained["answers_identical_to_inline"], sustained
     assert sustained["served"] == sustained["requests"], sustained
     assert sustained["latency_ms"]["p50"] <= sustained["latency_ms"]["p99"]
+    replicated = result["replicated_load"]
+    assert set(replicated["tiers"]) == {
+        str(count) for count in REPLICA_COUNTS
+    }, replicated
+    for count, tier in replicated["tiers"].items():
+        assert tier["answers_identical_to_inline"], (count, tier)
+        assert tier["replicas_warm"], (count, tier)
+        assert tier["queries_per_sec"] > 25, (count, tier)
 
 
 if __name__ == "__main__":

@@ -21,7 +21,12 @@ baseline.  Four checks:
 * the async serving tier's sustained-load record (PR 8) — the committed
   ``sustained_load.answers_identical_to_inline`` flag must be ``true``:
   the open-loop replay's surviving answers were bit-identical to the
-  synchronous inline path when the record was made.
+  synchronous inline path when the record was made;
+* the replicated read tier's record (PR 9) — every committed
+  ``replicated_load`` tier (2 and 4 replicas) must carry
+  ``answers_identical_to_inline: true`` and warm-started replicas:
+  replica-served answers were bit-identical to the writer-inline path
+  when the record was made.
 
 Run with:
 
@@ -141,6 +146,21 @@ def floor_violations(
             "sustained_load (committed): async serving answers were not "
             "bit-identical to the inline path when the record was made"
         )
+    replicated = catalog_report.get("replicated_load")
+    if replicated is not None:
+        for count, tier in sorted(replicated.get("tiers", {}).items()):
+            if not tier.get("answers_identical_to_inline", False):
+                problems.append(
+                    f"replicated_load (committed): {count}-replica answers "
+                    "were not bit-identical to the writer-inline path when "
+                    "the record was made"
+                )
+            if not tier.get("replicas_warm", False):
+                problems.append(
+                    f"replicated_load (committed): {count}-replica tier "
+                    "bootstrapped cold — snapshot shipping failed to "
+                    "warm-start the replicas"
+                )
     return problems
 
 

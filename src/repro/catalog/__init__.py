@@ -18,14 +18,21 @@ The layer above :mod:`repro.views` for the many-documents regime:
   <repro.catalog.server.CatalogServer.serve>`): bounded admission with
   backpressure or rejection, per-document round-robin fairness,
   deadline shedding against injectable clocks, a retry-once /
-  degrade-to-inline failure ladder, and graceful drain on close.
+  degrade-to-inline failure ladder, and graceful drain on close;
+* :class:`~repro.catalog.replication.ReplicaSet` — the replicated read
+  tier (PR 9): one writer ships its seqno'd snapshot log to N read
+  replicas that warm-start from the shipped state, serve reads
+  round-robin under a bounded-staleness contract, and fail over
+  (crash → evict → sibling → writer-inline) deterministically under
+  the fault seam.
 
-See ``docs/architecture.md`` ("Catalog layer", "PR 8 — serving tier")
-for the design notes and ``benchmarks/bench_catalog.py`` for the
-recorded numbers.
+See ``docs/architecture.md`` ("Catalog layer", "PR 8 — serving tier",
+"PR 9 — replicated read tier") for the design notes and
+``benchmarks/bench_catalog.py`` for the recorded numbers.
 """
 
 from .catalog import Catalog, CatalogAdvice, CatalogEntry, RoutedAnswer
+from .replication import Replica, ReplicaSet, ReplicationStats
 from .server import (
     CatalogServeResult,
     CatalogServer,
@@ -45,6 +52,9 @@ __all__ = [
     "CatalogServer",
     "CatalogSpec",
     "DocumentSpec",
+    "Replica",
+    "ReplicaSet",
+    "ReplicationStats",
     "RoutedAnswer",
     "ServeStats",
     "SqliteBackend",

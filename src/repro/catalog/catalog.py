@@ -370,6 +370,23 @@ class Catalog:
         stats["durable"] = int(self.backend.durable)
         return stats
 
+    def prune(self, *, ttl_seconds: float = 0.0, clock=None) -> int:
+        """Evict backend rows for documents no longer in this catalog.
+
+        Threads the registered digests through
+        :meth:`SqliteBackend.prune
+        <repro.catalog.sqlite_backend.SqliteBackend.prune>` as the live
+        set, so only rows orphaned by unregistration or re-digesting
+        (and older than ``ttl_seconds`` by ``clock``) are deleted.
+        Backends without a ``prune`` method (the snapshot log compacts
+        instead) are a no-op returning 0.
+        """
+        pruner = getattr(self.backend, "prune", None)
+        if pruner is None:
+            return 0
+        live = {entry.digest for entry in self._entries.values()}
+        return pruner(live, ttl_seconds=ttl_seconds, clock=clock)
+
     def close(self) -> None:
         """Close the shared backend (stores do not own it)."""
         self.backend.close()

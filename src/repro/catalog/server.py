@@ -51,11 +51,13 @@ from ..patterns.ast import Pattern
 from ..patterns.parse import parse_pattern
 from ..patterns.serialize import to_xpath
 from ..shardpool import ShardPool
+from ..views.persist import StoreBackend
 from ..xmltree.parse import parse_xml, to_xml
 from ..xmltree.tree import XMLTree
 from .catalog import Catalog
 
 if TYPE_CHECKING:
+    from .replication import ReplicaSet
     from .serving import AsyncFrontEnd
 
 __all__ = [
@@ -116,15 +118,21 @@ class CatalogSpec:
     tractable_only: bool = True
 
 
-def build_catalog(spec: CatalogSpec) -> Catalog:
+def build_catalog(
+    spec: CatalogSpec, *, backend: StoreBackend | None = None
+) -> Catalog:
     """Rebuild a catalog from its spec: register and advise every document.
 
     With ``spec.db_path`` set and a previously populated database this
     is the warm path — selections and materializations load instead of
-    being recomputed.
+    being recomputed.  An explicit ``backend`` overrides ``db_path``
+    (the replicated read tier builds writer and replica catalogs over
+    its own snapshot logs this way); the catalog takes ownership and
+    closes it.
     """
     catalog = Catalog(
-        db_path=spec.db_path,
+        db_path=spec.db_path if backend is None else None,
+        backend=backend,
         answer_cache_size=spec.answer_cache_size,
         max_models=spec.max_models,
         tractable_only=spec.tractable_only,
@@ -265,6 +273,9 @@ class CatalogServer:
             for index, doc_id in enumerate(sorted(self._known))
         }
         self._closed = False
+        # Cumulative per-document served counts (sync and async paths
+        # both feed this) — the rebalancing groundwork's raw signal.
+        self._doc_load: dict[str, int] = {}
         self._catalog: Catalog | None = None
         self._fallback: Catalog | None = None
         self._pool: ShardPool | None = None
@@ -344,6 +355,7 @@ class CatalogServer:
                 result.by_document[doc_id] = (
                     result.by_document.get(doc_id, 0) + len(indexes)
                 )
+                self._note_load(doc_id, len(indexes))
                 xpaths = [normalized[index][1] for index in indexes]
                 if self._pool is not None:
                     future = self._pool.submit(
@@ -412,6 +424,7 @@ class CatalogServer:
         overflow: str = "wait",
         default_timeout: float | None = None,
         clock: Callable[[], float] | None = None,
+        replica_set: "ReplicaSet | None" = None,
     ) -> "AsyncFrontEnd":
         """Build the async serving front end over this server.
 
@@ -428,6 +441,13 @@ class CatalogServer:
 
         The front end serves through this server's pool (or inline
         catalog) — close the front end before closing the server.
+
+        With ``replica_set`` (a :class:`~repro.catalog.replication.
+        ReplicaSet`), reads dispatch through the replicated tier
+        instead: round-robin across healthy replicas with the
+        crash→evict→sibling→writer-inline ladder (the writer side of
+        the set still owns advise/materialize/invalidate).  The set's
+        lifetime belongs to the caller — close the front end first.
         """
         if self._closed:
             raise CatalogError("CatalogServer is closed")
@@ -440,6 +460,7 @@ class CatalogServer:
             overflow=overflow,
             default_timeout=default_timeout,
             clock=clock,
+            replica_set=replica_set,
         )
 
     @staticmethod
@@ -456,6 +477,45 @@ class CatalogServer:
     # ------------------------------------------------------------------
     # Reporting / lifecycle
     # ------------------------------------------------------------------
+    def _note_load(self, doc_id: str, count: int) -> None:
+        """Accumulate per-document throughput (both serving paths)."""
+        self._doc_load[doc_id] = self._doc_load.get(doc_id, 0) + count
+
+    def stats(self) -> dict:
+        """Cumulative load counters: per shard and per document.
+
+        ``shard_load`` aggregates every request dispatched so far by
+        the document's affine shard; ``document_load`` keeps the
+        per-document breakdown.  Both accumulate across
+        :meth:`serve_requests` calls *and* async front-end dispatches —
+        the raw signal hot-document rebalancing will act on.
+        """
+        shard_load: dict[int, int] = {}
+        for doc_id, count in self._doc_load.items():
+            shard = self._shard_of[doc_id]
+            shard_load[shard] = shard_load.get(shard, 0) + count
+        return {
+            "requests_served": sum(self._doc_load.values()),
+            "shard_load": dict(sorted(shard_load.items())),
+            "document_load": dict(sorted(self._doc_load.items())),
+        }
+
+    def rebalance_hint(self, top: int = 3) -> list[tuple[int, str, int]]:
+        """The most-loaded ``(shard, document, requests)`` triples.
+
+        Rebalancing groundwork only — no live migration yet.  Sorted by
+        descending load (ties broken by document id for determinism);
+        an operator (or a future rebalancer) moves the top documents
+        off their shards first.
+        """
+        ranked = sorted(
+            self._doc_load.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            (self._shard_of[doc_id], doc_id, count)
+            for doc_id, count in ranked[:top]
+        ]
+
     def counters(self) -> dict:
         """The inline catalog's deterministic counters.
 

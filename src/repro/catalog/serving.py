@@ -59,6 +59,7 @@ from ..patterns.ast import Pattern
 from ..patterns.serialize import to_xpath
 
 if TYPE_CHECKING:  # import cycle: server builds front ends
+    from .replication import ReplicaSet
     from .server import CatalogServer
 
 __all__ = ["AsyncFrontEnd", "ServeStats"]
@@ -136,6 +137,7 @@ class AsyncFrontEnd:
         overflow: str = "wait",
         default_timeout: float | None = None,
         clock: Callable[[], float] | None = None,
+        replica_set: "ReplicaSet | None" = None,
     ) -> None:
         if max_pending < 1:
             raise ServingError("max_pending must be >= 1")
@@ -152,6 +154,7 @@ class AsyncFrontEnd:
         self._overflow = overflow
         self._default_timeout = default_timeout
         self._clock = clock if clock is not None else time.monotonic
+        self._replicas = replica_set
         self.stats = ServeStats()
 
         self._queues: dict[str, deque[_Request]] = {}
@@ -300,8 +303,16 @@ class AsyncFrontEnd:
         return await future
 
     def counters(self) -> dict:
-        """The stats snapshot (deterministic in inline mode)."""
-        return self.stats.snapshot()
+        """The stats snapshot (deterministic in inline mode).
+
+        With a replica set attached, a ``replication`` section carries
+        the tier's own deterministic counters (shipping, failover,
+        per-replica state).
+        """
+        data = self.stats.snapshot()
+        if self._replicas is not None:
+            data["replication"] = self._replicas.stats_snapshot()
+        return data
 
     # ------------------------------------------------------------------
     # Drain loop
@@ -407,8 +418,18 @@ class AsyncFrontEnd:
         again) degrade to an inline catalog rebuilt from the spec.
         Inline mode consults the same fault policy, so every rung tests
         without worker processes.
+
+        With a replica set attached, reads dispatch through its own
+        ladder instead (crash → evict → sibling → writer-inline; see
+        :meth:`ReplicaSet.execute
+        <repro.catalog.replication.ReplicaSet.execute>`) — the batch
+        still never fails for availability reasons, only injected
+        ``error`` actions propagate.
         """
         server = self._server
+        server._note_load(doc_id, len(xpaths))
+        if self._replicas is not None:
+            return self._replicas.execute(doc_id, xpaths)
         if server._pool is None:
             try:
                 return self._inline_with_faults(server, doc_id, xpaths)

@@ -36,8 +36,9 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..errors import CatalogError
 from ..faults import FaultPolicy
@@ -51,15 +52,22 @@ CREATE TABLE IF NOT EXISTS materializations (
     pat   TEXT NOT NULL,
     xpath TEXT NOT NULL DEFAULT '',
     ids   TEXT NOT NULL,
+    updated_at REAL NOT NULL DEFAULT 0,
     PRIMARY KEY (doc, pat)
 );
 CREATE TABLE IF NOT EXISTS selections (
     doc     TEXT NOT NULL,
     fp      TEXT NOT NULL,
     payload TEXT NOT NULL,
+    updated_at REAL NOT NULL DEFAULT 0,
     PRIMARY KEY (doc, fp)
 );
 """
+
+#: Tables carrying the ``updated_at`` stamp (pre-PR-9 databases are
+#: migrated in place with a default of 0 — epoch-old, so TTL pruning
+#: treats legacy rows as maximally stale).
+_STAMPED_TABLES = ("materializations", "selections")
 
 
 class SqliteBackend:
@@ -93,17 +101,29 @@ class SqliteBackend:
         *,
         timeout: float = 30.0,
         fault_policy: FaultPolicy | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.stats = BackendStats()
         self.fault_policy = fault_policy
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
         self._conn: sqlite3.Connection | None = sqlite3.connect(
             self.path, timeout=timeout, check_same_thread=False
         )
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        for table in _STAMPED_TABLES:
+            cols = {
+                row[1]
+                for row in self._conn.execute(f"PRAGMA table_info({table})")
+            }
+            if "updated_at" not in cols:
+                self._conn.execute(
+                    f"ALTER TABLE {table} "
+                    "ADD COLUMN updated_at REAL NOT NULL DEFAULT 0"
+                )
         self._conn.commit()
 
     def _cursor(self) -> sqlite3.Connection:
@@ -185,8 +205,14 @@ class SqliteBackend:
             conn = self._cursor()
             conn.execute(
                 "INSERT OR REPLACE INTO materializations "
-                "(doc, pat, xpath, ids) VALUES (?, ?, ?, ?)",
-                (doc_digest, pat_digest, xpath, json.dumps(sorted(node_ids))),
+                "(doc, pat, xpath, ids, updated_at) VALUES (?, ?, ?, ?, ?)",
+                (
+                    doc_digest,
+                    pat_digest,
+                    xpath,
+                    json.dumps(sorted(node_ids)),
+                    self._clock(),
+                ),
             )
             conn.commit()
         except sqlite3.Error:
@@ -256,15 +282,72 @@ class SqliteBackend:
             self._maybe_fault("save_selection")
             conn = self._cursor()
             conn.execute(
-                "INSERT OR REPLACE INTO selections (doc, fp, payload) "
-                "VALUES (?, ?, ?)",
-                (doc_digest, fingerprint, json.dumps(payload, sort_keys=True)),
+                "INSERT OR REPLACE INTO selections "
+                "(doc, fp, payload, updated_at) VALUES (?, ?, ?, ?)",
+                (
+                    doc_digest,
+                    fingerprint,
+                    json.dumps(payload, sort_keys=True),
+                    self._clock(),
+                ),
             )
             conn.commit()
         except sqlite3.Error:
             self.stats.io_errors += 1
             return
         self.stats.selection_saves += 1
+
+    # ------------------------------------------------------------------
+    # Pruning (PR 9)
+    # ------------------------------------------------------------------
+    def prune(
+        self,
+        live_digests: Iterable[str],
+        *,
+        ttl_seconds: float = 0.0,
+        clock: Callable[[], float] | None = None,
+    ) -> int:
+        """Delete rows whose document digest is no longer registered.
+
+        A catalog database outlives any one catalog: documents are
+        re-registered across restarts, edited documents get new digests,
+        and the rows keyed by the old digests become garbage no code
+        path will ever load again.  ``prune`` deletes every row (in both
+        tables) whose ``doc`` digest is *not* in ``live_digests`` and
+        whose ``updated_at`` stamp is at least ``ttl_seconds`` old by
+        ``clock`` (default: the backend's own clock) — the TTL keeps a
+        row another process wrote moments ago from being collected
+        before its document is registered here.
+
+        Live rows are never touched, whatever their age.  Returns the
+        number of rows deleted and adds it to ``stats.evicted_rows``.
+        An injected ``prune`` fault or a real ``sqlite3.Error`` degrades
+        like every other backend op: nothing is deleted, ``io_errors``
+        is incremented, and 0 is returned — pruning is maintenance, so
+        a failed prune costs disk, never correctness.
+        """
+        live = sorted(set(live_digests))
+        now = (clock if clock is not None else self._clock)()
+        cutoff = now - ttl_seconds
+        evicted = 0
+        try:
+            self._maybe_fault("prune")
+            conn = self._cursor()
+            placeholders = ", ".join("?" for _ in live)
+            not_live = f"doc NOT IN ({placeholders})" if live else "1 = 1"
+            for table in _STAMPED_TABLES:
+                cur = conn.execute(
+                    f"DELETE FROM {table} "
+                    f"WHERE {not_live} AND updated_at <= ?",
+                    (*live, cutoff),
+                )
+                evicted += cur.rowcount
+            conn.commit()
+        except sqlite3.Error:
+            self.stats.io_errors += 1
+            return 0
+        self.stats.evicted_rows += evicted
+        return evicted
 
     # ------------------------------------------------------------------
     # Lifecycle

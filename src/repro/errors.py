@@ -24,6 +24,8 @@ __all__ = [
     "AdmissionRejected",
     "RequestTimeout",
     "ShardCrashError",
+    "ReplicaLagError",
+    "ReplicaUnavailableError",
     "DocumentSyntaxError",
     "WorkloadError",
 ]
@@ -150,6 +152,32 @@ class ShardCrashError(ServingError):
     Surfaced by :class:`~repro.shardpool.ShardPool` for submissions to
     a crashed shard and by the serving front end when a batch's shard
     died and the retry/degrade ladder was exhausted.
+    """
+
+
+class ReplicaUnavailableError(ServingError):
+    """Raised when a read replica is down (or simulated down).
+
+    Surfaced by the replicated read tier
+    (:class:`~repro.catalog.replication.ReplicaSet`) when a replica
+    crashes mid-serve: the dispatch policy evicts the replica and
+    retries the batch on a healthy sibling, degrading to the writer's
+    inline catalog when none remains.  Handlers that catch this type
+    must retry elsewhere or re-raise — swallowing it silently degrades
+    the read tier (the ``REP001`` lint rule enforces exactly that).
+    """
+
+
+class ReplicaLagError(ServingError):
+    """Raised when a replica is too stale to serve a bounded-staleness read.
+
+    The self-fencing signal of the replicated read tier: a replica
+    whose applied sequence number trails the writer by more than
+    ``max_lag_records``, or whose last catch-up is older than
+    ``max_lag_seconds`` (against the injected clock), refuses reads
+    instead of serving stale answers.  The dispatch policy treats it
+    like unavailability (a fresher sibling may still serve), but the
+    type tells clients *why*: sync the replica, don't restart it.
     """
 
 

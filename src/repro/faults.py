@@ -111,7 +111,21 @@ class FaultPolicy:
         """Consulted before each storage-backend operation.
 
         ``op`` names the operation: ``load``, ``save``,
-        ``load_selection`` or ``save_selection``.
+        ``load_selection``, ``save_selection`` or ``prune``.
+        """
+        return None
+
+    def on_replica(self, op: str, replica_index: int) -> FaultAction | None:
+        """Consulted by the replicated read tier per replica operation.
+
+        ``op`` names the operation: ``serve`` (before a replica answers
+        a batch) or ``ship`` (before a log tail / snapshot is shipped to
+        the replica during sync or restart).  A ``crash``/``hang``
+        surfaces as :class:`~repro.errors.ReplicaUnavailableError` and
+        evicts the replica; an ``error`` surfaces as the carried
+        exception; a ``delay`` advances the policy's clock first (the
+        deterministic stand-in for a slow replica — how lag-fencing
+        tests age a replica past ``max_lag_seconds``).
         """
         return None
 
@@ -123,7 +137,11 @@ class ScriptedFaultPolicy(FaultPolicy):
     ``submit`` maps the 0-based *global* submission index (counted
     across all shards, in submission order — deterministic for the
     serial drain loops that consult it) to an action; ``backend`` maps
-    ``(op, per-op index)`` pairs.  Unkeyed calls proceed fault-free.
+    ``(op, per-op index)`` pairs; ``replica`` maps ``(op, per-op
+    index)`` pairs for the replicated read tier (the index counts
+    calls per op across all replicas, in dispatch order — the logged
+    entry records which replica drew the fault).  Unkeyed calls
+    proceed fault-free.
 
     ``clock`` (a :class:`VirtualClock`) is advanced by ``delay``
     actions; ``injected`` logs every action actually handed out, in
@@ -132,9 +150,11 @@ class ScriptedFaultPolicy(FaultPolicy):
 
     submit: dict[int, FaultAction] = field(default_factory=dict)
     backend: dict[tuple[str, int], FaultAction] = field(default_factory=dict)
+    replica: dict[tuple[str, int], FaultAction] = field(default_factory=dict)
     clock: VirtualClock | None = None
     submit_calls: int = 0
     backend_calls: dict[str, int] = field(default_factory=dict)
+    replica_calls: dict[str, int] = field(default_factory=dict)
     injected: list[tuple[str, FaultAction]] = field(default_factory=list)
 
     def _serve_delay(self, action: FaultAction | None) -> None:
@@ -159,5 +179,14 @@ class ScriptedFaultPolicy(FaultPolicy):
         action = self.backend.get((op, index))
         if action is not None:
             self.injected.append((f"backend.{op}", action))
+        self._serve_delay(action)
+        return action
+
+    def on_replica(self, op: str, replica_index: int) -> FaultAction | None:
+        index = self.replica_calls.get(op, 0)
+        self.replica_calls[op] = index + 1
+        action = self.replica.get((op, index))
+        if action is not None:
+            self.injected.append((f"replica.{op}[{replica_index}]", action))
         self._serve_delay(action)
         return action

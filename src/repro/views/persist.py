@@ -72,7 +72,9 @@ from ..xmltree.tree import XMLTree
 
 __all__ = [
     "BackendStats",
+    "LogTail",
     "MemoryBackend",
+    "ShipResult",
     "SnapshotBackend",
     "StoreBackend",
     "document_digest",
@@ -128,7 +130,10 @@ class BackendStats:
     ``io_errors`` counts storage operations that failed at the I/O
     layer (e.g. SQLite errors): reads degrade to misses and writes are
     skipped — serving proceeds, durability is what was lost, and this
-    counter is how an operator notices.
+    counter is how an operator notices.  ``evicted_rows`` counts rows
+    deleted by TTL pruning (:meth:`SqliteBackend.prune
+    <repro.catalog.sqlite_backend.SqliteBackend.prune>`) — stale
+    digests aged out, distinct from explicit ``invalidations``.
     """
 
     hits: int = 0
@@ -141,6 +146,7 @@ class BackendStats:
     selection_saves: int = 0
     fsync_failures: int = 0
     io_errors: int = 0
+    evicted_rows: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -154,6 +160,7 @@ class BackendStats:
             "selection_saves": self.selection_saves,
             "fsync_failures": self.fsync_failures,
             "io_errors": self.io_errors,
+            "evicted_rows": self.evicted_rows,
         }
 
 
@@ -345,6 +352,57 @@ def _record_checksum(record: dict) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _valid_record(record) -> bool:
+    """Structural + checksum validation of one parsed log record."""
+    return (
+        isinstance(record, dict)
+        and record.get("v") == FORMAT_VERSION
+        and record.get("sum") == _record_checksum(record)
+    )
+
+
+@dataclass(frozen=True)
+class LogTail:
+    """One :meth:`SnapshotBackend.read_since` result — a shippable tail.
+
+    ``records`` are the validated records with sequence number strictly
+    greater than the requested ``since``, in file order; ``corrupt``
+    counts lines in the file that failed validation (a nonzero count
+    during replication catch-up means the tail is torn and the reader
+    should re-ship); ``last_seqno`` is the writer's current high-water
+    mark, so a reader can tell "nothing new" from "records lost".
+    """
+
+    records: tuple[dict, ...]
+    corrupt: int
+    last_seqno: int
+
+
+@dataclass(frozen=True)
+class ShipResult:
+    """One :meth:`SnapshotBackend.apply_records` result.
+
+    ``applied`` counts records appended and applied; ``skipped`` counts
+    idempotent duplicates (sequence number at or below the reader's
+    high-water mark — safe to receive twice); ``rejected`` counts
+    records failing structural/checksum validation; ``gap_at`` is the
+    first sequence number that did not extend the reader's log
+    contiguously (``None`` when the batch was contiguous).  A reader
+    seeing ``rejected > 0`` or ``gap_at is not None`` must treat the
+    shipment as torn and re-request from its last applied seqno (in
+    practice: a full snapshot re-ship).
+    """
+
+    applied: int
+    skipped: int
+    rejected: int
+    gap_at: int | None
+
+    @property
+    def clean(self) -> bool:
+        return self.rejected == 0 and self.gap_at is None
+
+
 class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
     """Append-only snapshot log: one self-checksummed JSON record per line.
 
@@ -364,6 +422,17 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
     ``sync=True``); :meth:`compact` rewrites the log with only the live
     entries, dropping superseded and invalidated records.
 
+    Replication (PR 9): every appended record carries a monotone
+    sequence number ``seq`` (covered by the checksum), so the log
+    doubles as a shippable replication stream.  :meth:`read_since`
+    returns the validated tail past a reader's high-water mark and
+    :meth:`apply_records` applies a shipped tail idempotently on the
+    reader side, detecting duplicates, torn records and gaps — see
+    :mod:`repro.catalog.replication`.  Compaction preserves each live
+    record's original ``seq`` (the file stays seq-ascending), but drops
+    superseded records, so a reader catching up across a compaction
+    boundary sees a gap and re-ships — safe, never wrong.
+
     Usable as a context manager; :meth:`close` is idempotent.
     """
 
@@ -378,6 +447,12 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
         # Human-readable provenance per entry (the view's XPath at save
         # time); carried through the log so compaction preserves it.
         self._xpaths: dict[tuple[str, str], str] = {}
+        # Monotone sequence numbers: the high-water mark plus each live
+        # record's own seq (compaction re-emits records with their
+        # original numbers, keeping the file seq-ascending).
+        self._last_seqno = 0
+        self._entry_seqs: dict[tuple[str, str], int] = {}
+        self._selection_seqs: dict[tuple[str, str], int] = {}
         self._replay_log()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
@@ -398,7 +473,12 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
         if not self.path.exists():
             return
         try:
-            lines = self.path.read_text(encoding="utf-8").splitlines()
+            # errors="replace": a bit-flipped byte that breaks UTF-8
+            # must degrade to a corrupt *line* (the mangled JSON fails
+            # to parse), never to a crashed reload.
+            lines = self.path.read_text(
+                encoding="utf-8", errors="replace"
+            ).splitlines()
         except OSError:
             self.stats.corrupt_records += 1
             return
@@ -410,39 +490,50 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
             except ValueError:
                 self.stats.corrupt_records += 1
                 continue
-            if (
-                not isinstance(record, dict)
-                or record.get("v") != FORMAT_VERSION
-                or record.get("sum") != _record_checksum(record)
-            ):
+            if not _valid_record(record):
                 self.stats.corrupt_records += 1
                 continue
             self._apply(record)
 
+    def _record_seq(self, record: dict) -> int:
+        """The record's sequence number (0 for pre-seqno logs)."""
+        seq = record.get("seq")
+        return seq if isinstance(seq, int) and seq > 0 else 0
+
     def _apply(self, record: dict) -> None:
+        seq = self._record_seq(record)
+        self._last_seqno = max(self._last_seqno, seq)
         op = record.get("op")
         if op == "put":
             key = (record["doc"], record["pat"])
             self._entries[key] = list(record["ids"])
             self._xpaths[key] = record.get("xpath", "")
+            self._entry_seqs[key] = seq
         elif op == "selection":
-            self._selections[(record["doc"], record["fp"])] = record["payload"]
+            key = (record["doc"], record["fp"])
+            self._selections[key] = record["payload"]
+            self._selection_seqs[key] = seq
         elif op == "invalidate":
             doc = record["doc"]
             for key in [k for k in self._entries if k[0] == doc]:
                 del self._entries[key]
                 self._xpaths.pop(key, None)
+                self._entry_seqs.pop(key, None)
             self._drop_selections(doc)
+            for key in [k for k in self._selection_seqs if k[0] == doc]:
+                del self._selection_seqs[key]
         else:  # unknown op from a future version: ignore, keep the rest
             self.stats.corrupt_records += 1
 
     def _append(self, record: dict) -> None:
+        record["seq"] = self._last_seqno + 1
         record["v"] = FORMAT_VERSION
         record["sum"] = _record_checksum(record)
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
         if self.sync:
             os.fsync(self._fh.fileno())
+        self._last_seqno = record["seq"]
 
     # ------------------------------------------------------------------
     # StoreBackend protocol
@@ -468,34 +559,38 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
     ) -> None:
         ids = sorted(node_ids)
         key = (doc_digest, pat_digest)
-        self._append(
-            {"op": "put", "doc": doc_digest, "pat": pat_digest,
-             "xpath": xpath, "ids": ids}
-        )
+        record = {"op": "put", "doc": doc_digest, "pat": pat_digest,
+                  "xpath": xpath, "ids": ids}
+        self._append(record)
         self._entries[key] = ids
         self._xpaths[key] = xpath
+        self._entry_seqs[key] = record["seq"]
         self.stats.saves += 1
 
     def save_selection(
         self, doc_digest: str, fingerprint: str, payload: dict
     ) -> None:
         clean = self._store_selection(doc_digest, fingerprint, payload)
-        self._append(
-            {"op": "selection", "doc": doc_digest, "fp": fingerprint,
-             "payload": clean}
-        )
+        record = {"op": "selection", "doc": doc_digest, "fp": fingerprint,
+                  "payload": clean}
+        self._append(record)
+        self._selection_seqs[(doc_digest, fingerprint)] = record["seq"]
 
     def invalidate_document(self, doc_digest: str) -> None:
         self._append({"op": "invalidate", "doc": doc_digest})
         for key in [k for k in self._entries if k[0] == doc_digest]:
             del self._entries[key]
             self._xpaths.pop(key, None)
+            self._entry_seqs.pop(key, None)
         self._drop_selections(doc_digest)
+        for key in [k for k in self._selection_seqs if k[0] == doc_digest]:
+            del self._selection_seqs[key]
         self.stats.invalidations += 1
 
     def reject_loaded(self, doc_digest: str, pat_digest: str) -> None:
         super().reject_loaded(doc_digest, pat_digest)
         self._xpaths.pop((doc_digest, pat_digest), None)
+        self._entry_seqs.pop((doc_digest, pat_digest), None)
 
     def compact(self) -> int:
         """Rewrite the log keeping only live entries; returns their count.
@@ -510,17 +605,28 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
         between rename and the directory's own writeback could resurrect
         the pre-compaction log (or, on some filesystems, neither file).
         """
+        live: list[dict] = []
+        for (doc, pat), ids in sorted(self._entries.items()):
+            live.append(
+                {"op": "put", "doc": doc, "pat": pat,
+                 "xpath": self._xpaths.get((doc, pat), ""),
+                 "ids": ids, "seq": self._entry_seqs.get((doc, pat), 0)}
+            )
+        for (doc, fp), payload in sorted(self._selections.items()):
+            live.append(
+                {"op": "selection", "doc": doc, "fp": fp,
+                 "payload": payload,
+                 "seq": self._selection_seqs.get((doc, fp), 0)}
+            )
+        # Original seqs, seq-ascending file order: a reader resuming
+        # from a pre-compaction high-water mark still sees a monotone
+        # stream (with gaps where superseded records were dropped —
+        # which apply_records reports, forcing the safe re-ship).
+        live.sort(key=lambda rec: rec["seq"])
         tmp = self.path.with_suffix(self.path.suffix + ".compact")
         with open(tmp, "w", encoding="utf-8") as out:
-            for (doc, pat), ids in sorted(self._entries.items()):
-                record = {"op": "put", "doc": doc, "pat": pat,
-                          "xpath": self._xpaths.get((doc, pat), ""),
-                          "ids": ids, "v": FORMAT_VERSION}
-                record["sum"] = _record_checksum(record)
-                out.write(json.dumps(record, sort_keys=True) + "\n")
-            for (doc, fp), payload in sorted(self._selections.items()):
-                record = {"op": "selection", "doc": doc, "fp": fp,
-                          "payload": payload, "v": FORMAT_VERSION}
+            for record in live:
+                record["v"] = FORMAT_VERSION
                 record["sum"] = _record_checksum(record)
                 out.write(json.dumps(record, sort_keys=True) + "\n")
             out.flush()
@@ -533,6 +639,89 @@ class SnapshotBackend(_RejectLoadedMixin, _SelectionMapMixin):
         self._fh.close()
         self._fh = open(self.path, "a", encoding="utf-8")
         return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Replication: log shipping (writer side) and idempotent apply
+    # (reader side) — see repro.catalog.replication
+    # ------------------------------------------------------------------
+    @property
+    def last_seqno(self) -> int:
+        """High-water mark: the largest sequence number ever appended."""
+        return self._last_seqno
+
+    def read_since(self, seqno: int) -> LogTail:
+        """The validated log tail past ``seqno``, ready to ship.
+
+        Re-reads the file (appends are flushed, so the on-disk state is
+        current), validates every line exactly like open-time replay,
+        and returns the records whose sequence number exceeds ``seqno``
+        in file order.  Lines failing validation are counted in the
+        tail's ``corrupt`` field (not in this backend's stats — the
+        file may be a shipped copy whose corruption belongs to the
+        reader's ledger).
+        """
+        records: list[dict] = []
+        corrupt = 0
+        try:
+            lines = self.path.read_text(
+                encoding="utf-8", errors="replace"
+            ).splitlines()
+        except OSError:
+            return LogTail(records=(), corrupt=1, last_seqno=self._last_seqno)
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                corrupt += 1
+                continue
+            if not _valid_record(record):
+                corrupt += 1
+                continue
+            if self._record_seq(record) > seqno:
+                records.append(record)
+        return LogTail(
+            records=tuple(records),
+            corrupt=corrupt,
+            last_seqno=self._last_seqno,
+        )
+
+    def apply_records(self, records: Sequence[dict]) -> ShipResult:
+        """Apply a shipped record batch idempotently; append what lands.
+
+        The reader-side half of log shipping.  Records at or below this
+        backend's high-water mark are skipped (duplicates are safe);
+        records failing validation are rejected (counted here *and* in
+        ``stats.corrupt_records``); the first record that does not
+        extend the log contiguously stops the batch and is reported as
+        ``gap_at``.  Applied records are appended verbatim (their
+        checksums were computed by the writer and re-verify here), so
+        this backend's own log remains a valid shipping source.
+        """
+        applied = skipped = rejected = 0
+        gap_at: int | None = None
+        for record in records:
+            if not _valid_record(record):
+                rejected += 1
+                self.stats.corrupt_records += 1
+                continue
+            seq = self._record_seq(record)
+            if seq <= self._last_seqno:
+                skipped += 1
+                continue
+            if seq != self._last_seqno + 1:
+                gap_at = seq
+                break
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+            if self.sync:
+                os.fsync(self._fh.fileno())
+            self._apply(record)
+            applied += 1
+        return ShipResult(
+            applied=applied, skipped=skipped, rejected=rejected, gap_at=gap_at
+        )
 
     def close(self) -> None:
         if not self._fh.closed:

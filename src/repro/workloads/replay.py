@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import math
 import random
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -695,7 +696,11 @@ class ServeReplayConfig:
     ``timeout`` is the per-request deadline in seconds (``None`` serves
     everything); ``overflow`` is the admission policy (``"wait"`` for
     backpressure, ``"reject"`` to shed at the door); ``workers`` picks
-    inline (0) or pooled serving.
+    inline (0) or pooled serving.  ``replicas > 0`` stands up a
+    :class:`~repro.catalog.replication.ReplicaSet` (PR 9) in a
+    temporary directory and routes every read through the replica tier
+    instead of the writer — the baseline stays the synchronous inline
+    path, so ``mismatches`` also proves replica answers bit-identical.
     """
 
     documents: int = 2
@@ -708,10 +713,13 @@ class ServeReplayConfig:
     batch_size: int = 16
     overflow: str = "wait"
     workers: int = 0
+    replicas: int = 0
 
     def __post_init__(self) -> None:
         if self.documents < 1:
             raise WorkloadError("serve replay needs >= 1 document")
+        if self.replicas < 0:
+            raise WorkloadError("replicas must be >= 0")
         if self.batch_size < 1:
             raise WorkloadError("batch_size must be >= 1")
         if self.max_pending < 1:
@@ -741,6 +749,8 @@ class ServeReplayReport:
     #: Survivors whose answers differed from the inline baseline.
     mismatches: int = 0
     serve_counters: dict = field(default_factory=dict)
+    #: ``ReplicaSet.stats_snapshot()`` when ``config.replicas > 0``.
+    replication: dict = field(default_factory=dict)
     latencies_ms: list[float] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -811,7 +821,8 @@ def replay_serve(
     Survivor answers are compared index-for-index against the baseline;
     any difference counts in ``mismatches`` (the bench asserts 0).
     """
-    from ..catalog.server import (  # local: keep import acyclic
+    from ..catalog.replication import ReplicaSet  # local: keep import acyclic
+    from ..catalog.server import (
         CatalogServer,
         CatalogSpec,
         DocumentSpec,
@@ -861,6 +872,15 @@ def replay_serve(
         baseline = server.serve_requests(
             requests, batch_size=config.batch_size
         )
+        replica_dir: tempfile.TemporaryDirectory | None = None
+        replica_set: "ReplicaSet | None" = None
+        if config.replicas > 0:
+            replica_dir = tempfile.TemporaryDirectory(
+                prefix="repro-replicas-"
+            )
+            replica_set = ReplicaSet(
+                spec, replicas=config.replicas, root=replica_dir.name
+            )
 
         async def _replay() -> dict:
             loop = asyncio.get_running_loop()
@@ -872,6 +892,7 @@ def replay_serve(
                 batch_size=config.batch_size,
                 overflow=config.overflow,
                 default_timeout=config.timeout,
+                replica_set=replica_set,
             )
             async with front:
                 for index, (offset, (doc_id, query)) in enumerate(
@@ -907,9 +928,17 @@ def replay_serve(
                     report.failed += 1
             return front.counters()
 
-        t0 = time.perf_counter()
-        report.serve_counters = asyncio.run(_replay())
-        report.elapsed_seconds = time.perf_counter() - t0
+        try:
+            t0 = time.perf_counter()
+            report.serve_counters = asyncio.run(_replay())
+            report.elapsed_seconds = time.perf_counter() - t0
+            if replica_set is not None:
+                report.replication = replica_set.stats_snapshot()
+        finally:
+            if replica_set is not None:
+                replica_set.close()
+            if replica_dir is not None:
+                replica_dir.cleanup()
     return report
 
 

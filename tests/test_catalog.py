@@ -22,6 +22,7 @@ from repro.errors import (
     UnknownDocumentError,
     ViewEngineError,
 )
+from repro.faults import FaultAction, ScriptedFaultPolicy, VirtualClock
 from repro.patterns.parse import parse_pattern
 from repro.workloads.replay import CatalogReplayConfig, replay_catalog
 from repro.workloads.streams import StreamConfig, sample_stream
@@ -135,6 +136,102 @@ class TestSqliteBackend:
         backend.close()  # idempotent
         with pytest.raises(CatalogError):
             backend.load("d1", "p1")
+
+
+class TestSqlitePrune:
+    """PR 9: TTL eviction of rows no registered document can load."""
+
+    def test_ttl_boundary_with_injected_clock(self, db_path):
+        clock = VirtualClock(start=100.0)
+        with SqliteBackend(db_path, clock=clock) as backend:
+            backend.save("dead", "p1", [1])
+            clock.advance(50.0)
+            backend.save("dead", "p2", [2])
+            # At t=150 with ttl=50, the cutoff is exactly the first
+            # row's stamp (inclusive): it goes, the fresh row stays.
+            assert backend.prune(set(), ttl_seconds=50.0) == 1
+            assert backend.stats.evicted_rows == 1
+            assert backend.load("dead", "p1") is None
+            assert backend.load("dead", "p2") == [2]
+
+    def test_live_digests_survive_any_age(self, db_path):
+        clock = VirtualClock(start=0.0)
+        with SqliteBackend(db_path, clock=clock) as backend:
+            backend.save("live", "p1", [1])
+            backend.save("dead", "p1", [2])
+            backend.save_selection("live", "fp", {"views": []})
+            backend.save_selection("dead", "fp", {"views": []})
+            clock.advance(10_000.0)
+            evicted = backend.prune({"live"})
+            assert evicted == 2  # dead's row in each table
+            assert backend.load("live", "p1") == [1]
+            assert backend.load_selection("live", "fp") == {"views": []}
+            assert backend.load("dead", "p1") is None
+
+    def test_injected_fault_degrades_without_deleting(self, db_path):
+        policy = ScriptedFaultPolicy(
+            backend={
+                ("prune", 0): FaultAction(
+                    "error", exc=sqlite3.OperationalError("disk gone")
+                )
+            }
+        )
+        with SqliteBackend(db_path, fault_policy=policy) as backend:
+            backend.save("dead", "p1", [1])
+            assert backend.prune(set()) == 0
+            assert backend.stats.io_errors == 1
+            assert backend.stats.evicted_rows == 0
+            assert backend.load("dead", "p1") == [1]  # nothing deleted
+            assert backend.prune(set()) == 1  # unscripted retry works
+
+    def test_legacy_database_migrates_in_place(self, db_path):
+        conn = sqlite3.connect(db_path)
+        conn.execute(
+            "CREATE TABLE materializations (doc TEXT NOT NULL, "
+            "pat TEXT NOT NULL, xpath TEXT NOT NULL DEFAULT '', "
+            "ids TEXT NOT NULL, PRIMARY KEY (doc, pat))"
+        )
+        conn.execute(
+            "CREATE TABLE selections (doc TEXT NOT NULL, fp TEXT NOT "
+            "NULL, payload TEXT NOT NULL, PRIMARY KEY (doc, fp))"
+        )
+        conn.execute(
+            "INSERT INTO materializations (doc, pat, ids) "
+            "VALUES ('old', 'p', '[7]')"
+        )
+        conn.commit()
+        conn.close()
+        with SqliteBackend(db_path) as backend:
+            assert backend.load("old", "p") == [7]
+            # Legacy rows carry stamp 0 — epoch-old, prunable under any
+            # real-clock TTL once orphaned.
+            assert backend.prune(set(), ttl_seconds=60.0) == 1
+
+    def test_catalog_prune_threads_registered_digests(self, db_path):
+        docs, streams = small_fleet(count=2)
+        catalog = Catalog(backend=SqliteBackend(db_path))
+        try:
+            advise_fleet(catalog, docs, streams)
+            catalog.backend.save("orphan-digest", "p", [1])
+            evicted = catalog.prune(ttl_seconds=0.0)
+            assert evicted >= 1
+            assert catalog.backend.load("orphan-digest", "p") is None
+            # Registered documents still serve from their rows.
+            assert catalog.prune(ttl_seconds=0.0) == 0
+            doc_id = next(iter(docs))
+            query = streams[doc_id].queries[0]
+            assert catalog.answer(doc_id, query) is not None
+        finally:
+            catalog.close()
+
+    def test_catalog_prune_without_backend_support_is_noop(self):
+        docs, streams = small_fleet(count=1)
+        catalog = Catalog()  # MemoryBackend: no prune method
+        try:
+            advise_fleet(catalog, docs, streams)
+            assert catalog.prune(ttl_seconds=0.0) == 0
+        finally:
+            catalog.close()
 
 
 class TestSqliteConcurrency:
@@ -399,6 +496,56 @@ class TestCatalogServer:
         with CatalogServer(spec, workers=2) as pooled:
             result = pooled.serve_requests(requests, batch_size=16)
         assert result.counters() == baseline.counters()
+
+
+class TestShardLoadStats:
+    """PR 9 groundwork: per-shard throughput and rebalance hints."""
+
+    def test_stats_aggregate_by_affine_shard(self, db_path):
+        docs, streams = small_fleet()
+        spec = fleet_spec(db_path, docs, streams)
+        requests = interleaved(docs, streams, 10)
+        with CatalogServer(spec, workers=0) as server:
+            assert server.stats()["requests_served"] == 0
+            server.serve_requests(requests, batch_size=8)
+            stats = server.stats()
+        assert stats["requests_served"] == len(requests)
+        # Inline mode maps every document to shard 0.
+        assert stats["shard_load"] == {0: len(requests)}
+        assert stats["document_load"] == {
+            doc_id: 10 for doc_id in docs
+        }
+
+    def test_stats_accumulate_across_calls(self, db_path):
+        docs, streams = small_fleet(count=1)
+        spec = fleet_spec(db_path, docs, streams)
+        requests = interleaved(docs, streams, 5)
+        with CatalogServer(spec, workers=0) as server:
+            server.serve_requests(requests)
+            server.serve_requests(requests)
+            assert server.stats()["requests_served"] == 2 * len(requests)
+
+    def test_rebalance_hint_ranks_hot_documents(self, db_path):
+        docs, streams = small_fleet()
+        spec = fleet_spec(db_path, docs, streams)
+        hot, cold = sorted(docs)
+        requests = interleaved(docs, streams, 5)
+        requests += [(hot, streams[hot].queries[0])] * 7
+        with CatalogServer(spec, workers=0) as server:
+            server.serve_requests(requests, batch_size=4)
+            hints = server.rebalance_hint(top=2)
+        assert [entry[1] for entry in hints] == [hot, cold]
+        assert hints[0] == (0, hot, 12)
+        assert hints[0][2] > hints[1][2]
+
+    def test_rebalance_hint_breaks_ties_deterministically(self, db_path):
+        docs, streams = small_fleet()
+        spec = fleet_spec(db_path, docs, streams)
+        requests = interleaved(docs, streams, 6)  # equal load per doc
+        with CatalogServer(spec, workers=0) as server:
+            server.serve_requests(requests)
+            hints = server.rebalance_hint()
+        assert [entry[1] for entry in hints] == sorted(docs)
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.patterns.parse import parse_pattern
 from repro.views.persist import (
@@ -460,3 +461,143 @@ class TestCompaction:
         with SnapshotBackend(snapshot_path) as backend:
             assert backend.load("d1", "p1") == [1]
             assert backend.load("d1", "p2") == [2]
+
+
+class TestLogShipping:
+    """PR 9: sequence numbers, tails and idempotent application."""
+
+    def _writer(self, path, puts=3):
+        backend = SnapshotBackend(path)
+        for index in range(puts):
+            backend.save(f"doc{index}", f"pat{index}", [index, index + 10])
+        return backend
+
+    def test_seqnos_are_monotone_and_replayed(self, tmp_path):
+        path = tmp_path / "writer.jsonl"
+        with self._writer(path, puts=4) as writer:
+            assert writer.last_seqno == 4
+        with SnapshotBackend(path) as reopened:
+            assert reopened.last_seqno == 4
+            reopened.save("doc9", "pat9", [9])
+            assert reopened.last_seqno == 5
+
+    def test_read_since_returns_only_the_tail(self, tmp_path):
+        with self._writer(tmp_path / "w.jsonl", puts=5) as writer:
+            tail = writer.read_since(3)
+            assert [rec["seq"] for rec in tail.records] == [4, 5]
+            assert tail.corrupt == 0 and tail.last_seqno == 5
+            assert writer.read_since(5).records == ()
+
+    def test_apply_is_idempotent_and_detects_gaps(self, tmp_path):
+        with self._writer(tmp_path / "w.jsonl", puts=4) as writer:
+            tail = writer.read_since(0)
+            with SnapshotBackend(tmp_path / "r.jsonl") as replica:
+                first = replica.apply_records(tail.records)
+                assert first.applied == 4 and first.clean
+                again = replica.apply_records(tail.records)
+                assert again.applied == 0 and again.skipped == 4
+                assert again.clean
+                # Skip seq 5: the batch stops at the gap, applying nothing.
+                writer.save("doc8", "pat8", [8])
+                writer.save("doc9", "pat9", [9])
+                gappy = writer.read_since(0).records[-1:]  # only seq 6
+                result = replica.apply_records(gappy)
+                assert result.gap_at == 6 and not result.clean
+                assert replica.last_seqno == 4
+
+    def test_applied_log_is_itself_a_shipping_source(self, tmp_path):
+        with self._writer(tmp_path / "w.jsonl", puts=3) as writer:
+            tail = writer.read_since(0)
+        with SnapshotBackend(tmp_path / "mid.jsonl") as middle:
+            assert middle.apply_records(tail.records).clean
+            relay = middle.read_since(0)
+            assert relay.corrupt == 0
+        with SnapshotBackend(tmp_path / "end.jsonl") as end:
+            assert end.apply_records(relay.records).applied == 3
+            assert end.load("doc2", "pat2") == [2, 12]
+
+    def test_compaction_preserves_seqnos(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        with SnapshotBackend(path) as writer:
+            writer.save("d1", "p1", [1])       # seq 1
+            writer.save("d1", "p1", [1, 2])    # seq 2 supersedes seq 1
+            writer.save("d2", "p2", [3])       # seq 3
+            writer.compact()
+            assert writer.last_seqno == 3
+            seqs = [rec["seq"] for rec in writer.read_since(0).records]
+            assert seqs == sorted(seqs) and seqs[-1] == 3
+            # The superseded record is gone: an incremental ship of the
+            # compacted log has a gap, which forces a full re-ship —
+            # staleness is detectable, wrong answers are impossible.
+            with SnapshotBackend(tmp_path / "r.jsonl") as replica:
+                result = replica.apply_records(writer.read_since(0).records)
+                assert result.gap_at is not None or result.clean
+
+    def test_rejected_records_counted(self, tmp_path):
+        with self._writer(tmp_path / "w.jsonl", puts=2) as writer:
+            tail = writer.read_since(0)
+        bad = dict(tail.records[0])
+        bad["ids"] = [999]  # checksum no longer matches
+        with SnapshotBackend(tmp_path / "r.jsonl") as replica:
+            result = replica.apply_records([bad, tail.records[1]])
+            assert result.rejected == 1
+            assert replica.stats.corrupt_records == 1
+            # seq 2 after rejected seq 1 is a gap, not an application.
+            assert result.gap_at == 2 and replica.last_seqno == 0
+
+
+class TestShippedLogCorruptionProperty:
+    """Hypothesis: no corruption of a shipped log suffix ever yields a
+    wrong answer on the replica — only detectable staleness, fixed by a
+    full re-ship."""
+
+    pytestmark = pytest.mark.slow
+
+    @given(
+        puts=st.integers(min_value=2, max_value=6),
+        cut=st.integers(min_value=0, max_value=10_000),
+        flip=st.one_of(st.none(), st.integers(min_value=0, max_value=10_000)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncate_or_bitflip_never_wrong(self, puts, cut, flip):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as root:
+            base = Path(root)
+            writer = SnapshotBackend(base / "writer.jsonl")
+            expected = {}
+            for index in range(puts):
+                key = (f"doc{index}", f"pat{index}")
+                writer.save(*key, [index, index + 100])
+                expected[key] = [index, index + 100]
+            blob = (base / "writer.jsonl").read_bytes()
+
+            # Corrupt a suffix: truncate at an arbitrary byte, then
+            # optionally flip one bit inside what remains.
+            keep = len(blob) - (cut % (len(blob) + 1))
+            mangled = bytearray(blob[:keep])
+            if flip is not None and mangled:
+                position = flip % len(mangled)
+                mangled[position] ^= 0x40
+            (base / "shipped.jsonl").write_bytes(bytes(mangled))
+
+            shipped = SnapshotBackend(base / "shipped.jsonl")
+            tail = shipped.read_since(0)
+            replica = SnapshotBackend(base / "replica.jsonl")
+            replica.apply_records(tail.records)
+
+            # Safety: every entry the replica serves is bit-identical
+            # to the writer's — corruption may lose records (staleness)
+            # but can never change one.
+            for key, ids in replica._entries.items():
+                assert expected.get(key) == ids
+
+            # Liveness: a full re-ship from the intact writer restores
+            # exactly the writer's state, whatever the corruption did.
+            (base / "reshipped.jsonl").write_bytes(blob)
+            restored = SnapshotBackend(base / "reshipped.jsonl")
+            assert restored._entries == writer._entries
+            assert restored.last_seqno == writer.last_seqno
+            for backend in (writer, shipped, replica, restored):
+                backend.close()

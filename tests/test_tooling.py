@@ -180,3 +180,84 @@ class TestCancelledErrorRule:
             "except CancelledError:\n    pass\n"
         )
         assert len(lint.run_lint([bad])) == 1
+
+
+class TestReplicaUnavailableRule:
+    """PR 9 (REP001): a caught ``ReplicaUnavailableError`` must be
+    routed — retried on a sibling or re-raised — never dropped."""
+
+    def test_flags_silent_swallow(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from repro.errors import ReplicaUnavailableError\n"
+            "try:\n    pass\n"
+            "except ReplicaUnavailableError:\n    result = None\n"
+        )
+        problems = lint.run_lint([bad])
+        assert len(problems) == 1 and "REP001" in problems[0]
+
+    def test_flags_tuple_spelling(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import repro.errors\n"
+            "try:\n    pass\n"
+            "except (ValueError, repro.errors.ReplicaUnavailableError):\n"
+            "    pass\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_retry_call_allowed(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\n"
+            "except ReplicaUnavailableError:\n"
+            "    self._evict_and_retry(replica)\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_reraise_allowed_even_conditionally(self, tmp_path):
+        """Unlike the interrupt rules, a *conditional* raise satisfies
+        REP001 — availability decisions legitimately branch (last
+        healthy replica → escalate, otherwise → writer fallback)."""
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\n"
+            "except ReplicaUnavailableError as exc:\n"
+            "    if last:\n"
+            "        raise WorkloadError('down') from exc\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\n"
+            "except ReplicaUnavailableError:  # noqa: REP001 - parked\n"
+            "    healthy = False\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_noqa_must_be_on_except_line(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "try:\n    pass\n"
+            "except ReplicaUnavailableError:\n"
+            "    healthy = False  # noqa: REP001\n"
+        )
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_retry_in_method_name_counts(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "try:\n    pass\n"
+            "except ReplicaUnavailableError:\n"
+            "    retry_on_sibling()\n"
+        )
+        assert lint.run_lint([ok]) == []

@@ -18,11 +18,22 @@ Flagged, per ``except`` clause:
   ``CancelledError`` derives from ``BaseException`` precisely so broad
   handlers cannot eat it; a handler that names it and then swallows it
   breaks task cancellation — ``close()`` hangs, drains never finish
-  (the async serving tier's graceful-drain contract, PR 8).
+  (the async serving tier's graceful-drain contract, PR 8);
+* ``REP001``: ``except ReplicaUnavailableError`` (alone or inside a
+  tuple) whose handler body neither raises nor calls anything named
+  like a retry.  A down replica is a *routing* event, not an answer —
+  a handler that catches it and falls through silently turns a
+  failover into a lost request (the replicated read tier's failure
+  ladder, PR 9).  Any ``raise`` in the handler subtree counts (the
+  availability decision may be conditional), as does any call whose
+  name contains ``retry`` (case-insensitive).
 
 Suppression: a ``# noqa`` / ``# noqa: BLE001`` / ``# noqa: E722`` /
-``# noqa: ASY001`` comment on the ``except`` line — used by tests that
-collect exceptions crossing thread boundaries on purpose.
+``# noqa: ASY001`` / ``# noqa: REP001`` comment on the ``except``
+line — used by tests that collect exceptions crossing thread
+boundaries on purpose, and by the replica tier's own sync loop (a
+ship failure parks the replica for the *next* sync; that is the
+retry, just not spelled in this handler).
 
 Run with:
 
@@ -43,7 +54,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
 
 #: noqa codes that silence this checker (a plain ``# noqa`` also does).
-NOQA_CODES = {"E722", "BLE001", "ASY001"}
+NOQA_CODES = {"E722", "BLE001", "ASY001", "REP001"}
 
 
 def _mentions_base_exception(node: ast.expr | None) -> bool:
@@ -73,6 +84,44 @@ def _mentions_cancelled_error(node: ast.expr | None) -> bool:
         return node.id == "CancelledError"
     if isinstance(node, ast.Attribute):
         return node.attr == "CancelledError"
+    return False
+
+
+def _mentions_replica_unavailable(node: ast.expr | None) -> bool:
+    """Does the handler's type expression name ``ReplicaUnavailableError``?"""
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_replica_unavailable(el) for el in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id == "ReplicaUnavailableError"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "ReplicaUnavailableError"
+    return False
+
+
+def _handles_failover(handler: ast.ExceptHandler) -> bool:
+    """Does the handler visibly route around the down replica (REP001)?
+
+    True when the handler subtree contains any ``raise`` (re-raise or
+    typed escalation — possibly conditional, unlike the interrupt
+    rules, because availability decisions legitimately branch) or any
+    call whose name contains ``retry`` (case-insensitive), e.g.
+    ``self._evict_and_retry(replica)``.
+    """
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = ""
+                if isinstance(func, ast.Name):
+                    name = func.id
+                elif isinstance(func, ast.Attribute):
+                    name = func.attr
+                if "retry" in name.lower():
+                    return True
     return False
 
 
@@ -141,6 +190,15 @@ def check_file(path: Path) -> list[str]:
                 f"{path}:{node.lineno}: 'except CancelledError' without a "
                 "bare re-raise swallows task cancellation — clean up, "
                 "then re-raise"
+            )
+        elif _mentions_replica_unavailable(node.type) and not (
+            _handles_failover(node)
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: REP001 'except "
+                "ReplicaUnavailableError' that neither retries nor "
+                "re-raises loses the request — fail over to a sibling "
+                "or escalate"
             )
     return problems
 
