@@ -26,7 +26,13 @@ baseline.  Four checks:
   ``replicated_load`` tier (2 and 4 replicas) must carry
   ``answers_identical_to_inline: true`` and warm-started replicas:
   replica-served answers were bit-identical to the writer-inline path
-  when the record was made.
+  when the record was made;
+* the observability layer's record (PR 10) — the committed
+  ``tracing_overhead.overhead_ratio`` must not exceed its embedded
+  ``ceiling`` (1.05): instrumentation that costs more than 5% on the
+  replay path is a regression.  Checked against the record only
+  (``make bench-replay`` refreshes it), so the guard never flakes on
+  machine load.
 
 Run with:
 
@@ -146,6 +152,18 @@ def floor_violations(
             "sustained_load (committed): async serving answers were not "
             "bit-identical to the inline path when the record was made"
         )
+    overhead = replay_report.get("tracing_overhead")
+    if overhead is not None:
+        ratio = overhead.get("overhead_ratio")
+        ceiling = overhead.get(
+            "ceiling", bench_replay.TRACING_OVERHEAD_CEILING
+        )
+        if ratio is not None and ratio > ceiling:
+            problems.append(
+                f"tracing_overhead (committed): overhead_ratio {ratio} "
+                f"> ceiling {ceiling} — observability must stay within "
+                "5% of the untraced replay"
+            )
     replicated = catalog_report.get("replicated_load")
     if replicated is not None:
         for count, tier in sorted(replicated.get("tiers", {}).items()):

@@ -42,6 +42,7 @@ from typing import Sequence
 from ..core.rewrite import RewriteSolver
 from ..errors import CatalogError, UnknownDocumentError
 from ..faults import FaultPolicy
+from ..obs import current_registry, span
 from ..patterns.ast import Pattern
 from ..views.advisor import (
     advise_views,
@@ -321,23 +322,25 @@ class Catalog:
         answered with one :meth:`~repro.views.engine.QueryEngine.answer_many`
         call per group, and scattered back in request order.
         """
-        grouped: dict[str, list[int]] = {}
-        for index, (doc_id, _) in enumerate(requests):
-            self.entry(doc_id)  # typed validation up front
-            grouped.setdefault(doc_id, []).append(index)
-        routed = RoutedAnswer(
-            answers=[set()] * len(requests),
-            plans=[QueryPlan(kind="direct")] * len(requests),
-        )
-        for doc_id, indexes in grouped.items():
-            batch = self.answer_many(
-                doc_id, [requests[index][1] for index in indexes]
+        with span("catalog.route", requests=len(requests)) as scope:
+            grouped: dict[str, list[int]] = {}
+            for index, (doc_id, _) in enumerate(requests):
+                self.entry(doc_id)  # typed validation up front
+                grouped.setdefault(doc_id, []).append(index)
+            scope.set(documents=len(grouped))
+            routed = RoutedAnswer(
+                answers=[set()] * len(requests),
+                plans=[QueryPlan(kind="direct")] * len(requests),
             )
-            routed.groups[doc_id] = batch
-            for position, index in enumerate(indexes):
-                routed.answers[index] = batch.answers[position]
-                routed.plans[index] = batch.plans[position]
-        return routed
+            for doc_id, indexes in grouped.items():
+                batch = self.answer_many(
+                    doc_id, [requests[index][1] for index in indexes]
+                )
+                routed.groups[doc_id] = batch
+                for position, index in enumerate(indexes):
+                    routed.answers[index] = batch.answers[position]
+                    routed.plans[index] = batch.plans[position]
+            return routed
 
     def node_ids(self, doc_id: str, nodes) -> list[int]:
         """Preorder encoding of an answer set (see ``ViewStore.node_ids``)."""
@@ -365,9 +368,17 @@ class Catalog:
         }
 
     def backend_stats(self) -> dict[str, int]:
-        """The shared backend's counters plus its ``durable`` flag."""
+        """The shared backend's counters plus its ``durable`` flag.
+
+        Also the backend tier's registry publish point: each call
+        mirrors the snapshot (``io_errors`` included) into the
+        installed :class:`~repro.obs.MetricsRegistry`, if any.
+        """
         stats = dict(self.backend.stats.snapshot())
         stats["durable"] = int(self.backend.durable)
+        registry = current_registry()
+        if registry is not None:
+            registry.publish("backend", stats)
         return stats
 
     def prune(self, *, ttl_seconds: float = 0.0, clock=None) -> int:

@@ -60,6 +60,7 @@ from typing import Callable, Sequence
 
 from ..errors import CatalogError, ReplicaLagError, ReplicaUnavailableError
 from ..faults import FaultPolicy
+from ..obs import span
 from ..patterns.parse import parse_pattern
 from ..views.persist import SnapshotBackend
 from .catalog import Catalog
@@ -424,23 +425,32 @@ class ReplicaSet:
         poisoned batch is a request failure, not an availability
         event), matching the shard pool's contract.
         """
-        attempts = len(self._replicas)
-        while attempts > 0:
-            attempts -= 1
-            replica = self._next_replica()
-            if replica is None:
-                break
-            try:
-                self._check_lag(replica)
-                return self._serve_on(replica, doc_id, xpaths)
-            except ReplicaLagError:
-                self.stats.lag_fenced += 1
-                self.stats.failover_retries += 1
-            except ReplicaUnavailableError:
-                self.stats.replica_crashes += 1
-                self._evict_and_retry(replica)
-        self.stats.writer_fallbacks += 1
-        return self._writer_inline(doc_id, xpaths)
+        with span(
+            "replica.execute", doc_id=doc_id, queries=len(xpaths)
+        ) as scope:
+            failovers = 0
+            attempts = len(self._replicas)
+            while attempts > 0:
+                attempts -= 1
+                replica = self._next_replica()
+                if replica is None:
+                    break
+                try:
+                    self._check_lag(replica)
+                    result = self._serve_on(replica, doc_id, xpaths)
+                    scope.set(served_by=replica.index, failovers=failovers)
+                    return result
+                except ReplicaLagError:
+                    self.stats.lag_fenced += 1
+                    self.stats.failover_retries += 1
+                    failovers += 1
+                except ReplicaUnavailableError:
+                    self.stats.replica_crashes += 1
+                    self._evict_and_retry(replica)
+                    failovers += 1
+            self.stats.writer_fallbacks += 1
+            scope.set(served_by="writer", failovers=failovers)
+            return self._writer_inline(doc_id, xpaths)
 
     def _writer_inline(
         self, doc_id: str, xpaths: list[str]

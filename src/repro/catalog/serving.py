@@ -55,6 +55,8 @@ from ..errors import (
     ServingError,
     ShardCrashError,
 )
+from ..obs import adopt, current_registry, current_tracer, span
+from ..obs.tracing import OpenSpan
 from ..patterns.ast import Pattern
 from ..patterns.serialize import to_xpath
 
@@ -77,7 +79,10 @@ class ServeStats:
     sequence — the regression contract the fault-injection suite leans
     on.  ``dispatch_log`` records ``(doc_id, dispatched, shed)`` per
     drain-loop visit, so fairness (round-robin visit order) is
-    assertable, not just hoped for.
+    assertable, not just hoped for.  The log is bounded: only the most
+    recent ``dispatch_log_cap`` visits are kept (older entries are
+    dropped from the front and counted in ``dispatch_log_evictions``),
+    so long soaks don't grow memory one tuple per drain cycle forever.
     """
 
     admitted: int = 0
@@ -91,6 +96,17 @@ class ServeStats:
     inline_degrades: int = 0
     max_queue_depth: int = 0
     dispatch_log: list[tuple[str, int, int]] = field(default_factory=list)
+    dispatch_log_cap: int = 1024
+    dispatch_log_evictions: int = 0
+
+    def note_dispatch(self, doc_id: str, dispatched: int, shed: int) -> None:
+        """Append one drain-loop visit, evicting from the front past
+        ``dispatch_log_cap`` (evictions are counted, never silent)."""
+        self.dispatch_log.append((doc_id, dispatched, shed))
+        overflow = len(self.dispatch_log) - self.dispatch_log_cap
+        if overflow > 0:
+            del self.dispatch_log[:overflow]
+            self.dispatch_log_evictions += overflow
 
     def snapshot(self) -> dict:
         return {
@@ -105,6 +121,7 @@ class ServeStats:
             "inline_degrades": self.inline_degrades,
             "max_queue_depth": self.max_queue_depth,
             "dispatch_log": [list(entry) for entry in self.dispatch_log],
+            "dispatch_log_evictions": self.dispatch_log_evictions,
         }
 
 
@@ -116,6 +133,26 @@ class _Request:
     xpath: str
     future: asyncio.Future
     deadline: float | None
+    span: OpenSpan | None = None
+
+
+def _finish_request_span(open_span: OpenSpan, future: asyncio.Future) -> None:
+    """Close a request's root span once its future resolves.
+
+    Runs as a future done-callback, i.e. strictly after the dispatch
+    batch's spans closed — which is what keeps every tree well-nested
+    (admission root opens first, closes last).
+    """
+    if future.cancelled():
+        open_span.close(outcome="cancelled")
+        return
+    exc = future.exception()
+    if exc is None:
+        open_span.close(outcome="served")
+    elif isinstance(exc, RequestTimeout):
+        open_span.close(outcome="shed")
+    else:
+        open_span.close(outcome="failed", error=type(exc).__name__)
 
 
 class AsyncFrontEnd:
@@ -207,6 +244,16 @@ class AsyncFrontEnd:
             if self._inflight:
                 await asyncio.gather(*tuple(self._inflight))
             self._task = None
+        registry = current_registry()
+        if registry is not None:
+            # Lifetime stats feed the registry exactly once, at drain —
+            # the snapshots themselves stay the bit-identical source of
+            # truth; the registry is the exportable view.
+            registry.publish("serve", self.stats.snapshot())
+            if self._replicas is not None:
+                registry.publish(
+                    "replication", self._replicas.stats_snapshot()
+                )
 
     async def drain(self) -> None:
         """Wait until nothing is queued or in flight (without closing)."""
@@ -280,6 +327,16 @@ class AsyncFrontEnd:
         queue.append(request)
         self._pending += 1
         self.stats.admitted += 1
+        tracer = current_tracer()
+        if tracer is not None:
+            # The trace is minted at admission: one root per admitted
+            # request, closed by done-callback when its future resolves.
+            request.span = tracer.start_root(
+                "serve.request", doc_id=doc_id, xpath=xpath
+            )
+            future.add_done_callback(
+                lambda fut, s=request.span: _finish_request_span(s, fut)
+            )
         self.stats.max_queue_depth = max(
             self.stats.max_queue_depth, self._pending
         )
@@ -370,7 +427,7 @@ class AsyncFrontEnd:
                 else:
                     live.append(req)
             self.stats.batches += 1
-            self.stats.dispatch_log.append((doc_id, len(live), shed))
+            self.stats.note_dispatch(doc_id, len(live), shed)
             if live:
                 task = asyncio.get_running_loop().create_task(
                     self._dispatch(doc_id, live)
@@ -391,26 +448,34 @@ class AsyncFrontEnd:
     # ------------------------------------------------------------------
     async def _dispatch(self, doc_id: str, requests: list[_Request]) -> None:
         xpaths = [req.xpath for req in requests]
-        try:
-            ids, _kinds = await self._execute(doc_id, xpaths)
-        except asyncio.CancelledError:
-            for req in requests:
-                if not req.future.done():
-                    req.future.cancel()
-            raise
-        except Exception as exc:
-            self.stats.failed += len(requests)
-            for req in requests:
-                if not req.future.done():
-                    req.future.set_exception(exc)
-            return
-        self.stats.served += len(requests)
-        for req, answer in zip(requests, ids):
-            if not req.future.done():
-                req.future.set_result(answer)
+        # Adopt the member requests' admission roots as the open
+        # parents: batch-level spans fan out into every member's trace.
+        with adopt([req.span for req in requests]):
+            with span(
+                "serve.batch", doc_id=doc_id, size=len(requests)
+            ) as scope:
+                try:
+                    ids, _kinds = await self._execute(doc_id, xpaths, scope)
+                except asyncio.CancelledError:
+                    for req in requests:
+                        if not req.future.done():
+                            req.future.cancel()
+                    raise
+                except Exception as exc:
+                    scope.set(outcome="failed", error=type(exc).__name__)
+                    self.stats.failed += len(requests)
+                    for req in requests:
+                        if not req.future.done():
+                            req.future.set_exception(exc)
+                    return
+                scope.set(outcome="served")
+                self.stats.served += len(requests)
+                for req, answer in zip(requests, ids):
+                    if not req.future.done():
+                        req.future.set_result(answer)
 
     async def _execute(
-        self, doc_id: str, xpaths: list[str]
+        self, doc_id: str, xpaths: list[str], scope=None
     ) -> tuple[list[list[int]], list[str]]:
         """One batch through the shard pool, with retry-once + degrade.
 
@@ -428,15 +493,20 @@ class AsyncFrontEnd:
         """
         server = self._server
         server._note_load(doc_id, len(xpaths))
+        if scope is None:
+            scope = span("serve.unparented")  # no-op: no open parents
         if self._replicas is not None:
+            scope.set(source="replica")
             return self._replicas.execute(doc_id, xpaths)
         if server._pool is None:
+            scope.set(source="inline")
             try:
                 return self._inline_with_faults(server, doc_id, xpaths)
             except ShardCrashError:
                 # Inline "shard": retry-once means re-executing.
                 self.stats.shard_crashes += 1
                 self.stats.retries += 1
+                scope.set(retries=1)
                 try:
                     return self._inline_with_faults(server, doc_id, xpaths)
                 except ShardCrashError:
@@ -448,6 +518,7 @@ class AsyncFrontEnd:
         from .server import _serve_in_worker  # late: import cycle
 
         shard = server._shard_of[doc_id]
+        scope.set(source="pool", shard=shard)
         try:
             return await asyncio.wrap_future(
                 server._pool.submit(shard, _serve_in_worker, doc_id, xpaths)
@@ -455,6 +526,7 @@ class AsyncFrontEnd:
         except (ShardCrashError, BrokenProcessPool):
             self.stats.shard_crashes += 1
             self.stats.retries += 1
+            scope.set(retries=1)
             try:
                 server._pool.restart(shard)
                 return await asyncio.wrap_future(
@@ -465,6 +537,7 @@ class AsyncFrontEnd:
             except (ShardCrashError, BrokenProcessPool):
                 self.stats.shard_crashes += 1
                 self.stats.inline_degrades += 1
+                scope.set(source="degraded_inline")
                 return server._degraded_inline(doc_id, xpaths)
 
     @staticmethod

@@ -64,6 +64,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import ContainmentBudgetError
+from ..obs import span
 from ..patterns.ast import Axis, Pattern, PNode, WILDCARD, on_memo_reset
 from ..patterns.fragments import homomorphism_complete
 from . import parallel
@@ -794,10 +795,14 @@ def contains(
         cached = _cache_get(key)
         if cached is not None:
             return cached
-    result = _decide(
-        p1, p2, weak=False, max_models=max_models,
-        workers=_resolve_workers(workers),
-    )
+    # Only memo-cache *misses* get a span: hits are sub-microsecond and
+    # would swamp the trace without saying anything about time spent.
+    with span("containment.decide") as scope:
+        result = _decide(
+            p1, p2, weak=False, max_models=max_models,
+            workers=_resolve_workers(workers),
+        )
+        scope.set(result=result)
     if use_cache:
         _cache_put(key, result)
     return result
@@ -847,14 +852,16 @@ class ContainmentBatch:
             cached = _cache_get(key)
             if cached is not None:
                 return cached
-        decided = _decide(
-            self.p1,
-            view,
-            weak=self.weak,
-            max_models=self.max_models,
-            engines=self._engines,
-            workers=self.workers,
-        )
+        with span("containment.decide", batched=True) as scope:
+            decided = _decide(
+                self.p1,
+                view,
+                weak=self.weak,
+                max_models=self.max_models,
+                engines=self._engines,
+                workers=self.workers,
+            )
+            scope.set(result=decided)
         if self.use_cache:
             _cache_put(key, decided)
         return decided

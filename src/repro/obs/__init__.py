@@ -1,0 +1,68 @@
+"""Unified observability layer (PR 10): metrics + deterministic tracing.
+
+Two independent seams, both process-global and both defaulting to off:
+
+* :func:`install_tracer` / :func:`current_tracer` — structured span
+  tracing.  Trees start at :func:`root` (replay entry points) or
+  :meth:`Tracer.start_root` (front-end admission); :func:`span` opens
+  children under whatever parents are currently in scope and is a no-op
+  otherwise, so instrumented code costs one global check when tracing
+  is off.
+* :func:`install_registry` / :func:`current_registry` — the
+  :class:`MetricsRegistry` of counters, gauges and fixed-bucket latency
+  histograms, fed by publishing the existing per-layer stats snapshots
+  (which stay bit-identical) plus live histogram observations from the
+  replay harness.
+
+Exporters in :mod:`repro.obs.export` (Prometheus text, JSONL traces)
+and the ``tools/trace_report.py`` CLI turn the collected data into the
+per-layer time breakdowns the ROADMAP's latency claims call for.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    install_registry,
+)
+from .tracing import (
+    OpenSpan,
+    SpanRecord,
+    Tracer,
+    adopt,
+    current_tracer,
+    install_tracer,
+    root,
+    span,
+)
+from .export import (
+    export_traces_jsonl,
+    render_prometheus,
+    trace_lines,
+    trace_structure,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "install_registry",
+    "OpenSpan",
+    "SpanRecord",
+    "Tracer",
+    "adopt",
+    "current_tracer",
+    "install_tracer",
+    "root",
+    "span",
+    "export_traces_jsonl",
+    "render_prometheus",
+    "trace_lines",
+    "trace_structure",
+]

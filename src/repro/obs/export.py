@@ -1,0 +1,98 @@
+"""Exporters: Prometheus text exposition + JSONL trace export.
+
+Both formats are deterministic for deterministic inputs: metric lines
+sort by name, JSON payloads serialize with sorted keys and no float
+formatting games — so exported artifacts diff cleanly between runs and
+tests can compare them byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from .metrics import MetricsRegistry
+from .tracing import SpanRecord, Tracer
+
+__all__ = [
+    "render_prometheus",
+    "trace_lines",
+    "export_traces_jsonl",
+    "trace_structure",
+]
+
+
+def _exposition_name(name: str) -> str:
+    """Dotted registry names → Prometheus-safe snake_case."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (``# TYPE`` lines + samples)."""
+    lines: list[str] = []
+    for name, metric in sorted(registry.metrics()):
+        exposed = _exposition_name(name)
+        lines.append(f"# TYPE {exposed} {metric.kind}")
+        if metric.kind == "histogram":
+            running = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                running += count
+                lines.append(
+                    f'{exposed}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{running}"
+                )
+            lines.append(f'{exposed}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{exposed}_sum {_format_value(metric.total)}")
+            lines.append(f"{exposed}_count {metric.count}")
+        else:
+            lines.append(f"{exposed} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _iter_records(
+    source: Union[Tracer, Iterable[SpanRecord]]
+) -> Iterable[SpanRecord]:
+    if isinstance(source, Tracer):
+        return source.records()
+    return source
+
+
+def trace_lines(
+    source: Union[Tracer, Iterable[SpanRecord]],
+    structure_only: bool = False,
+) -> Iterator[str]:
+    """One compact JSON object per closed span, in close order."""
+    for record in _iter_records(source):
+        payload = (
+            record.structure() if structure_only else record.to_dict()
+        )
+        yield json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def export_traces_jsonl(
+    source: Union[Tracer, Iterable[SpanRecord]],
+    path: Union[str, Path],
+    structure_only: bool = False,
+) -> int:
+    """Write the JSONL trace export; returns the span count written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in trace_lines(source, structure_only=structure_only):
+            handle.write(line + "\n")
+            count += 1
+    return count
+
+
+def trace_structure(
+    source: Union[Tracer, Iterable[SpanRecord]]
+) -> list[dict]:
+    """The timing-free skeleton — the byte-identity comparison surface
+    for same-seed virtual-clock runs."""
+    return [record.structure() for record in _iter_records(source)]

@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 
 from .errors import ShardCrashError
 from .faults import FaultPolicy
+from .obs import span
 
 __all__ = ["ShardPool"]
 
@@ -120,37 +121,43 @@ class ShardPool:
         """
         if self._closed:
             raise RuntimeError("ShardPool is closed")
-        if self._fault_policy is not None:
-            action = self._fault_policy.on_submit(shard_index)
-            if action is not None:
-                if action.kind == "crash":
-                    self._broken.add(shard_index)
-                    return _failed_future(
-                        ShardCrashError(
-                            f"shard {shard_index} crashed (injected)"
+        with span("shard.submit", shard=shard_index) as scope:
+            if self._fault_policy is not None:
+                action = self._fault_policy.on_submit(shard_index)
+                if action is not None:
+                    scope.set(injected=action.kind)
+                    if action.kind == "crash":
+                        self._broken.add(shard_index)
+                        return _failed_future(
+                            ShardCrashError(
+                                f"shard {shard_index} crashed (injected)"
+                            )
                         )
+                    if action.kind == "error":
+                        assert action.exc is not None
+                        return _failed_future(action.exc)
+                    if action.kind == "hang":
+                        return Future()  # never resolves: bound your waits
+                    # "delay" advanced the policy's virtual clock already;
+                    # the submission itself proceeds normally.
+            if shard_index in self._broken:
+                scope.set(outcome="broken")
+                return _failed_future(
+                    ShardCrashError(
+                        f"shard {shard_index} is down (restart before "
+                        "resubmitting)"
                     )
-                if action.kind == "error":
-                    assert action.exc is not None
-                    return _failed_future(action.exc)
-                if action.kind == "hang":
-                    return Future()  # never resolves: bound your waits
-                # "delay" advanced the policy's virtual clock already;
-                # the submission itself proceeds normally.
-        if shard_index in self._broken:
-            return _failed_future(
-                ShardCrashError(
-                    f"shard {shard_index} is down (restart before "
-                    "resubmitting)"
                 )
-            )
-        try:
-            return self._shards[shard_index].submit(fn, *args)
-        except BrokenProcessPool as exc:
-            self._broken.add(shard_index)
-            return _failed_future(
-                ShardCrashError(f"shard {shard_index} worker died: {exc}")
-            )
+            try:
+                return self._shards[shard_index].submit(fn, *args)
+            except BrokenProcessPool as exc:
+                self._broken.add(shard_index)
+                scope.set(outcome="worker_died")
+                return _failed_future(
+                    ShardCrashError(
+                        f"shard {shard_index} worker died: {exc}"
+                    )
+                )
 
     def restart(self, shard_index: int) -> None:
         """Replace one shard with a fresh executor (initializer re-runs).

@@ -74,6 +74,7 @@ from ..core.embedding import evaluate, evaluate_forest
 from ..core.intersect import merge_parts
 from ..core.rewrite import RewriteResult, RewriteSolver, RewriteStatus
 from ..errors import ContainmentBudgetError, ViewEngineError
+from ..obs import span
 from ..patterns.ast import Pattern, memo_epoch
 from ..xmltree.node import TNode
 from .store import ViewStore
@@ -436,25 +437,28 @@ class QueryEngine:
         When no single view admits a rewriting, tries an intersection
         plan (``intersections=True``); falls back to a direct plan.
         """
-        best: QueryPlan | None = None
-        best_size: int | None = None
-        self._seed_equivalent_decisions(query)
-        for view in self.store.views():
-            decision = self.rewrite_against(query, view.name)
-            if not decision.found:
-                continue
-            size = view.answer_count(document)
-            if best_size is None or size < best_size:
-                best = QueryPlan(
-                    kind="view",
-                    view_name=view.name,
-                    rewriting=decision.rewriting,
-                    rewrite_result=decision,
-                )
-                best_size = size
-        if best is None and self.intersections:
-            best = self.plan_intersection(query)
-        return best or QueryPlan(kind="direct")
+        with span("engine.plan") as scope:
+            best: QueryPlan | None = None
+            best_size: int | None = None
+            self._seed_equivalent_decisions(query)
+            for view in self.store.views():
+                decision = self.rewrite_against(query, view.name)
+                if not decision.found:
+                    continue
+                size = view.answer_count(document)
+                if best_size is None or size < best_size:
+                    best = QueryPlan(
+                        kind="view",
+                        view_name=view.name,
+                        rewriting=decision.rewriting,
+                        rewrite_result=decision,
+                    )
+                    best_size = size
+            if best is None and self.intersections:
+                best = self.plan_intersection(query)
+            chosen = best or QueryPlan(kind="direct")
+            scope.set(kind=chosen.kind)
+            return chosen
 
     def plan_intersection(self, query: Pattern) -> QueryPlan | None:
         """A verified intersection plan for ``query``, or None.
@@ -614,12 +618,15 @@ class QueryEngine:
         self, query: Pattern, plan: QueryPlan, document: str
     ) -> set[TNode]:
         """Run one plan (shared by :meth:`answer` / :meth:`answer_many`)."""
-        if plan.kind == "view":
-            assert plan.view_name is not None
-            return self.answer_with_view(query, plan.view_name, document)
-        if plan.kind == "intersection":
-            return self.answer_with_intersection(query, plan, document)
-        return self.answer_direct(query, document)
+        with span("engine.execute", kind=plan.kind):
+            if plan.kind == "view":
+                assert plan.view_name is not None
+                return self.answer_with_view(
+                    query, plan.view_name, document
+                )
+            if plan.kind == "intersection":
+                return self.answer_with_intersection(query, plan, document)
+            return self.answer_direct(query, document)
 
     def answer(self, query: Pattern, document: str) -> set[TNode]:
         """Answer using the planner's choice (view if possible).
@@ -628,13 +635,16 @@ class QueryEngine:
         *and* execution entirely; every hit returns a fresh set the
         caller owns outright.
         """
-        cached = self._cached_answer(query, document)
-        if cached is not None:
-            return cached[0]
-        plan = self.plan(query, document)
-        answer = self._execute(query, plan, document)
-        self._remember_answer(query, document, answer, plan)
-        return answer
+        with span("engine.answer") as scope:
+            cached = self._cached_answer(query, document)
+            if cached is not None:
+                scope.set(cache="hit", kind=cached[1].kind)
+                return cached[0]
+            plan = self.plan(query, document)
+            answer = self._execute(query, plan, document)
+            self._remember_answer(query, document, answer, plan)
+            scope.set(cache="miss", kind=plan.kind)
+            return answer
 
     # ------------------------------------------------------------------
     # Batched / async serving
@@ -670,15 +680,22 @@ class QueryEngine:
         for query in queries:
             key = query.memo_key()
             if key not in answers:
-                cached = self._cached_answer(query, document)
-                if cached is not None:
-                    answers[key], plans[key] = cached
-                else:
-                    plan = self.plan(query, document)
-                    answer = self._execute(query, plan, document)
-                    self._remember_answer(query, document, answer, plan)
-                    answers[key] = answer
-                    plans[key] = plan
+                # One span per *distinct* query — duplicates fold for
+                # tracing exactly as they do for execution.
+                with span("engine.answer") as scope:
+                    cached = self._cached_answer(query, document)
+                    if cached is not None:
+                        answers[key], plans[key] = cached
+                        scope.set(cache="hit", kind=plans[key].kind)
+                    else:
+                        plan = self.plan(query, document)
+                        answer = self._execute(query, plan, document)
+                        self._remember_answer(
+                            query, document, answer, plan
+                        )
+                        answers[key] = answer
+                        plans[key] = plan
+                        scope.set(cache="miss", kind=plan.kind)
             result.answers.append(answers[key])
             result.plans.append(plans[key])
         result.elapsed_seconds = time.perf_counter() - t0

@@ -54,6 +54,8 @@ from ..core.containment import (
 )
 from ..core.rewrite import RewriteSolver
 from ..errors import AdmissionRejected, RequestTimeout, WorkloadError
+from ..faults import VirtualClock
+from ..obs import current_registry, root
 from ..patterns.ast import Pattern
 from ..views.advisor import advise_views
 from ..views.engine import QueryEngine
@@ -301,28 +303,45 @@ def replay_stream(
     """
     report = ReplayReport()
     before = _counter_snapshots(engine)
+    registry = current_registry()
+    latency_hist = (
+        registry.histogram("replay.query_seconds")
+        if registry is not None
+        else None
+    )
     distinct: set[int] = set()
     for query in queries:
         t0 = time.perf_counter()
-        plan = engine.plan(query, document)
-        if plan.kind == "view":
-            assert plan.view_name is not None
-            answers = engine.answer_with_view(query, plan.view_name, document)
-            report.view_plans += 1
-            report.plans_by_view[plan.view_name] = (
-                report.plans_by_view.get(plan.view_name, 0) + 1
-            )
-        elif plan.kind == "intersection":
-            answers = engine.answer_with_intersection(query, plan, document)
-            report.intersection_plans += 1
-            label = _intersection_label(plan)
-            report.plans_by_view[label] = (
-                report.plans_by_view.get(label, 0) + 1
-            )
-        else:
-            answers = engine.answer_direct(query, document)
-            report.direct_plans += 1
-        report.latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+        # One trace per replayed query — the replay-side mint point
+        # (the serving tier's is front-end admission).
+        with root("replay.query", index=report.queries) as scope:
+            plan = engine.plan(query, document)
+            scope.set(kind=plan.kind)
+            if plan.kind == "view":
+                assert plan.view_name is not None
+                answers = engine.answer_with_view(
+                    query, plan.view_name, document
+                )
+                report.view_plans += 1
+                report.plans_by_view[plan.view_name] = (
+                    report.plans_by_view.get(plan.view_name, 0) + 1
+                )
+            elif plan.kind == "intersection":
+                answers = engine.answer_with_intersection(
+                    query, plan, document
+                )
+                report.intersection_plans += 1
+                label = _intersection_label(plan)
+                report.plans_by_view[label] = (
+                    report.plans_by_view.get(label, 0) + 1
+                )
+            else:
+                answers = engine.answer_direct(query, document)
+                report.direct_plans += 1
+        elapsed_query = time.perf_counter() - t0
+        if latency_hist is not None:
+            latency_hist.observe(elapsed_query)
+        report.latencies_ms.append(elapsed_query * 1000.0)
         report.queries += 1
         report.answers_total += len(answers)
         distinct.add(query.memo_key())
@@ -371,7 +390,10 @@ def replay_batched(
     distinct: set[int] = set()
     for start in range(0, len(queries), batch_size):
         chunk = list(queries[start : start + batch_size])
-        result = engine.answer_many(chunk, document)
+        with root(
+            "replay.batch", window=report.batches, size=len(chunk)
+        ):
+            result = engine.answer_many(chunk, document)
         report.batches += 1
         report.folded_queries += result.folded_queries
         per_query_ms = result.elapsed_seconds * 1000.0 / len(chunk)
@@ -619,7 +641,10 @@ def replay_catalog(
         t0 = time.perf_counter()
         for start in range(0, len(requests), config.batch_size):
             window = requests[start : start + config.batch_size]
-            routed = catalog.route(window)
+            with root(
+                "replay.batch", window=report.batches, size=len(window)
+            ):
+                routed = catalog.route(window)
             report.batches += 1
             for batch in routed.groups.values():
                 report.folded_queries += batch.folded_queries
@@ -673,6 +698,9 @@ def replay_catalog(
             report.per_document[doc_id] = section
             report.queries += section["queries"]
         report.backend = catalog.backend_stats()
+        registry = current_registry()
+        if registry is not None:
+            registry.publish("replay.catalog", report.counters())
         return report
     finally:
         catalog.close()
@@ -701,6 +729,15 @@ class ServeReplayConfig:
     temporary directory and routes every read through the replica tier
     instead of the writer — the baseline stays the synchronous inline
     path, so ``mismatches`` also proves replica answers bit-identical.
+
+    ``virtual_time`` replaces the real-time Poisson pacing with a
+    :class:`~repro.faults.VirtualClock` injected into the front end:
+    the producer *advances* the clock to each scheduled arrival instead
+    of sleeping, and latencies read the virtual clock.  The run
+    finishes as fast as the CPU allows and — with ``workers=0`` and no
+    replicas — the event-loop interleaving is deterministic, which is
+    what makes same-seed trace structure byte-identical (PR 10's
+    observability contract).
     """
 
     documents: int = 2
@@ -714,6 +751,7 @@ class ServeReplayConfig:
     overflow: str = "wait"
     workers: int = 0
     replicas: int = 0
+    virtual_time: bool = False
 
     def __post_init__(self) -> None:
         if self.documents < 1:
@@ -884,7 +922,9 @@ def replay_serve(
 
         async def _replay() -> dict:
             loop = asyncio.get_running_loop()
-            start = loop.time()
+            virtual = VirtualClock() if config.virtual_time else None
+            now = virtual if virtual is not None else loop.time
+            start = now()
             done_at: dict[int, float] = {}
             outstanding: dict[int, tuple[float, asyncio.Future]] = {}
             front = server.serve(
@@ -892,24 +932,32 @@ def replay_serve(
                 batch_size=config.batch_size,
                 overflow=config.overflow,
                 default_timeout=config.timeout,
+                clock=virtual,
                 replica_set=replica_set,
             )
             async with front:
                 for index, (offset, (doc_id, query)) in enumerate(
                     zip(offsets, requests)
                 ):
-                    delay = (start + offset) - loop.time()
-                    if delay > 0:
-                        await asyncio.sleep(delay)
+                    if virtual is not None:
+                        # Advance to the scheduled arrival instead of
+                        # sleeping; yield once so the drain loop keeps
+                        # interleaving deterministically.
+                        behind = (start + offset) - virtual()
+                        if behind > 0:
+                            virtual.advance(behind)
+                        await asyncio.sleep(0)
+                    else:
+                        delay = (start + offset) - loop.time()
+                        if delay > 0:
+                            await asyncio.sleep(delay)
                     try:
                         future = await front.submit(doc_id, query)
                     except AdmissionRejected:
                         report.rejected += 1
                         continue
                     future.add_done_callback(
-                        lambda _fut, i=index: done_at.setdefault(
-                            i, loop.time()
-                        )
+                        lambda _fut, i=index: done_at.setdefault(i, now())
                     )
                     outstanding[index] = (start + offset, future)
             # close() drained: every future is resolved by here.
@@ -934,6 +982,24 @@ def replay_serve(
             report.elapsed_seconds = time.perf_counter() - t0
             if replica_set is not None:
                 report.replication = replica_set.stats_snapshot()
+            registry = current_registry()
+            if registry is not None:
+                # Served latencies feed the exportable histogram; the
+                # front end published its own lifetime stats at close.
+                latency_hist = registry.histogram("serve.latency_seconds")
+                for latency_ms in report.latencies_ms:
+                    latency_hist.observe(latency_ms / 1000.0)
+                registry.publish(
+                    "serve.replay",
+                    {
+                        "requests": report.requests,
+                        "served": report.served,
+                        "shed": report.shed,
+                        "rejected": report.rejected,
+                        "failed": report.failed,
+                        "mismatches": report.mismatches,
+                    },
+                )
         finally:
             if replica_set is not None:
                 replica_set.close()
@@ -1009,6 +1075,10 @@ def replay_workload(
         report.containment["engine_cache_limit"] = engine_cache_limit()
         report.backend = dict(store.backend.stats.snapshot())
         report.backend["durable"] = int(store.backend.durable)
+        registry = current_registry()
+        if registry is not None:
+            registry.publish("replay", report.counters())
+            registry.publish("backend", report.backend)
         return report
     finally:
         store.close()

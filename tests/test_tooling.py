@@ -261,3 +261,95 @@ class TestReplicaUnavailableRule:
             "    retry_on_sibling()\n"
         )
         assert lint.run_lint([ok]) == []
+
+
+class TestObservabilityClockRule:
+    """PR 10 (OBS001): wall clocks are injected, never read inline —
+    a direct ``time.time()``/``time.monotonic()`` call outside the
+    clock seams breaks virtual-time replay determinism."""
+
+    def test_flags_time_time_call(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        problems = lint.run_lint([bad])
+        assert len(problems) == 1 and "OBS001" in problems[0]
+
+    def test_flags_time_monotonic_call(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.monotonic()\n")
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_flags_bare_imported_name(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("from time import monotonic\nstamp = monotonic()\n")
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_flags_aliased_import(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text("from time import time as now\nstamp = now()\n")
+        assert len(lint.run_lint([bad])) == 1
+
+    def test_perf_counter_allowed(self, tmp_path):
+        """Measurement, not scheduling — replay is indifferent to it."""
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text("import time\nstamp = time.perf_counter()\n")
+        assert lint.run_lint([ok]) == []
+
+    def test_uncalled_reference_allowed(self, tmp_path):
+        """``clock=time.monotonic`` as a default *is* the seam."""
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import time\n"
+            "def run(clock=None):\n"
+            "    clock = clock if clock is not None else time.monotonic\n"
+            "    return clock()\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_unrelated_name_not_flagged(self, tmp_path):
+        """A local ``monotonic`` that is not time's is out of scope."""
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "def monotonic():\n    return 0.0\n"
+            "stamp = monotonic()\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_faults_module_exempt(self, tmp_path):
+        lint = _load_lint()
+        seam = tmp_path / "faults.py"
+        seam.write_text("import time\nstamp = time.monotonic()\n")
+        assert lint.run_lint([seam]) == []
+
+    def test_obs_package_exempt(self, tmp_path):
+        lint = _load_lint()
+        package = tmp_path / "obs"
+        package.mkdir()
+        seam = package / "tracing.py"
+        seam.write_text("import time\nstamp = time.monotonic()\n")
+        assert lint.run_lint([package]) == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        lint = _load_lint()
+        ok = tmp_path / "ok.py"
+        ok.write_text(
+            "import time\n"
+            "stamp = time.time()  # noqa: OBS001 - log timestamps\n"
+        )
+        assert lint.run_lint([ok]) == []
+
+    def test_noqa_must_be_on_call_line(self, tmp_path):
+        lint = _load_lint()
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time  # noqa: OBS001\n"
+            "stamp = time.time()\n"
+        )
+        assert len(lint.run_lint([bad])) == 1

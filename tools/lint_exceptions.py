@@ -28,12 +28,24 @@ Flagged, per ``except`` clause:
   availability decision may be conditional), as does any call whose
   name contains ``retry`` (case-insensitive).
 
+* ``OBS001``: a direct wall-clock read — ``time.time()`` or
+  ``time.monotonic()`` called as an expression, via the module
+  attribute or a name imported from :mod:`time` — anywhere outside
+  ``faults.py`` or the ``obs`` package.  The observability layer's
+  determinism contract (PR 10) requires every timestamp to flow
+  through an injectable clock seam (:class:`repro.faults.VirtualClock`
+  or a ``clock=`` parameter defaulting to ``time.monotonic``); an
+  inline call bakes real time into a code path virtual-time replay
+  cannot reach.  Referencing ``time.monotonic`` *without calling it*
+  (e.g. as a default clock value) is fine, as is
+  ``time.perf_counter()`` (pure measurement, never scheduling).
+
 Suppression: a ``# noqa`` / ``# noqa: BLE001`` / ``# noqa: E722`` /
-``# noqa: ASY001`` / ``# noqa: REP001`` comment on the ``except``
-line — used by tests that collect exceptions crossing thread
-boundaries on purpose, and by the replica tier's own sync loop (a
-ship failure parks the replica for the *next* sync; that is the
-retry, just not spelled in this handler).
+``# noqa: ASY001`` / ``# noqa: REP001`` / ``# noqa: OBS001`` comment
+on the offending line — used by tests that collect exceptions
+crossing thread boundaries on purpose, and by the replica tier's own
+sync loop (a ship failure parks the replica for the *next* sync; that
+is the retry, just not spelled in this handler).
 
 Run with:
 
@@ -54,7 +66,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
 
 #: noqa codes that silence this checker (a plain ``# noqa`` also does).
-NOQA_CODES = {"E722", "BLE001", "ASY001", "REP001"}
+NOQA_CODES = {"E722", "BLE001", "ASY001", "REP001", "OBS001"}
+
+#: ``time`` module functions whose *call* OBS001 forbids outside the
+#: clock seams.  ``perf_counter`` is deliberately absent: it measures,
+#: it never schedules, so virtual-time replay is indifferent to it.
+CLOCK_CALLS = {"time", "monotonic"}
 
 
 def _mentions_base_exception(node: ast.expr | None) -> bool:
@@ -137,6 +154,43 @@ def _reraises(handler: ast.ExceptHandler) -> bool:
     )
 
 
+def _clock_seam_file(path: Path) -> bool:
+    """Is this file one of the sanctioned clock seams (OBS001 exempt)?
+
+    ``faults.py`` *defines* the injectable clocks; the ``obs`` package
+    consumes a clock parameter that legitimately defaults to
+    ``time.monotonic``.  Everywhere else must take a clock, not read
+    one.
+    """
+    return path.name == "faults.py" or "obs" in path.parts
+
+
+def _time_imports(tree: ast.Module) -> set[str]:
+    """Local names bound by ``from time import time/monotonic``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_CALLS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _clock_call_name(node: ast.Call, imported: set[str]) -> str | None:
+    """``"time.time"``-style label if this call reads the wall clock."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in CLOCK_CALLS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return f"time.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in imported:
+        return func.id
+    return None
+
+
 def _noqa_lines(source: str) -> set[int]:
     """1-based line numbers carrying a suppressing ``# noqa`` comment."""
     lines: set[int] = set()
@@ -169,6 +223,20 @@ def check_file(path: Path) -> list[str]:
         return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
     suppressed = _noqa_lines(source)
     problems: list[str] = []
+    if not _clock_seam_file(path):
+        imported = _time_imports(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if node.lineno in suppressed:
+                continue
+            label = _clock_call_name(node, imported)
+            if label is not None:
+                problems.append(
+                    f"{path}:{node.lineno}: OBS001 direct '{label}()' "
+                    "call — inject a clock (repro.faults) so "
+                    "virtual-time replay stays deterministic"
+                )
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
